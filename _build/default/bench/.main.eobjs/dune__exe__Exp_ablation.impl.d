@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Ast Builder Compi Concolic List Minic Printf Smt Targets Unix Util

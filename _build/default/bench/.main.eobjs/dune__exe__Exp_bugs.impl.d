@@ -1,0 +1,1 @@
+bench/exp_bugs.ml: Compi List Minic Printf String Targets Util

@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Compi Concolic List Minic Printf Targets Util

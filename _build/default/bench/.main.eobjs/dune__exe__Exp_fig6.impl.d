@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Compi Concolic List Printf Targets Util

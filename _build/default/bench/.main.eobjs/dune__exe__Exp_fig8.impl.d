@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Compi List Printf Targets Util

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Compi List Minic Printf Targets Util

@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Compi Exp_fig6 Float List Printf Targets Unix Util

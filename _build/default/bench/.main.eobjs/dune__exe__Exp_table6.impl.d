@@ -1,0 +1,1 @@
+bench/exp_table6.ml: Compi List Printf Targets Util

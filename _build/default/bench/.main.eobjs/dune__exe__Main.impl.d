@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_bugs Exp_fig4 Exp_fig6 Exp_fig8 Exp_table3 Exp_table4 Exp_table5 Exp_table6 List Microbench Printf String Sys Util

@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Benchmark Compi Concolic Hashtbl Instance List Measure Printf Smt Staged String Targets Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/util.ml: Compi Float Hashtbl List Printf Targets

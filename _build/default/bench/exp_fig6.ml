@@ -1,0 +1,50 @@
+(* Figure 6: HPL branch coverage and execution time at matrix sizes
+   100..1000, all other inputs default. The paper's point: coverage
+   saturates by N = 200 while the time at N = 1000 is ~27x the time at
+   N = 200 — large inputs buy nothing. *)
+
+let hpl_defaults n =
+  [
+    ("ns", 1); ("n", n); ("nbs", 1); ("nb", 16); ("pmap", 0); ("grids", 1);
+    ("p", 2); ("q", 2); ("thresh_exp", 4); ("npfacts", 1); ("pfact", 1);
+    ("nbmins", 1); ("nbmin", 2); ("ndivs", 1); ("ndiv", 2); ("nrfacts", 1);
+    ("rfact", 1); ("nbcasts", 1); ("bcast", 0); ("ndepths", 1); ("depth", 0);
+    ("swap", 1); ("swap_thresh", 32); ("l1_trans", 0); ("u_trans", 0);
+    ("equil", 1); ("align", 8); ("seed", 1);
+  ]
+
+let run (scale : Util.scale) =
+  Util.print_header "Figure 6: HPL coverage and time vs matrix size";
+  let t = Util.target "hpl" in
+  let info = Targets.Registry.instrument t in
+  (* repeat each run a few times so the timing is stable *)
+  let reps = max 3 scale.Util.reps in
+  Printf.printf "%-8s %10s %12s\n" "N" "Covered" "Time (ms)";
+  let timings =
+    List.map
+      (fun n ->
+        let config =
+          {
+            (Compi.Runner.default_config ~info) with
+            Compi.Runner.nprocs = 4;
+            inputs = hpl_defaults n;
+            step_limit = 50_000_000;
+          }
+        in
+        let covered = ref 0 in
+        let times =
+          Util.repeat reps (fun _ ->
+              match Compi.Runner.run config with
+              | Ok res ->
+                covered := Concolic.Coverage.covered_branches res.Compi.Runner.coverage;
+                res.Compi.Runner.wall_time
+              | Error (`Platform_limit _) -> 0.0)
+        in
+        let mean_ms = 1000.0 *. Util.mean times in
+        Printf.printf "%-8d %10d %12.2f\n%!" n !covered mean_ms;
+        (n, mean_ms))
+      [ 100; 200; 300; 400; 500; 600; 700; 800; 900; 1000 ]
+  in
+  let t200 = List.assoc 200 timings and t1000 = List.assoc 1000 timings in
+  Util.compare_line ~label:"time(N=1000) / time(N=200)" ~paper:"27.2x"
+    ~measured:(Printf.sprintf "%.1fx" (t1000 /. t200))

@@ -1,0 +1,79 @@
+(* Bechamel micro-benchmarks for the hot kernels underpinning every
+   experiment: the solver, the interpreter in heavy vs light mode (the
+   per-process cost difference that two-way instrumentation exploits),
+   and path logging with and without constraint-set reduction. *)
+
+open Bechamel
+open Toolkit
+
+let solver_test =
+  (* the paper's Figure 1 system plus a small chain *)
+  let cs =
+    [
+      Smt.Constr.cmp (Smt.Linexp.var 0) Smt.Constr.Eq (Smt.Linexp.const 100);
+      Smt.Constr.cmp
+        (Smt.Linexp.of_terms [ (1, 0); (2, 1) ] 0)
+        Smt.Constr.Le (Smt.Linexp.const 400);
+      Smt.Constr.cmp (Smt.Linexp.var 1) Smt.Constr.Lt (Smt.Linexp.var 2);
+      Smt.Constr.cmp (Smt.Linexp.var 2) Smt.Constr.Lt (Smt.Linexp.const 50);
+    ]
+  in
+  Test.make ~name:"solver: 4-constraint incremental set"
+    (Staged.stage (fun () ->
+         match Smt.Solver.solve cs with
+         | Smt.Solver.Sat _ -> ()
+         | Smt.Solver.Unsat | Smt.Solver.Unknown -> assert false))
+
+let interp_test ~name ~heavy =
+  let info = Targets.Registry.instrument (Targets.Catalog.find_exn "toy-fig2") in
+  let config =
+    {
+      (Compi.Runner.default_config ~info) with
+      Compi.Runner.nprocs = 4;
+      inputs = [ ("x", 10); ("y", 50) ];
+      two_way = not heavy;
+    }
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         match Compi.Runner.run config with
+         | Ok _ -> ()
+         | Error (`Platform_limit _) -> assert false))
+
+let pathlog_test ~name ~reduce =
+  let constr =
+    Some (Smt.Constr.cmp (Smt.Linexp.var 0) Smt.Constr.Lt (Smt.Linexp.const 100))
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let log = Concolic.Pathlog.create ~reduce in
+         for k = 0 to 999 do
+           Concolic.Pathlog.record log ~cond_id:(k mod 7) ~taken:(k mod 11 < 9) ~constr
+         done;
+         ignore (Concolic.Pathlog.constraint_count log)))
+
+let tests =
+  Test.make_grouped ~name:"compi"
+    [
+      solver_test;
+      interp_test ~name:"runner: fig2 x4 procs, two-way" ~heavy:false;
+      interp_test ~name:"runner: fig2 x4 procs, one-way" ~heavy:true;
+      pathlog_test ~name:"pathlog: 1000 events, reduction" ~reduce:true;
+      pathlog_test ~name:"pathlog: 1000 events, no reduction" ~reduce:false;
+    ]
+
+let run () =
+  Util.print_header "Micro-benchmarks (Bechamel, ns/run)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n%!" name est
+      | Some _ | None -> Printf.printf "  %-45s %12s\n%!" name "n/a")
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

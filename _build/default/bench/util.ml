@@ -1,0 +1,74 @@
+(* Shared helpers for the experiment harness: per-target settings derived
+   from the catalogue tuning, small table printers, and the repetition
+   machinery. Budgets are scaled-down versions of the paper's (hours ->
+   seconds); the [scale] factor restores longer runs when desired. *)
+
+type scale = { time : float; iters : float; reps : int }
+
+let default_scale = { time = 1.0; iters = 1.0; reps = 2 }
+
+let scaled_iters scale n = max 5 (int_of_float (float_of_int n *. scale.iters))
+let scaled_time scale s = s *. scale.time
+
+let settings_for (t : Targets.Registry.t) =
+  let tn = t.Targets.Registry.tuning in
+  {
+    Compi.Driver.default_settings with
+    Compi.Driver.dfs_phase_iters = tn.Targets.Registry.dfs_phase;
+    depth_bound = None;
+    initial_nprocs = tn.Targets.Registry.initial_nprocs;
+    step_limit = tn.Targets.Registry.step_limit;
+  }
+
+let instrumented name = Targets.Registry.instrument (Targets.Catalog.find_exn name)
+
+let target name = Targets.Catalog.find_exn name
+
+(* Fixed per-program reachable-branch denominator, the paper's Table III
+   convention: estimated once from a reference COMPI campaign and reused
+   by every experiment on that program, so ablations that fail early do
+   not shrink their own denominator. *)
+let reachable_cache : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let reference_reachable name =
+  match Hashtbl.find_opt reachable_cache name with
+  | Some r -> r
+  | None ->
+    let t = target name in
+    let info = Targets.Registry.instrument t in
+    let settings =
+      {
+        Compi.Driver.default_settings with
+        Compi.Driver.iterations = 400;
+        dfs_phase_iters = t.Targets.Registry.tuning.Targets.Registry.dfs_phase;
+        initial_nprocs = t.Targets.Registry.tuning.Targets.Registry.initial_nprocs;
+        step_limit = t.Targets.Registry.tuning.Targets.Registry.step_limit;
+        seed = 1;
+      }
+    in
+    let r = Compi.Driver.run ~settings info in
+    let reachable = max 1 r.Compi.Driver.reachable_branches in
+    Hashtbl.replace reachable_cache name reachable;
+    reachable
+
+let fixed_rate name (r : Compi.Driver.result) =
+  100.0 *. float_of_int r.Compi.Driver.covered_branches
+  /. float_of_int (reference_reachable name)
+
+(* simple fixed-width table printing *)
+let print_header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let print_row fmt = Printf.printf fmt
+
+let rate (r : Compi.Driver.result) = 100.0 *. r.Compi.Driver.coverage_rate
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+let fmax xs = List.fold_left Float.max neg_infinity xs
+let imax xs = List.fold_left max min_int xs
+
+let repeat reps f = List.init reps f
+
+(* Paper-vs-measured one-liner used throughout EXPERIMENTS.md *)
+let compare_line ~label ~paper ~measured =
+  Printf.printf "  %-40s paper: %-18s measured: %s\n%!" label paper measured

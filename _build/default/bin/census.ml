@@ -1,0 +1,12 @@
+(* census: print every catalogue target's static complexity (the raw
+   numbers behind Table III).   dune exec bin/census.exe *)
+
+let () =
+  Printf.printf "%-12s %6s %10s %8s\n" "target" "conds" "branches" "sloc";
+  List.iter
+    (fun (t : Targets.Registry.t) ->
+      let info = Targets.Registry.instrument t in
+      Printf.printf "%-12s %6d %10d %8d\n" t.Targets.Registry.name
+        info.Minic.Branchinfo.total_conditionals info.Minic.Branchinfo.total_branches
+        (Minic.Pretty.source_lines t.Targets.Registry.program))
+    (Targets.Catalog.all ())

@@ -1,0 +1,402 @@
+(* compi-cli: command-line front end for the COMPI reproduction.
+
+     compi-cli list                          targets and their tuning
+     compi-cli show susy-hmc                 pretty-print a target
+     compi-cli test hpl --iterations 500     run a COMPI campaign
+     compi-cli random hpl --time 10          random-testing baseline
+     compi-cli exec susy-hmc -n 4 -i nt=4    one concrete run *)
+
+open Cmdliner
+
+let target_conv =
+  let parse s =
+    match Targets.Catalog.find s with
+    | Some t -> Ok t
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown target %s (try: %s)" s
+             (String.concat ", " (Targets.Catalog.names ()))))
+  in
+  let print ppf (t : Targets.Registry.t) = Format.fprintf ppf "%s" t.Targets.Registry.name in
+  Arg.conv (parse, print)
+
+let kv_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some k ->
+      let key = String.sub s 0 k in
+      let value = String.sub s (k + 1) (String.length s - k - 1) in
+      (try Ok (key, int_of_string value) with Failure _ -> Error (`Msg "bad value"))
+    | None -> Error (`Msg (Printf.sprintf "expected key=value, got %s" s))
+  in
+  let print ppf (k, v) = Format.fprintf ppf "%s=%d" k v in
+  Arg.conv (parse, print)
+
+let target_arg =
+  Arg.(required & pos 0 (some target_conv) None & info [] ~docv:"TARGET")
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-10s %8s %8s %6s %6s  %s\n" "name" "branches" "sloc" "dfs-x"
+      "bound" "description";
+    List.iter
+      (fun (t : Targets.Registry.t) ->
+        let info = Targets.Registry.instrument t in
+        let tn = t.Targets.Registry.tuning in
+        Printf.printf "%-10s %8d %8d %6d %6d  %s\n" t.Targets.Registry.name
+          info.Minic.Branchinfo.total_branches
+          (Minic.Pretty.source_lines t.Targets.Registry.program)
+          tn.Targets.Registry.dfs_phase tn.Targets.Registry.depth_bound
+          t.Targets.Registry.description)
+      (Targets.Catalog.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available targets")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let run (t : Targets.Registry.t) =
+    let info = Targets.Registry.instrument t in
+    print_endline (Minic.Pretty.program_to_string info.Minic.Branchinfo.program)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Pretty-print a target program (C-flavoured)")
+    Term.(const run $ target_arg)
+
+(* ------------------------------------------------------------------ *)
+(* test / random                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let iterations_arg =
+  Arg.(value & opt int 500 & info [ "iterations"; "I" ] ~docv:"N" ~doc:"Iteration budget")
+
+let time_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time" ] ~docv:"SECONDS" ~doc:"Wall-clock budget (overrides iterations)")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed")
+
+let nprocs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "nprocs"; "n" ] ~docv:"N" ~doc:"Initial number of processes")
+
+let cap_arg =
+  Arg.(
+    value & opt_all kv_conv []
+    & info [ "cap" ] ~docv:"INPUT=CAP" ~doc:"Override an input's cap (repeatable)")
+
+let no_reduce_arg =
+  Arg.(value & flag & info [ "no-reduce" ] ~doc:"Disable constraint-set reduction")
+
+let one_way_arg =
+  Arg.(value & flag & info [ "one-way" ] ~doc:"Disable two-way instrumentation")
+
+let no_fwk_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fwk" ]
+        ~doc:"Disable the MPI framework: fixed focus and process count, focus-only coverage")
+
+let strategy_arg =
+  let choices =
+    Arg.enum
+      [
+        ("dfs", `Dfs); ("random-branch", `Random_branch); ("uniform", `Uniform);
+        ("cfg", `Cfg); ("generational", `Generational);
+      ]
+  in
+  Arg.(value & opt choices `Dfs & info [ "strategy" ] ~docv:"STRATEGY"
+         ~doc:"Search strategy: $(b,dfs) (two-phase BoundedDFS, the COMPI default), \
+               $(b,random-branch), $(b,uniform), $(b,cfg), or $(b,generational) \
+               (SAGE-style, beyond the paper)")
+
+let settings_of (t : Targets.Registry.t) iterations time seed nprocs caps no_reduce one_way
+    no_fwk strategy =
+  let tn = t.Targets.Registry.tuning in
+  let info = Targets.Registry.instrument t in
+  let strategy =
+    match strategy with
+    | `Dfs -> Compi.Driver.Two_phase_dfs
+    | `Random_branch -> Compi.Driver.Fixed_strategy Concolic.Strategy.Random_branch
+    | `Uniform -> Compi.Driver.Fixed_strategy Concolic.Strategy.Uniform_random
+    | `Cfg ->
+      Compi.Driver.Fixed_strategy (Concolic.Strategy.Cfg_directed (Minic.Cfg.build info))
+    | `Generational ->
+      Compi.Driver.Fixed_strategy
+        (Concolic.Strategy.Generational tn.Targets.Registry.depth_bound)
+  in
+  ( info,
+    {
+      Compi.Driver.default_settings with
+      Compi.Driver.iterations = (if time = None then iterations else max_int);
+      time_budget = time;
+      dfs_phase_iters = tn.Targets.Registry.dfs_phase;
+      initial_nprocs = Option.value nprocs ~default:tn.Targets.Registry.initial_nprocs;
+      step_limit = tn.Targets.Registry.step_limit;
+      cap_overrides = caps;
+      reduce = not no_reduce;
+      two_way = not one_way;
+      framework = not no_fwk;
+      strategy;
+      seed;
+    } )
+
+let report (r : Compi.Driver.result) =
+  Printf.printf "iterations      %d\n" r.Compi.Driver.iterations_run;
+  Printf.printf "covered         %d / %d reachable (%.1f%%), %d total\n"
+    r.Compi.Driver.covered_branches r.Compi.Driver.reachable_branches
+    (100.0 *. r.Compi.Driver.coverage_rate)
+    r.Compi.Driver.total_branches;
+  Printf.printf "max constraint  %d%s\n" r.Compi.Driver.max_constraint_set
+    (match r.Compi.Driver.derived_bound with
+    | Some b -> Printf.sprintf " (derived BoundedDFS bound %d)" b
+    | None -> "");
+  Printf.printf "wall time       %.2fs\n" r.Compi.Driver.wall_time;
+  let bugs = Compi.Driver.distinct_bugs r in
+  Printf.printf "distinct bugs   %d\n" (List.length bugs);
+  List.iter
+    (fun (b : Compi.Driver.bug) ->
+      Printf.printf "  [iter %d, np %d] %s\n" b.Compi.Driver.bug_iteration
+        b.Compi.Driver.bug_nprocs
+        (Minic.Fault.to_string b.Compi.Driver.bug_fault);
+      Printf.printf "     inputs: %s\n"
+        (String.concat ", "
+           (List.map (fun (k, x) -> Printf.sprintf "%s=%d" k x) b.Compi.Driver.bug_inputs));
+      if b.Compi.Driver.bug_context <> [] then
+        Printf.printf "     focus path tail: %s\n"
+          (String.concat " -> "
+             (List.map
+                (fun (cond, taken) ->
+                  Printf.sprintf "%d%s" cond (if taken then "T" else "F"))
+                b.Compi.Driver.bug_context)))
+    bugs
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-bugs" ] ~docv:"PATH" ~doc:"Save error-inducing inputs as test cases")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Dump per-iteration statistics as CSV")
+
+let curve_arg =
+  Arg.(value & flag & info [ "curve" ] ~doc:"Print an ASCII coverage curve")
+
+let uncovered_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "uncovered" ] ~docv:"N" ~doc:"List up to N still-uncovered branches")
+
+let annotate_arg =
+  Arg.(
+    value & flag
+    & info [ "annotate" ] ~doc:"Print the program with per-branch coverage markers")
+
+let test_cmd =
+  let run t iterations time seed nprocs caps no_reduce one_way no_fwk strategy save_bugs
+      csv curve uncovered_n annotate =
+    let info, settings =
+      settings_of t iterations time seed nprocs caps no_reduce one_way no_fwk strategy
+    in
+    let result = Compi.Driver.run ~settings info in
+    report result;
+    if curve then print_string (Compi.Report.ascii_curve result);
+    (match uncovered_n with
+    | Some n ->
+      let misses = Compi.Report.uncovered info result.Compi.Driver.coverage in
+      Printf.printf "\nuncovered branches (%d total):\n" (List.length misses);
+      List.iteri
+        (fun k (cond, dir, func) ->
+          if k < n then
+            Printf.printf "  cond %d %s side in %s\n" cond (if dir then "T" else "F") func)
+        misses
+    | None -> ());
+    if annotate then
+      print_string (Compi.Report.annotate info result.Compi.Driver.coverage);
+    (match csv with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Compi.Report.stats_csv result));
+      Printf.printf "statistics written to %s\n" path
+    | None -> ());
+    match save_bugs with
+    | Some path ->
+      let cases =
+        List.map
+          (Compi.Testcase.of_bug ~target:t.Targets.Registry.name)
+          (Compi.Driver.distinct_bugs result)
+      in
+      Compi.Testcase.save ~path cases;
+      Printf.printf "%d test case(s) written to %s\n" (List.length cases) path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "test" ~doc:"Run a COMPI concolic-testing campaign on a target")
+    Term.(
+      const run $ target_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg $ cap_arg
+      $ no_reduce_arg $ one_way_arg $ no_fwk_arg $ strategy_arg $ save_arg $ csv_arg
+      $ curve_arg $ uncovered_arg $ annotate_arg)
+
+let replay_cmd =
+  let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
+  let run path =
+    match Compi.Testcase.load ~path with
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      exit 1
+    | Ok cases ->
+      List.iteri
+        (fun k (c : Compi.Testcase.t) ->
+          match Targets.Catalog.find c.Compi.Testcase.target with
+          | None -> Printf.printf "case %d: unknown target %s\n" k c.Compi.Testcase.target
+          | Some t -> (
+            let info = Targets.Registry.instrument t in
+            Printf.printf "case %d (%s, np=%d):\n" k c.Compi.Testcase.target
+              c.Compi.Testcase.nprocs;
+            match Compi.Testcase.replay c ~info () with
+            | Error (`Platform_limit n) -> Printf.printf "  platform limit (%d procs)\n" n
+            | Ok [] -> Printf.printf "  clean run (bug did not reproduce)\n"
+            | Ok faults ->
+              List.iter
+                (fun (rank, f) ->
+                  Printf.printf "  rank %d: %s\n" rank (Minic.Fault.to_string f))
+                faults))
+        cases
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay saved test cases (bug reproduction)")
+    Term.(const run $ path_arg)
+
+let random_cmd =
+  let run t iterations time seed nprocs caps =
+    let info, settings =
+      settings_of t iterations time seed nprocs caps false false false `Dfs
+    in
+    report (Compi.Random_testing.run ~settings info)
+  in
+  Cmd.v
+    (Cmd.info "random" ~doc:"Run the random-testing baseline on a target")
+    Term.(
+      const run $ target_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg $ cap_arg)
+
+(* ------------------------------------------------------------------ *)
+(* exec: one concrete run                                              *)
+(* ------------------------------------------------------------------ *)
+
+let exec_inputs_arg =
+  Arg.(
+    value & opt_all kv_conv []
+    & info [ "input"; "i" ] ~docv:"NAME=VALUE" ~doc:"Set a marked input (repeatable)")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the communication timeline")
+
+let exec_cmd =
+  let run (t : Targets.Registry.t) nprocs inputs trace =
+    let info = Targets.Registry.instrument t in
+    let tracer = Mpisim.Trace.create () in
+    let config =
+      {
+        (Compi.Runner.default_config ~info) with
+        Compi.Runner.nprocs = Option.value nprocs ~default:4;
+        inputs;
+        step_limit = t.Targets.Registry.tuning.Targets.Registry.step_limit;
+        on_event = (if trace then Mpisim.Trace.collector tracer else fun _ -> ());
+      }
+    in
+    match Compi.Runner.run config with
+    | Error (`Platform_limit n) -> Printf.printf "platform limit: %d processes\n" n
+    | Ok res ->
+      Printf.printf "covered %d branches across %d processes in %.1fms\n"
+        (Concolic.Coverage.covered_branches res.Compi.Runner.coverage)
+        config.Compi.Runner.nprocs
+        (1000.0 *. res.Compi.Runner.wall_time);
+      (match Compi.Runner.faults res with
+      | [] -> Printf.printf "all processes completed cleanly\n"
+      | faults ->
+        List.iter
+          (fun (rank, f) ->
+            Printf.printf "rank %d: %s\n" rank (Minic.Fault.to_string f))
+          faults);
+      if res.Compi.Runner.deadlocked <> [] then
+        Printf.printf "deadlocked ranks: %s\n"
+          (String.concat ", " (List.map string_of_int res.Compi.Runner.deadlocked));
+      if trace then begin
+        Printf.printf "\ncommunication trace (%d events):\n" (Mpisim.Trace.length tracer);
+        List.iter
+          (fun (kind, n) -> Printf.printf "  %-12s %d\n" kind n)
+          (Mpisim.Trace.summary tracer);
+        print_string (Mpisim.Trace.timeline ~limit:60 tracer)
+      end
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Execute a target once with concrete inputs")
+    Term.(const run $ target_arg $ nprocs_arg $ exec_inputs_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* test-file: campaigns on Mini-C source files                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_file_cmd =
+  let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc") in
+  let run path iterations time seed nprocs caps =
+    let src = In_channel.with_open_text path In_channel.input_all in
+    match Minic.Parse.program src with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path (Format.asprintf "%a" Minic.Parse.pp_error e);
+      exit 1
+    | Ok program -> (
+      match Minic.Check.check program with
+      | _ :: _ as errors ->
+        List.iter (fun err -> Printf.eprintf "%s: %s\n" path err) errors;
+        exit 1
+      | [] ->
+        let info = Minic.Branchinfo.instrument (Minic.Opt.simplify_program program) in
+        Printf.printf "%s: %d branches across %d functions\n\n" path
+          info.Minic.Branchinfo.total_branches
+          (List.length info.Minic.Branchinfo.funcs);
+        let settings =
+          {
+            Compi.Driver.default_settings with
+            Compi.Driver.iterations = (if time = None then iterations else max_int);
+            time_budget = time;
+            dfs_phase_iters = max 10 (iterations / 10);
+            initial_nprocs = Option.value nprocs ~default:4;
+            cap_overrides = caps;
+            seed;
+          }
+        in
+        report (Compi.Driver.run ~settings info))
+  in
+  Cmd.v
+    (Cmd.info "test-file"
+       ~doc:"Parse a Mini-C source file and run a COMPI campaign on it")
+    Term.(
+      const run $ path_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg $ cap_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "compi-cli" ~version:"1.0"
+      ~doc:"COMPI: concolic testing for MPI applications (OCaml reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ list_cmd; show_cmd; test_cmd; random_cmd; exec_cmd; replay_cmd; test_file_cmd ]))

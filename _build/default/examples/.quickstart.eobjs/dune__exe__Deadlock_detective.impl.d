@@ -1,0 +1,1 @@
+examples/deadlock_detective.ml: Ast Branchinfo Builder Check Compi Fault List Minic Printf String

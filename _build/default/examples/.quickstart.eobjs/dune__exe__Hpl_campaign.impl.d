@@ -1,0 +1,1 @@
+examples/hpl_campaign.ml: Array Compi Minic Printf Sys Targets

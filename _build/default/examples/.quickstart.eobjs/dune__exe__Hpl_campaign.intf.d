@@ -1,0 +1,1 @@
+examples/hpl_campaign.mli:

@@ -1,0 +1,1 @@
+examples/imb_sweep.mli:

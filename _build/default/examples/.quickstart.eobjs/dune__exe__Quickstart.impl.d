@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Branchinfo Builder Check Compi Fault List Minic Printf String

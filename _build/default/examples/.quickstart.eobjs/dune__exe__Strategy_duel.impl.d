@@ -1,0 +1,1 @@
+examples/strategy_duel.ml: Array Compi Concolic List Minic Printf Sys Targets

@@ -1,0 +1,1 @@
+examples/susy_bug_hunt.ml: Compi List Minic Printf String Targets

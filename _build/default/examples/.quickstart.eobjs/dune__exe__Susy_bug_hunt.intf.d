@@ -1,0 +1,1 @@
+examples/susy_bug_hunt.mli:

@@ -1,0 +1,1 @@
+lib/concolic/coverage.ml: Int Set String

@@ -1,0 +1,1 @@
+lib/concolic/execution.ml: Array List Smt Symtab

@@ -1,0 +1,1 @@
+lib/concolic/execution.mli: Smt Symtab

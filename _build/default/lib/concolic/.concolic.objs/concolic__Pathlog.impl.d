@@ -1,0 +1,1 @@
+lib/concolic/pathlog.ml: Array Buffer Hashtbl List Minic Smt String

@@ -1,0 +1,1 @@
+lib/concolic/pathlog.mli: Smt

@@ -1,0 +1,1 @@
+lib/concolic/strategy.ml: Array Coverage Execution Hashtbl Int List Minic Option Printf Random Stack

@@ -1,0 +1,1 @@
+lib/concolic/strategy.mli: Coverage Execution Minic

@@ -1,0 +1,1 @@
+lib/concolic/symtab.ml: Hashtbl List Option Smt

@@ -1,0 +1,1 @@
+lib/concolic/symtab.mli: Smt

@@ -1,0 +1,19 @@
+module Iset = Set.Make (Int)
+module Sset = Set.Make (String)
+
+type t = { mutable branches : Iset.t; mutable funcs : Sset.t }
+
+let create () = { branches = Iset.empty; funcs = Sset.empty }
+let add_branch t b = t.branches <- Iset.add b t.branches
+let add_func t fn = t.funcs <- Sset.add fn t.funcs
+let mem_branch t b = Iset.mem b t.branches
+let covered_branches t = Iset.cardinal t.branches
+let branch_list t = Iset.elements t.branches
+let encountered t fn = Sset.mem fn t.funcs
+let encountered_functions t = Sset.elements t.funcs
+
+let absorb ~into t =
+  into.branches <- Iset.union into.branches t.branches;
+  into.funcs <- Sset.union into.funcs t.funcs
+
+let copy t = { branches = t.branches; funcs = t.funcs }

@@ -1,0 +1,24 @@
+type t = {
+  constraints : (int * Smt.Constr.t) array;
+  symtab : Symtab.t;
+  model : Smt.Model.t;
+  domains : Smt.Domain.t Smt.Varid.Map.t;
+  extra : Smt.Constr.t list;
+  nprocs : int;
+  focus : int;
+  mapping : (int * int array) list;
+}
+
+let length t = Array.length t.constraints
+
+let prefix t i =
+  let rec go k acc = if k < 0 then acc else go (k - 1) (snd t.constraints.(k) :: acc) in
+  go (i - 1) []
+
+let constr_at t i = snd t.constraints.(i)
+let branch_at t i = fst t.constraints.(i)
+
+let solve_negation ?budget t i =
+  let negated = Smt.Constr.negate (constr_at t i) in
+  let cs = negated :: List.rev_append (List.rev (prefix t i)) t.extra in
+  Smt.Solver.solve_incremental ?budget ~domains:t.domains ~prev:t.model ~target:negated cs

@@ -1,0 +1,34 @@
+(** One concolic execution of the focus process, as seen by the search.
+
+    Bundles the constraint path with everything needed to derive the
+    next inputs from it: the run's symbol table, its concrete model
+    (the solver's "previous inputs"), capping domains and the extra
+    constraint set (inherent MPI-semantics constraints plus any campaign
+    caps) that must hold in every solve. *)
+
+type t = {
+  constraints : (int * Smt.Constr.t) array;
+      (** [(branch_id, constraint)] in path order *)
+  symtab : Symtab.t;
+  model : Smt.Model.t;
+  domains : Smt.Domain.t Smt.Varid.Map.t;
+  extra : Smt.Constr.t list;
+  nprocs : int;  (** launch context of this run *)
+  focus : int;
+  mapping : (int * int array) list;
+      (** local-to-global rank table of this run (paper Table II) *)
+}
+
+val length : t -> int
+
+val prefix : t -> int -> Smt.Constr.t list
+(** Constraints strictly before position [i]. *)
+
+val constr_at : t -> int -> Smt.Constr.t
+val branch_at : t -> int -> int
+
+val solve_negation :
+  ?budget:int -> t -> int -> (Smt.Solver.incremental_result, [ `Unsat | `Unknown ]) result
+(** [solve_negation t i] negates the constraint at position [i], keeps
+    the path prefix before it plus [t.extra], and solves incrementally
+    against the run's model (CREST's input-derivation step). *)

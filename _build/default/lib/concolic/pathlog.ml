@@ -1,0 +1,113 @@
+type event = {
+  cond_id : int;
+  branch : int;
+  taken : bool;
+  constr : Smt.Constr.t option;
+}
+
+type t = {
+  reduce : bool;
+  mutable events_rev : event list;
+  mutable nevents : int;
+  mutable nconstraints : int;
+  last_outcome : (int, bool) Hashtbl.t;  (* per conditional, for reduction *)
+  mutable constraint_bytes : int;
+}
+
+let create ~reduce =
+  {
+    reduce;
+    events_rev = [];
+    nevents = 0;
+    nconstraints = 0;
+    last_outcome = Hashtbl.create 64;
+    constraint_bytes = 0;
+  }
+
+(* Rough serialized size of one linear constraint: one 16-byte line per
+   term plus relation and constant. *)
+let constr_bytes c =
+  16 + (16 * List.length (Smt.Linexp.terms c.Smt.Constr.exp))
+
+let record t ~cond_id ~taken ~constr =
+  let keep =
+    match constr with
+    | None -> None
+    | Some _ when not t.reduce -> constr
+    | Some _ -> (
+      match Hashtbl.find_opt t.last_outcome cond_id with
+      | None -> constr
+      | Some previous when previous <> taken -> constr
+      | Some _ -> None)
+  in
+  Hashtbl.replace t.last_outcome cond_id taken;
+  let branch = Minic.Branchinfo.branch_of_cond cond_id taken in
+  t.events_rev <- { cond_id; branch; taken; constr = keep } :: t.events_rev;
+  t.nevents <- t.nevents + 1;
+  match keep with
+  | Some c ->
+    t.nconstraints <- t.nconstraints + 1;
+    t.constraint_bytes <- t.constraint_bytes + constr_bytes c
+  | None -> ()
+
+let events t = List.rev t.events_rev
+
+let constraints t =
+  let arr = Array.make t.nconstraints (0, Smt.Constr.make (Smt.Linexp.const 0) Smt.Constr.Eq) in
+  let k = ref (t.nconstraints - 1) in
+  List.iter
+    (fun e ->
+      match e.constr with
+      | Some c ->
+        arr.(!k) <- (e.branch, c);
+        decr k
+      | None -> ())
+    t.events_rev;
+  arr
+
+let constraint_count t = t.nconstraints
+let branch_events t = t.nevents
+
+let tail ?(n = 8) t =
+  let rec take k = function
+    | e :: rest when k < n -> (e.cond_id, e.taken) :: take (k + 1) rest
+    | _ -> []
+  in
+  List.rev (take 0 t.events_rev)
+
+(* Heavy log: every branch event (8 bytes) + all constraints + a header.
+   Light log: the set of distinct covered branch ids only. *)
+let heavy_bytes t = 64 + (8 * t.nevents) + t.constraint_bytes
+
+let light_bytes t =
+  let distinct = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace distinct e.branch ()) t.events_rev;
+  64 + (8 * Hashtbl.length distinct)
+
+let serialize t =
+  let buf = Buffer.create (t.constraint_bytes + (16 * t.nevents) + 64) in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (string_of_int e.branch);
+      (match e.constr with
+      | Some c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Smt.Constr.rel_to_string c.Smt.Constr.rel);
+        List.iter
+          (fun (coeff, var) ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (string_of_int coeff);
+            Buffer.add_char buf '*';
+            Buffer.add_string buf (string_of_int var))
+          (Smt.Linexp.terms c.Smt.Constr.exp);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int (Smt.Linexp.constant c.Smt.Constr.exp))
+      | None -> ());
+      Buffer.add_char buf '\n')
+    (List.rev t.events_rev);
+  Buffer.contents buf
+
+let parse_count text =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr n) text;
+  !n

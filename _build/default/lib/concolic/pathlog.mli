@@ -1,0 +1,56 @@
+(** Per-execution path log of the focus process.
+
+    Records every branch event with its optional symbolic constraint and
+    implements COMPI's {e constraint-set reduction} (paper section IV-C):
+    when reduction is on, a constraint from a conditional statement is
+    kept only the first time that conditional is seen or when its
+    boolean outcome flips relative to the previous observation — the
+    loop-redundancy heuristic. All branch events are always recorded for
+    coverage regardless of reduction.
+
+    The log also models the focus process's log file for the two-way
+    instrumentation cost accounting (Table IV): {!heavy_bytes} is the
+    size of a full symbolic log, {!light_bytes} the size of a
+    branches-only log. *)
+
+type event = {
+  cond_id : int;
+  branch : int;
+  taken : bool;
+  constr : Smt.Constr.t option;  (** [None]: concrete branch or dropped by reduction *)
+}
+
+type t
+
+val create : reduce:bool -> t
+
+val record : t -> cond_id:int -> taken:bool -> constr:Smt.Constr.t option -> unit
+
+val events : t -> event list
+(** In execution order. *)
+
+val constraints : t -> (int * Smt.Constr.t) array
+(** The constraint path: kept symbolic constraints in order, each with
+    the branch id it came from. Negation indices refer to positions in
+    this array. *)
+
+val constraint_count : t -> int
+val branch_events : t -> int
+
+val tail : ?n:int -> t -> (int * bool) list
+(** The last [n] (default 8) branch decisions, oldest first — the
+    failure context attached to bug reports. *)
+
+val heavy_bytes : t -> int
+val light_bytes : t -> int
+
+val serialize : t -> string
+(** The focus process's log file, really rendered: every branch event
+    and every kept constraint, line-oriented. CREST ships this file
+    between the target and the search at {e every} iteration; calling
+    this (and {!parse_count} on the result) in the runner charges that
+    real cost, which is exactly what constraint-set reduction shrinks. *)
+
+val parse_count : string -> int
+(** Scan a serialized log and count its records (the read-back half of
+    the round trip). *)

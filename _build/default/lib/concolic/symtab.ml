@@ -1,0 +1,92 @@
+type kind =
+  | Program_input of string
+  | Rank_world
+  | Rank_comm of int
+  | Size_world
+  | Size_comm of int
+
+type entry = {
+  var : Smt.Varid.t;
+  kind : kind;
+  lo : int option;
+  hi : int option;
+  concrete : int;
+  comm_size : int option;
+}
+
+type t = {
+  gen : Smt.Varid.gen;
+  mutable entries_rev : entry list;
+  by_name : (string, entry) Hashtbl.t;
+  by_var : (Smt.Varid.t, entry) Hashtbl.t;
+}
+
+let create () =
+  {
+    gen = Smt.Varid.make_gen ();
+    entries_rev = [];
+    by_name = Hashtbl.create 16;
+    by_var = Hashtbl.create 16;
+  }
+
+let register t entry =
+  t.entries_rev <- entry :: t.entries_rev;
+  Hashtbl.replace t.by_var entry.var entry;
+  entry.var
+
+let fresh_input t ~name ?lo ?hi ~concrete () =
+  match Hashtbl.find_opt t.by_name name with
+  | Some e -> e.var
+  | None ->
+    let entry =
+      {
+        var = Smt.Varid.fresh t.gen;
+        kind = Program_input name;
+        lo;
+        hi;
+        concrete;
+        comm_size = None;
+      }
+    in
+    Hashtbl.replace t.by_name name entry;
+    register t entry
+
+let fresh_sem t ~kind ?comm_size ~concrete () =
+  let lo, hi =
+    match kind with
+    | Rank_world | Rank_comm _ | Size_comm _ -> (Some 0, None)
+    | Size_world -> (Some 1, None)
+    | Program_input _ -> (None, None)
+  in
+  register t
+    { var = Smt.Varid.fresh t.gen; kind; lo; hi; concrete; comm_size }
+
+let entries t = List.rev t.entries_rev
+let find_input t name = Hashtbl.find_opt t.by_name name
+let entry_of_var t var = Hashtbl.find_opt t.by_var var
+
+let model t =
+  List.fold_left
+    (fun m e -> Smt.Model.set e.var e.concrete m)
+    Smt.Model.empty (entries t)
+
+let domains t =
+  List.fold_left
+    (fun acc e ->
+      let lo = Option.value e.lo ~default:Smt.Domain.default_lo in
+      let hi = Option.value e.hi ~default:Smt.Domain.default_hi in
+      if lo > hi then acc
+      else Smt.Varid.Map.add e.var (Smt.Domain.make ~lo ~hi) acc)
+    Smt.Varid.Map.empty (entries t)
+
+let input_values t solved =
+  List.filter_map
+    (fun e ->
+      match e.kind with
+      | Program_input name ->
+        Some (name, Smt.Model.get e.var ~default:e.concrete solved)
+      | Rank_world | Rank_comm _ | Size_world | Size_comm _ -> None)
+    (entries t)
+
+let vars_of_kind t pred = List.filter (fun e -> pred e.kind) (entries t)
+let size t = Smt.Varid.count t.gen

@@ -1,0 +1,56 @@
+(** Per-run symbol table of marked variables.
+
+    Every concolic execution allocates fresh symbolic variables: one per
+    distinct marked program input, and one per {e invocation} of
+    MPI_Comm_rank / MPI_Comm_size (the paper's rw, rc and sw families,
+    Table I). The table also remembers each variable's concrete value in
+    the run (the solver's "previous inputs"), the capping bounds, and —
+    for rc variables — the size of their communicator, needed by the
+    inherent constraint y_i < s_i (section III-B). *)
+
+type kind =
+  | Program_input of string
+  | Rank_world
+  | Rank_comm of int  (** communicator handle *)
+  | Size_world
+  | Size_comm of int
+
+type entry = {
+  var : Smt.Varid.t;
+  kind : kind;
+  lo : int option;
+  hi : int option;
+  concrete : int;
+  comm_size : int option;  (** for [Rank_comm]: size of that communicator *)
+}
+
+type t
+
+val create : unit -> t
+
+val fresh_input :
+  t -> name:string -> ?lo:int -> ?hi:int -> concrete:int -> unit -> Smt.Varid.t
+(** Repeated reads of the same input name in one run reuse the variable. *)
+
+val fresh_sem : t -> kind:kind -> ?comm_size:int -> concrete:int -> unit -> Smt.Varid.t
+
+val entries : t -> entry list
+(** In allocation order. *)
+
+val find_input : t -> string -> entry option
+val entry_of_var : t -> Smt.Varid.t -> entry option
+
+val model : t -> Smt.Model.t
+(** Concrete values of this run — the solver's previous inputs. *)
+
+val domains : t -> Smt.Domain.t Smt.Varid.Map.t
+(** Capping bounds as solver domains (variables without bounds get the
+    default domain). *)
+
+val input_values : t -> Smt.Model.t -> (string * int) list
+(** Project a solved model onto program-input names. *)
+
+val vars_of_kind : t -> (kind -> bool) -> entry list
+
+val size : t -> int
+(** Number of variables allocated. *)

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Concolic List Mpi_sem Smt Symtab

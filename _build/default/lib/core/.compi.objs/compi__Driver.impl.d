@@ -1,0 +1,1 @@
+lib/core/driver.ml: Ast Branchinfo Cfg Concolic Conflict Coverage Execution Fault Format Hashtbl List Minic Mpisim Option Printf Random Runner Smt Strategy Symtab Sys Unix

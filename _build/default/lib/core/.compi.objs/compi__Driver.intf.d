@@ -1,0 +1,1 @@
+lib/core/driver.mli: Concolic Minic Random

@@ -1,0 +1,1 @@
+lib/core/mpi_sem.ml: Concolic List Smt Symtab

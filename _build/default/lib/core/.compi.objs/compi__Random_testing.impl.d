@@ -1,0 +1,1 @@
+lib/core/random_testing.ml: Branchinfo Concolic Coverage Driver List Minic Random Runner Unix

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Concolic Driver Format List Minic Printf String

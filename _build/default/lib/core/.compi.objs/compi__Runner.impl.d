@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Ast Branchinfo Concolic Coverage Execution Fault Interp List Minic Mpi_iface Mpi_sem Mpisim Pathlog Smt Stdlib String Symtab Unix

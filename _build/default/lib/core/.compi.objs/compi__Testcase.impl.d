@@ -1,0 +1,1 @@
+lib/core/testcase.ml: Buffer Driver In_channel List Minic Printf Runner Str_split String

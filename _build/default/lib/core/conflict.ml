@@ -1,0 +1,40 @@
+open Concolic
+
+type decision = { nprocs : int; focus : int; moved : bool }
+
+let clamp lo hi x = max lo (min hi x)
+
+let resolve ~prev_nprocs ~prev_focus ~mapping ~symtab ~result =
+  let model = result.Smt.Solver.model in
+  let value e = Smt.Model.get e.Symtab.var ~default:e.Symtab.concrete model in
+  let nprocs =
+    match Mpi_sem.sw_vars symtab with
+    | z0 :: _ -> max 1 (value z0)
+    | [] -> prev_nprocs
+  in
+  let changed e = Smt.Varid.Set.mem e.Symtab.var result.Smt.Solver.changed in
+  let changed_rw = List.filter changed (Mpi_sem.rw_vars symtab) in
+  let changed_rc = List.filter changed (Mpi_sem.rc_vars symtab) in
+  let focus, moved_rank =
+    match changed_rw with
+    | e :: _ -> (value e, true)
+    | [] -> (
+      match changed_rc with
+      | e :: _ -> (
+        (* translate the new local rank to a global rank via Table II *)
+        let local = value e in
+        let row =
+          match e.Symtab.kind with
+          | Symtab.Rank_comm handle -> List.assoc_opt handle mapping
+          | Symtab.Program_input _ | Symtab.Rank_world | Symtab.Size_world
+          | Symtab.Size_comm _ ->
+            None
+        in
+        match row with
+        | Some globals when local >= 0 && local < Array.length globals ->
+          (globals.(local), true)
+        | Some _ | None -> (prev_focus, false))
+      | [] -> (prev_focus, false))
+  in
+  let focus = clamp 0 (nprocs - 1) focus in
+  { nprocs; focus; moved = moved_rank || nprocs <> prev_nprocs }

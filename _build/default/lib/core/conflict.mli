@@ -1,0 +1,33 @@
+(** Conflict resolution and test setup (paper sections III-C and III-D).
+
+    After an incremental solve, the values derived for the various rank
+    variables may not all denote the same process: only the re-solved
+    ("most up-to-date") values satisfy the negated constraint, stale
+    values do not. This module picks the next test's process count and
+    focus rank from the solved model:
+
+    - the process count is the derived value of any sw variable
+      (they are constrained equal);
+    - if no rank variable changed, the focus stays (clamped into range);
+    - if an rw variable changed, its new value {e is} the next focus's
+      global rank;
+    - if only an rc variable changed, its local rank is translated to a
+      global rank through the run's local-to-global mapping table
+      (paper Table II). *)
+
+type decision = {
+  nprocs : int;
+  focus : int;
+  moved : bool;  (** focus or process count differs from the previous test *)
+}
+
+val resolve :
+  prev_nprocs:int ->
+  prev_focus:int ->
+  mapping:(int * int array) list ->
+  symtab:Concolic.Symtab.t ->
+  result:Smt.Solver.incremental_result ->
+  decision
+(** [mapping] is the previous run's Table II: communicator handle to the
+    row of global ranks in local-rank order, from the focus's
+    perspective. *)

@@ -1,0 +1,366 @@
+open Minic
+open Concolic
+
+type strategy_choice =
+  | Two_phase_dfs
+  | Fixed_strategy of Strategy.kind
+  | Cfg_strategy
+
+type settings = {
+  iterations : int;
+  time_budget : float option;
+  dfs_phase_iters : int;
+  depth_bound : int option;
+  strategy : strategy_choice;
+  initial_nprocs : int;
+  initial_focus : int;
+  nprocs_cap : int;
+  reduce : bool;
+  two_way : bool;
+  framework : bool;
+  seed : int;
+  step_limit : int;
+  cap_overrides : (string * int) list;
+  max_procs : int;
+  solver_budget : int;
+  max_solve_attempts : int;
+  random_lo : int;
+  random_hi : int;
+  stagnation_restart : int option;
+      (* "We just redo the testing" (paper section VI): after this many
+         iterations without new coverage, restart with fresh random
+         inputs and a fresh search tree *)
+  resolve_conflicts : bool;
+      (* ablation hook for section III-C: when false the focus never
+         follows re-solved rank variables (process count still follows
+         sw), so derived rank values are silently dropped *)
+}
+
+let default_settings =
+  {
+    iterations = 500;
+    time_budget = None;
+    dfs_phase_iters = 50;
+    depth_bound = None;
+    strategy = Two_phase_dfs;
+    initial_nprocs = 8;
+    initial_focus = 0;
+    nprocs_cap = 16;
+    reduce = true;
+    two_way = true;
+    framework = true;
+    seed = 42;
+    step_limit = 2_000_000;
+    cap_overrides = [];
+    max_procs = Mpisim.Scheduler.default_max_procs;
+    solver_budget = Smt.Solver.default_budget;
+    max_solve_attempts = 200;
+    random_lo = -8;
+    random_hi = 64;
+    stagnation_restart = Some 250;
+    resolve_conflicts = true;
+  }
+
+type bug = {
+  bug_iteration : int;
+  bug_rank : int;
+  bug_fault : Fault.t;
+  bug_inputs : (string * int) list;
+  bug_nprocs : int;
+  bug_focus : int;
+  bug_context : (int * bool) list;
+      (* the focus's last branch decisions in the faulting run *)
+}
+
+let bug_key b =
+  match b.bug_fault with
+  | Fault.Segfault { array; func; _ } -> Printf.sprintf "segfault:%s:%s" func array
+  | Fault.Fpe { func } -> Printf.sprintf "fpe:%s" func
+  | Fault.Assert_fail { message; func } -> Printf.sprintf "assert:%s:%s" func message
+  | Fault.Abort_called { message; func } -> Printf.sprintf "abort:%s:%s" func message
+  | Fault.Step_limit_exceeded _ -> "timeout"
+  | Fault.Mpi_error { message; func } -> Printf.sprintf "mpi:%s:%s" func message
+  | Fault.Runtime_type_error { message; func } -> Printf.sprintf "type:%s:%s" func message
+
+type iter_stat = {
+  iteration : int;
+  nprocs : int;
+  focus : int;
+  constraint_set_size : int;
+  covered_after : int;
+  reachable_after : int;
+  faults_seen : int;
+  restarted : bool;
+  exec_time : float;
+  solve_time : float;
+}
+
+type result = {
+  coverage : Coverage.t;
+  stats : iter_stat list;
+  bugs : bug list;
+  total_branches : int;
+  reachable_branches : int;
+  covered_branches : int;
+  coverage_rate : float;
+  iterations_run : int;
+  wall_time : float;
+  max_constraint_set : int;
+  derived_bound : int option;
+}
+
+let distinct_bugs r =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun b ->
+      let key = bug_key b in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    r.bugs
+
+let random_inputs rng settings (program : Ast.program) =
+  List.map
+    (fun (d : Ast.input_decl) ->
+      let hi =
+        match List.assoc_opt d.Ast.iname settings.cap_overrides with
+        | Some cap -> cap
+        | None -> Option.value d.Ast.cap ~default:settings.random_hi
+      in
+      let lo = Option.value d.Ast.lo ~default:settings.random_lo in
+      let lo = min lo hi in
+      (d.Ast.iname, lo + Random.State.int rng (hi - lo + 1)))
+    (Ast.inputs_of_program program)
+
+(* What the next test should run with. *)
+type pending = {
+  p_inputs : (string * int) list;
+  p_nprocs : int;
+  p_focus : int;
+  p_depth : int;  (* depth to report to the strategy after the run *)
+}
+
+let make_strategy settings (info : Branchinfo.t) =
+  match settings.strategy with
+  | Two_phase_dfs -> Strategy.create ~seed:settings.seed (Strategy.Bounded_dfs max_int)
+  | Fixed_strategy kind -> Strategy.create ~seed:settings.seed kind
+  | Cfg_strategy ->
+    Strategy.create ~seed:settings.seed (Strategy.Cfg_directed (Cfg.build info))
+
+let run ?(settings = default_settings) (info : Branchinfo.t) =
+  let rng = Random.State.make [| settings.seed |] in
+  let program = info.Branchinfo.program in
+  let coverage = Coverage.create () in
+  let strategy = ref (make_strategy settings info) in
+  let base_runner =
+    {
+      (Runner.default_config ~info) with
+      Runner.reduce = settings.reduce;
+      two_way = settings.two_way;
+      mark_mpi_sem = settings.framework;
+      record_all = settings.framework;
+      nprocs_cap = settings.nprocs_cap;
+      cap_overrides = settings.cap_overrides;
+      step_limit = settings.step_limit;
+      max_procs = settings.max_procs;
+    }
+  in
+  let t_start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t_start in
+  let time_ok () =
+    match settings.time_budget with Some b -> elapsed () < b | None -> true
+  in
+  let stats = ref [] in
+  let bugs = ref [] in
+  let max_cs = ref 0 in
+  let derived_bound = ref None in
+  let pending =
+    ref
+      {
+        p_inputs = random_inputs rng settings program;
+        p_nprocs = settings.initial_nprocs;
+        p_focus = settings.initial_focus;
+        p_depth = 0;
+      }
+  in
+  let iter = ref 0 in
+  let finished = ref false in
+  let best_covered = ref 0 in
+  let last_improvement = ref 0 in
+  (* re-arm the search after a stagnation restart: keep the derived
+     BoundedDFS bound once phase two has started *)
+  let fresh_strategy () =
+    match (settings.strategy, !derived_bound) with
+    | Two_phase_dfs, Some bound ->
+      Strategy.create ~seed:(settings.seed + !iter) (Strategy.Bounded_dfs bound)
+    | (Two_phase_dfs | Fixed_strategy _ | Cfg_strategy), _ -> make_strategy settings info
+  in
+  while (not !finished) && !iter < settings.iterations && time_ok () do
+    let p = !pending in
+    let config =
+      {
+        base_runner with
+        Runner.inputs = p.p_inputs;
+        nprocs = min p.p_nprocs settings.max_procs;
+        focus = min p.p_focus (min p.p_nprocs settings.max_procs - 1);
+      }
+    in
+    match Runner.run config with
+    | Error (`Platform_limit _) ->
+      (* should be prevented by the sw cap; recover with a fresh test *)
+      pending :=
+        {
+          p_inputs = random_inputs rng settings program;
+          p_nprocs = settings.initial_nprocs;
+          p_focus = settings.initial_focus;
+          p_depth = 0;
+        };
+      incr iter
+    | Ok res ->
+      Coverage.absorb ~into:coverage res.Runner.coverage;
+      max_cs := max !max_cs res.Runner.constraint_set_size;
+      let faults = Runner.faults res in
+      List.iter
+        (fun (rank, fault) ->
+          bugs :=
+            {
+              bug_iteration = !iter;
+              bug_rank = rank;
+              bug_fault = fault;
+              bug_inputs = p.p_inputs;
+              bug_nprocs = config.Runner.nprocs;
+              bug_focus = config.Runner.focus;
+              bug_context = res.Runner.focus_tail;
+            }
+            :: !bugs)
+        faults;
+      Strategy.observe !strategy ~depth:p.p_depth res.Runner.execution;
+      (* two-phase bound derivation *)
+      (match settings.strategy with
+      | Two_phase_dfs when !iter + 1 = settings.dfs_phase_iters ->
+        let bound =
+          match settings.depth_bound with
+          | Some b -> b
+          | None -> (!max_cs * 6 / 5) + 10
+        in
+        derived_bound := Some bound;
+        let s = Strategy.create ~seed:(settings.seed + 1) (Strategy.Bounded_dfs bound) in
+        Strategy.observe s ~depth:0 res.Runner.execution;
+        strategy := s
+      | Two_phase_dfs | Fixed_strategy _ | Cfg_strategy -> ());
+      (* stagnation restart: redo the testing with a fresh tree *)
+      let covered_now = Coverage.covered_branches coverage in
+      if covered_now > !best_covered then begin
+        best_covered := covered_now;
+        last_improvement := !iter
+      end;
+      let stagnated =
+        match settings.stagnation_restart with
+        | Some k -> !iter - !last_improvement >= k
+        | None -> false
+      in
+      if stagnated then begin
+        last_improvement := !iter;
+        strategy := fresh_strategy ()
+      end;
+      (* derive the next test *)
+      let t_solve = Unix.gettimeofday () in
+      let next = ref None in
+      let attempts = ref 0 in
+      let exhausted = ref stagnated in
+      while !next = None && (not !exhausted) && !attempts < settings.max_solve_attempts do
+        match Strategy.next !strategy ~coverage with
+        | None -> exhausted := true
+        | Some cand -> (
+          incr attempts;
+          (* set COMPI_DEBUG=1 to trace every negation attempt *)
+          let debug = Sys.getenv_opt "COMPI_DEBUG" <> None in
+          if debug then
+            Printf.eprintf "[%d] neg idx=%d/%d %s => " !iter cand.Strategy.index
+              (Execution.length cand.Strategy.record)
+              (Format.asprintf "%a" Smt.Constr.pp
+                 (Execution.constr_at cand.Strategy.record cand.Strategy.index));
+          match
+            Execution.solve_negation ~budget:settings.solver_budget cand.Strategy.record
+              cand.Strategy.index
+          with
+          | Error (`Unsat | `Unknown) -> if debug then Printf.eprintf "unsat\n%!"
+          | Ok solver_result ->
+            if debug then Printf.eprintf "sat\n%!";
+            let record = cand.Strategy.record in
+            let decision =
+              Conflict.resolve ~prev_nprocs:record.Execution.nprocs
+                ~prev_focus:record.Execution.focus ~mapping:record.Execution.mapping
+                ~symtab:record.Execution.symtab ~result:solver_result
+            in
+            let inputs =
+              Symtab.input_values record.Execution.symtab solver_result.Smt.Solver.model
+            in
+            let nprocs, focus =
+              if not settings.framework then
+                (settings.initial_nprocs, settings.initial_focus)
+              else if settings.resolve_conflicts then
+                (decision.Conflict.nprocs, decision.Conflict.focus)
+              else
+                ( decision.Conflict.nprocs,
+                  min record.Execution.focus (decision.Conflict.nprocs - 1) )
+            in
+            next :=
+              Some
+                {
+                  p_inputs = inputs;
+                  p_nprocs = nprocs;
+                  p_focus = focus;
+                  p_depth = cand.Strategy.index + 1;
+                })
+      done;
+      let solve_time = Unix.gettimeofday () -. t_solve in
+      let restarted = !next = None in
+      (pending :=
+         match !next with
+         | Some nx -> nx
+         | None ->
+           {
+             p_inputs = random_inputs rng settings program;
+             p_nprocs = p.p_nprocs;
+             p_focus = p.p_focus;
+             p_depth = 0;
+           });
+      let reachable =
+        Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)
+      in
+      stats :=
+        {
+          iteration = !iter;
+          nprocs = config.Runner.nprocs;
+          focus = config.Runner.focus;
+          constraint_set_size = res.Runner.constraint_set_size;
+          covered_after = Coverage.covered_branches coverage;
+          reachable_after = reachable;
+          faults_seen = List.length faults;
+          restarted;
+          exec_time = res.Runner.wall_time;
+          solve_time;
+        }
+        :: !stats;
+      incr iter
+  done;
+  let reachable =
+    Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)
+  in
+  let covered = Coverage.covered_branches coverage in
+  {
+    coverage;
+    stats = List.rev !stats;
+    bugs = List.rev !bugs;
+    total_branches = info.Branchinfo.total_branches;
+    reachable_branches = reachable;
+    covered_branches = covered;
+    coverage_rate = (if reachable = 0 then 0.0 else float_of_int covered /. float_of_int reachable);
+    iterations_run = !iter;
+    wall_time = elapsed ();
+    max_constraint_set = !max_cs;
+    derived_bound = !derived_bound;
+  }

@@ -1,0 +1,50 @@
+open Concolic
+
+let rw_vars tab =
+  Symtab.vars_of_kind tab (function Symtab.Rank_world -> true | _ -> false)
+
+let rc_vars tab =
+  Symtab.vars_of_kind tab (function Symtab.Rank_comm _ -> true | _ -> false)
+
+let sw_vars tab =
+  Symtab.vars_of_kind tab (function Symtab.Size_world -> true | _ -> false)
+
+let var e = Smt.Linexp.var e.Symtab.var
+
+let equalities = function
+  | [] -> []
+  | first :: rest ->
+    List.map (fun e -> Smt.Constr.cmp (var first) Smt.Constr.Eq (var e)) rest
+
+let constraints ~nprocs_cap tab =
+  let rws = rw_vars tab and rcs = rc_vars tab and sws = sw_vars tab in
+  let rank_eq = equalities rws in
+  let size_eq = equalities sws in
+  let rank_lt_size =
+    match (rws, sws) with
+    | x0 :: _, z0 :: _ -> [ Smt.Constr.cmp (var x0) Smt.Constr.Lt (var z0) ]
+    | _, _ -> []
+  in
+  let rc_bounds =
+    List.concat_map
+      (fun y ->
+        let lower = Smt.Constr.make (var y) Smt.Constr.Ge in
+        match y.Symtab.comm_size with
+        | Some s when s > 0 ->
+          [ lower; Smt.Constr.cmp (var y) Smt.Constr.Lt (Smt.Linexp.const s) ]
+        | Some _ | None -> [ lower ])
+      rcs
+  in
+  let rank_nonneg =
+    match rws with x0 :: _ -> [ Smt.Constr.make (var x0) Smt.Constr.Ge ] | [] -> []
+  in
+  let size_bounds =
+    match sws with
+    | z0 :: _ ->
+      [
+        Smt.Constr.cmp (var z0) Smt.Constr.Ge (Smt.Linexp.const 1);
+        Smt.Constr.cmp (var z0) Smt.Constr.Le (Smt.Linexp.const nprocs_cap);
+      ]
+    | [] -> []
+  in
+  List.concat [ rank_eq; size_eq; rank_lt_size; rc_bounds; rank_nonneg; size_bounds ]

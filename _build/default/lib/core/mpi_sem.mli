@@ -1,0 +1,21 @@
+(** Inherent MPI-semantics constraints (paper section III-B).
+
+    Given the symbol table of one run, produce the constraints the
+    solver must always respect, as the union of:
+
+    - equality of all rw variables (they all denote the focus's global
+      rank);
+    - equality of all sw variables (the size of MPI_COMM_WORLD);
+    - [x0 < z0] — the global rank is below the world size;
+    - [0 <= y_i < s_i] for each rc variable, with [s_i] the concrete
+      size of its communicator observed at runtime;
+    - [x0 >= 0] and [z0 >= 1];
+    - [z0 <= nprocs_cap] — input capping applied to the process count,
+      the guard that keeps the solver from demanding a platform-crashing
+      number of processes (section IV-A). *)
+
+val constraints : nprocs_cap:int -> Concolic.Symtab.t -> Smt.Constr.t list
+
+val rw_vars : Concolic.Symtab.t -> Concolic.Symtab.entry list
+val rc_vars : Concolic.Symtab.t -> Concolic.Symtab.entry list
+val sw_vars : Concolic.Symtab.t -> Concolic.Symtab.entry list

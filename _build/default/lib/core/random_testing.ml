@@ -1,0 +1,84 @@
+open Concolic
+open Minic
+
+let run ?(settings = Driver.default_settings) (info : Branchinfo.t) =
+  let rng = Random.State.make [| settings.Driver.seed |] in
+  let program = info.Branchinfo.program in
+  let coverage = Coverage.create () in
+  let base =
+    {
+      (Runner.default_config ~info) with
+      Runner.symbolic = false;
+      nprocs_cap = settings.Driver.nprocs_cap;
+      cap_overrides = settings.Driver.cap_overrides;
+      step_limit = settings.Driver.step_limit;
+      max_procs = settings.Driver.max_procs;
+    }
+  in
+  let t_start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t_start in
+  let time_ok () =
+    match settings.Driver.time_budget with Some b -> elapsed () < b | None -> true
+  in
+  let stats = ref [] in
+  let bugs = ref [] in
+  let iter = ref 0 in
+  while !iter < settings.Driver.iterations && time_ok () do
+    let nprocs = 1 + Random.State.int rng settings.Driver.nprocs_cap in
+    let focus = Random.State.int rng nprocs in
+    let inputs = Driver.random_inputs rng settings program in
+    let config = { base with Runner.inputs; nprocs; focus } in
+    (match Runner.run config with
+    | Error (`Platform_limit _) -> ()
+    | Ok res ->
+      Coverage.absorb ~into:coverage res.Runner.coverage;
+      List.iter
+        (fun (rank, fault) ->
+          bugs :=
+            {
+              Driver.bug_iteration = !iter;
+              bug_rank = rank;
+              bug_fault = fault;
+              bug_inputs = inputs;
+              bug_nprocs = nprocs;
+              bug_focus = focus;
+              bug_context = res.Runner.focus_tail;
+            }
+            :: !bugs)
+        (Runner.faults res);
+      stats :=
+        {
+          Driver.iteration = !iter;
+          nprocs;
+          focus;
+          constraint_set_size = 0;
+          covered_after = Coverage.covered_branches coverage;
+          reachable_after =
+            Branchinfo.reachable_branches info
+              ~encountered:(Coverage.encountered coverage);
+          faults_seen = List.length (Runner.faults res);
+          restarted = true;
+          exec_time = res.Runner.wall_time;
+          solve_time = 0.0;
+        }
+        :: !stats);
+    incr iter
+  done;
+  let reachable =
+    Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)
+  in
+  let covered = Coverage.covered_branches coverage in
+  {
+    Driver.coverage;
+    stats = List.rev !stats;
+    bugs = List.rev !bugs;
+    total_branches = info.Branchinfo.total_branches;
+    reachable_branches = reachable;
+    covered_branches = covered;
+    coverage_rate =
+      (if reachable = 0 then 0.0 else float_of_int covered /. float_of_int reachable);
+    iterations_run = !iter;
+    wall_time = elapsed ();
+    max_constraint_set = 0;
+    derived_bound = None;
+  }

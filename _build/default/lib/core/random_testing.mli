@@ -1,0 +1,10 @@
+(** The Random baseline (paper section VI-E).
+
+    Every iteration draws fresh random values for all marked inputs
+    (within the input-capping limits), a random process count in
+    [1, nprocs_cap] and a random focus, and runs the program with light
+    instrumentation everywhere — no symbolic execution, no constraint
+    solving. Coverage is recorded across all processes so the comparison
+    against COMPI is about input quality only. *)
+
+val run : ?settings:Driver.settings -> Minic.Branchinfo.t -> Driver.result

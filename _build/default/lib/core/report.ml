@@ -1,0 +1,151 @@
+let summary ppf (r : Driver.result) =
+  Format.fprintf ppf "iterations   %d@." r.Driver.iterations_run;
+  Format.fprintf ppf "coverage     %d / %d reachable (%.1f%%), %d branches total@."
+    r.Driver.covered_branches r.Driver.reachable_branches
+    (100.0 *. r.Driver.coverage_rate) r.Driver.total_branches;
+  Format.fprintf ppf "constraints  max set %d%s@." r.Driver.max_constraint_set
+    (match r.Driver.derived_bound with
+    | Some b -> Printf.sprintf ", derived BoundedDFS bound %d" b
+    | None -> "");
+  Format.fprintf ppf "wall time    %.2fs@." r.Driver.wall_time;
+  let bugs = Driver.distinct_bugs r in
+  Format.fprintf ppf "bugs         %d distinct (%d occurrences)@." (List.length bugs)
+    (List.length r.Driver.bugs);
+  List.iter
+    (fun (b : Driver.bug) ->
+      Format.fprintf ppf "  - [iter %d, np %d, rank %d] %a@." b.Driver.bug_iteration
+        b.Driver.bug_nprocs b.Driver.bug_rank Minic.Fault.pp b.Driver.bug_fault)
+    bugs
+
+let coverage_curve ?(points = 20) (r : Driver.result) =
+  let stats = Array.of_list r.Driver.stats in
+  let n = Array.length stats in
+  if n = 0 then []
+  else begin
+    let sample k =
+      let idx = min (n - 1) (k * n / points) in
+      let s = stats.(idx) in
+      (s.Driver.iteration, s.Driver.covered_after)
+    in
+    let body = List.init points sample in
+    let last = stats.(n - 1) in
+    List.sort_uniq compare (body @ [ (last.Driver.iteration, last.Driver.covered_after) ])
+  end
+
+let ascii_curve ?(width = 60) ?(height = 12) (r : Driver.result) =
+  let stats = Array.of_list r.Driver.stats in
+  let n = Array.length stats in
+  if n = 0 then "(no iterations)\n"
+  else begin
+    let max_cov =
+      Array.fold_left (fun acc s -> max acc s.Driver.covered_after) 1 stats
+    in
+    let grid = Array.make_matrix height width ' ' in
+    for col = 0 to width - 1 do
+      let idx = min (n - 1) (col * n / width) in
+      let cov = stats.(idx).Driver.covered_after in
+      let row = (cov * (height - 1)) / max_cov in
+      for fill = 0 to row do
+        grid.(height - 1 - fill).(col) <- (if fill = row then '*' else '.')
+      done
+    done;
+    let buf = Buffer.create ((width + 8) * height) in
+    Array.iteri
+      (fun k row ->
+        let label =
+          if k = 0 then Printf.sprintf "%5d |" max_cov
+          else if k = height - 1 then Printf.sprintf "%5d |" 0
+          else "      |"
+        in
+        Buffer.add_string buf label;
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf
+      (Printf.sprintf "      +%s\n       iterations 0..%d\n" (String.make width '-')
+         (match r.Driver.stats with
+         | [] -> 0
+         | stats -> (List.nth stats (List.length stats - 1)).Driver.iteration));
+    Buffer.contents buf
+  end
+
+let stats_csv (r : Driver.result) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "iteration,nprocs,focus,cs_size,covered,reachable,faults,restarted,exec_s,solve_s\n";
+  List.iter
+    (fun (s : Driver.iter_stat) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%b,%.6f,%.6f\n" s.Driver.iteration
+           s.Driver.nprocs s.Driver.focus s.Driver.constraint_set_size
+           s.Driver.covered_after s.Driver.reachable_after s.Driver.faults_seen
+           s.Driver.restarted s.Driver.exec_time s.Driver.solve_time))
+    r.Driver.stats;
+  Buffer.contents buf
+
+let uncovered (info : Minic.Branchinfo.t) coverage =
+  let acc = ref [] in
+  for cond = info.Minic.Branchinfo.total_conditionals - 1 downto 0 do
+    let func = info.Minic.Branchinfo.func_of_cond.(cond) in
+    if Concolic.Coverage.encountered coverage func then
+      List.iter
+        (fun dir ->
+          if
+            not
+              (Concolic.Coverage.mem_branch coverage
+                 (Minic.Branchinfo.branch_of_cond cond dir))
+          then acc := (cond, dir, func) :: !acc)
+        [ false; true ]
+  done;
+  !acc
+
+let annotate (info : Minic.Branchinfo.t) coverage =
+  let text = Minic.Pretty.program_to_string info.Minic.Branchinfo.program in
+  let buf = Buffer.create (String.length text + 1024) in
+  let n = String.length text in
+  let mark cond dir =
+    if Concolic.Coverage.mem_branch coverage (Minic.Branchinfo.branch_of_cond cond dir)
+    then "+"
+    else "-"
+  in
+  let rec go k =
+    if k >= n then ()
+    else if k + 1 < n && text.[k] = '/' && text.[k + 1] = '*' then begin
+      (* try to read a numeric marker "/*123*/" *)
+      let j = ref (k + 2) in
+      while !j < n && text.[!j] >= '0' && text.[!j] <= '9' do
+        incr j
+      done;
+      if !j > k + 2 && !j + 1 < n && text.[!j] = '*' && text.[!j + 1] = '/' then begin
+        let cond = int_of_string (String.sub text (k + 2) (!j - k - 2)) in
+        Buffer.add_string buf
+          (Printf.sprintf "/*%d T%s F%s*/" cond (mark cond true) (mark cond false));
+        go (!j + 2)
+      end
+      else begin
+        Buffer.add_char buf text.[k];
+        go (k + 1)
+      end
+    end
+    else begin
+      Buffer.add_char buf text.[k];
+      go (k + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let bugs_csv (r : Driver.result) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "iteration,rank,nprocs,focus,kind,detail,inputs\n";
+  List.iter
+    (fun (b : Driver.bug) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%s,%S,%S\n" b.Driver.bug_iteration b.Driver.bug_rank
+           b.Driver.bug_nprocs b.Driver.bug_focus
+           (Minic.Fault.kind_name b.Driver.bug_fault)
+           (Minic.Fault.to_string b.Driver.bug_fault)
+           (String.concat " "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) b.Driver.bug_inputs))))
+    r.Driver.bugs;
+  Buffer.contents buf

@@ -1,0 +1,227 @@
+open Minic
+open Concolic
+
+type config = {
+  info : Branchinfo.t;
+  inputs : (string * int) list;
+  nprocs : int;
+  focus : int;
+  reduce : bool;
+  two_way : bool;
+  mark_mpi_sem : bool;
+  record_all : bool;
+  nprocs_cap : int;
+  cap_overrides : (string * int) list;
+  step_limit : int;
+  max_procs : int;
+  symbolic : bool;
+      (* false: every process runs light instrumentation — pure random
+         testing needs no symbolic execution at all *)
+  on_event : Mpisim.Trace.event -> unit;
+}
+
+let default_config ~info =
+  {
+    info;
+    inputs = [];
+    nprocs = 8;
+    focus = 0;
+    reduce = true;
+    two_way = true;
+    mark_mpi_sem = true;
+    record_all = true;
+    nprocs_cap = 16;
+    cap_overrides = [];
+    step_limit = 2_000_000;
+    max_procs = Mpisim.Scheduler.default_max_procs;
+    symbolic = true;
+    on_event = (fun _ -> ());
+  }
+
+type result = {
+  execution : Execution.t;
+  coverage : Coverage.t;
+  outcomes : (unit, Fault.t) Stdlib.result array;
+  deadlocked : int list;
+  leaked_messages : int;
+  focus_tail : (int * bool) list;
+  focus_log_bytes : int;
+  nonfocus_log_bytes : int;
+  mapping : (int * int array) list;
+  constraint_set_size : int;
+  wall_time : float;
+}
+
+let faults r =
+  let acc = ref [] in
+  Array.iteri
+    (fun rank outcome ->
+      match outcome with Ok () -> () | Error f -> acc := (rank, f) :: !acc)
+    r.outcomes;
+  List.rev !acc
+
+let input_value config (d : Ast.input_decl) =
+  match List.assoc_opt d.Ast.iname config.inputs with
+  | Some v -> v
+  | None -> d.Ast.default
+
+let effective_cap config (d : Ast.input_decl) =
+  match List.assoc_opt d.Ast.iname config.cap_overrides with
+  | Some cap -> Some cap
+  | None -> d.Ast.cap
+
+(* Heavy-instrumentation hooks for a process: symbolic shadow, automatic
+   marking, constraint logging. Non-focus heavy processes (one-way mode)
+   use the same machinery with their results discarded. *)
+let heavy_hooks config ~mpi ~symtab ~log ~cover =
+  {
+    Interp.mode = Interp.Heavy;
+    input_value = (fun d -> input_value config d);
+    on_input =
+      (fun d concrete ->
+        let var =
+          Symtab.fresh_input symtab ~name:d.Ast.iname ?lo:d.Ast.lo
+            ?hi:(effective_cap config d) ~concrete ()
+        in
+        Some (Smt.Linexp.var var));
+    on_mpi_sem =
+      (fun kind concrete ->
+        if not config.mark_mpi_sem then None
+        else
+          let mk k ?comm_size () =
+            Some (Smt.Linexp.var (Symtab.fresh_sem symtab ~kind:k ?comm_size ~concrete ()))
+          in
+          match kind with
+          | Interp.Rank_world -> mk Symtab.Rank_world ()
+          | Interp.Size_world -> mk Symtab.Size_world ()
+          | Interp.Rank_comm comm ->
+            (* observe the communicator's size for the y_i < s_i
+               constraint: ask the scheduler from inside the fiber *)
+            let comm_size =
+              match mpi (Mpi_iface.Size comm) with
+              | Mpi_iface.Rint s -> Some s
+              | Mpi_iface.Runit | Mpi_iface.Rvalue _ | Mpi_iface.Rvalues _
+              | Mpi_iface.Rnone ->
+                None
+            in
+            mk (Symtab.Rank_comm comm) ?comm_size ()
+          | Interp.Size_comm comm -> mk (Symtab.Size_comm comm) ());
+    on_branch =
+      (fun ~id ~taken ~constr ->
+        Pathlog.record log ~cond_id:id ~taken ~constr;
+        Coverage.add_branch cover (Branchinfo.branch_of_cond id taken));
+    on_func_enter = (fun fn -> Coverage.add_func cover fn);
+    mpi;
+    step_limit = config.step_limit;
+  }
+
+(* Light instrumentation: branch ids and functions only. *)
+let light_hooks config ~mpi ~cover =
+  {
+    Interp.mode = Interp.Light;
+    input_value = (fun d -> input_value config d);
+    on_input = (fun _ _ -> None);
+    on_mpi_sem = (fun _ _ -> None);
+    on_branch =
+      (fun ~id ~taken ~constr:_ ->
+        Coverage.add_branch cover (Branchinfo.branch_of_cond id taken));
+    on_func_enter = (fun fn -> Coverage.add_func cover fn);
+    mpi;
+    step_limit = config.step_limit;
+  }
+
+let run config =
+  let program = config.info.Branchinfo.program in
+  let focus = config.focus in
+  let symtab = Symtab.create () in
+  let focus_log = Pathlog.create ~reduce:config.reduce in
+  let covers = Array.init config.nprocs (fun _ -> Coverage.create ()) in
+  (* per-process heavy logs for the one-way cost model *)
+  let heavy_logs = Array.make config.nprocs None in
+  let t0 = Unix.gettimeofday () in
+  match
+    Mpisim.Scheduler.run ~max_procs:config.max_procs ~on_event:config.on_event
+      ~nprocs:config.nprocs (fun ~rank ~mpi ->
+        let hooks =
+          if not config.symbolic then light_hooks config ~mpi ~cover:covers.(rank)
+          else if rank = focus then
+            heavy_hooks config ~mpi ~symtab ~log:focus_log ~cover:covers.(rank)
+          else if config.two_way then light_hooks config ~mpi ~cover:covers.(rank)
+          else begin
+            (* one-way: everyone pays for symbolic execution *)
+            let shadow_tab = Symtab.create () in
+            let log = Pathlog.create ~reduce:config.reduce in
+            heavy_logs.(rank) <- Some log;
+            heavy_hooks
+              { config with mark_mpi_sem = false }
+              ~mpi ~symtab:shadow_tab ~log ~cover:covers.(rank)
+          end
+        in
+        Interp.run hooks program)
+  with
+  | exception Mpisim.Scheduler.Platform_limit n -> Error (`Platform_limit n)
+  | sched ->
+    (* CREST's per-iteration log round trip: the focus writes its full
+       symbolic log and the search reads it back. This is real work
+       proportional to the constraint-set size — the cost that
+       constraint-set reduction exists to shrink (paper section IV-C).
+       One-way runs pay it once per heavy process. *)
+    let focus_serialized = Pathlog.serialize focus_log in
+    let _ = Pathlog.parse_count focus_serialized in
+    Array.iter
+      (function
+        | Some log -> ignore (Pathlog.parse_count (Pathlog.serialize log))
+        | None -> ())
+      heavy_logs;
+    let wall_time = Unix.gettimeofday () -. t0 in
+    let coverage = Coverage.create () in
+    if config.record_all then
+      Array.iter (fun c -> Coverage.absorb ~into:coverage c) covers
+    else Coverage.absorb ~into:coverage covers.(focus);
+    let mapping =
+      Mpisim.Rankmap.mapping_table sched.Mpisim.Scheduler.registry ~global:focus
+    in
+    let execution =
+      {
+        Execution.constraints = Pathlog.constraints focus_log;
+        symtab;
+        model = Symtab.model symtab;
+        domains = Symtab.domains symtab;
+        extra = Mpi_sem.constraints ~nprocs_cap:config.nprocs_cap symtab;
+        nprocs = config.nprocs;
+        focus;
+        mapping;
+      }
+    in
+    let nonfocus_log_bytes =
+      if config.nprocs <= 1 then 0
+      else begin
+        let total = ref 0 in
+        for rank = 0 to config.nprocs - 1 do
+          if rank <> focus then
+            total :=
+              !total
+              +
+              match heavy_logs.(rank) with
+              | Some log -> Pathlog.heavy_bytes log
+              | None ->
+                (* light processes ship their covered-branch list *)
+                64 + (8 * Coverage.covered_branches covers.(rank))
+        done;
+        !total / (config.nprocs - 1)
+      end
+    in
+    Ok
+      {
+        execution;
+        coverage;
+        outcomes = sched.Mpisim.Scheduler.outcomes;
+        deadlocked = sched.Mpisim.Scheduler.deadlocked;
+        leaked_messages = List.length sched.Mpisim.Scheduler.leaked;
+        focus_tail = Pathlog.tail focus_log;
+        focus_log_bytes = String.length focus_serialized;
+        nonfocus_log_bytes;
+        mapping;
+        constraint_set_size = Pathlog.constraint_count focus_log;
+        wall_time;
+      }

@@ -1,0 +1,54 @@
+(** Execute one test: the program under N simulated processes with
+    two-way instrumentation.
+
+    The focus process runs the heavily-instrumented build (full symbolic
+    shadow, constraint logging, automatic rw/rc/sw marking); every other
+    process runs the light build (branch recording only) — unless
+    [two_way] is off, in which case non-focus processes also pay the
+    heavy instrumentation cost, reproducing the paper's one-way baseline
+    of Table IV. Branch coverage is recorded across all processes
+    ("one focus and all recorders"). *)
+
+type config = {
+  info : Minic.Branchinfo.t;  (** instrumented program *)
+  inputs : (string * int) list;  (** marked program-input values *)
+  nprocs : int;
+  focus : int;
+  reduce : bool;  (** constraint-set reduction, section IV-C *)
+  two_way : bool;  (** two-way instrumentation, section IV-B *)
+  mark_mpi_sem : bool;  (** automatic rw/rc/sw marking (off = No_Fwk) *)
+  record_all : bool;  (** all-recorders (off = focus coverage only) *)
+  nprocs_cap : int;  (** cap fed into the inherent sw constraint *)
+  cap_overrides : (string * int) list;  (** per-input cap replacements *)
+  step_limit : int;
+  max_procs : int;  (** hard platform limit *)
+  symbolic : bool;
+      (** [false]: every process runs the light build — used by the pure
+          random-testing baseline, which needs no symbolic execution *)
+  on_event : Mpisim.Trace.event -> unit;
+      (** communication-trace sink (default: ignore) *)
+}
+
+val default_config : info:Minic.Branchinfo.t -> config
+(** 8 processes, focus 0, reduction and two-way on, framework on,
+    process cap 16 — the paper's defaults. *)
+
+type result = {
+  execution : Concolic.Execution.t;  (** the focus's concolic record *)
+  coverage : Concolic.Coverage.t;  (** union over recording processes *)
+  outcomes : (unit, Minic.Fault.t) Stdlib.result array;
+  deadlocked : int list;
+  leaked_messages : int;  (** sends no receive consumed (message leaks) *)
+  focus_tail : (int * bool) list;
+      (** the focus's last branch decisions — failure context *)
+  focus_log_bytes : int;
+  nonfocus_log_bytes : int;  (** average per non-focus process *)
+  mapping : (int * int array) list;  (** focus's Table II *)
+  constraint_set_size : int;
+  wall_time : float;
+}
+
+val faults : result -> (int * Minic.Fault.t) list
+(** [(rank, fault)] for every process that faulted. *)
+
+val run : config -> (result, [ `Platform_limit of int ]) Stdlib.result

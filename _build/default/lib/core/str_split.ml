@@ -1,0 +1,17 @@
+(* Tiny text utility: split a document into blocks separated by blank
+   lines (used by the test-case store; no external regex dependency). *)
+
+let split_blocks text =
+  let lines = String.split_on_char '\n' text in
+  let flush current acc =
+    match current with
+    | [] -> acc
+    | _ :: _ -> String.concat "\n" (List.rev current) :: acc
+  in
+  let rec go current acc = function
+    | [] -> List.rev (flush current acc)
+    | line :: rest ->
+      if String.trim line = "" then go [] (flush current acc) rest
+      else go (line :: current) acc rest
+  in
+  go [] [] lines

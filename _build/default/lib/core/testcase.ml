@@ -1,0 +1,121 @@
+type t = {
+  target : string;
+  nprocs : int;
+  focus : int;
+  inputs : (string * int) list;
+  fault : string option;
+}
+
+let of_bug ~target (b : Driver.bug) =
+  {
+    target;
+    nprocs = b.Driver.bug_nprocs;
+    focus = b.Driver.bug_focus;
+    inputs = b.Driver.bug_inputs;
+    fault = Some (Minic.Fault.kind_name b.Driver.bug_fault);
+  }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "target: %s\n" t.target);
+  Buffer.add_string buf (Printf.sprintf "nprocs: %d\n" t.nprocs);
+  Buffer.add_string buf (Printf.sprintf "focus: %d\n" t.focus);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "input: %s = %d\n" k v))
+    t.inputs;
+  (match t.fault with
+  | Some f -> Buffer.add_string buf (Printf.sprintf "fault: %s\n" f)
+  | None -> ());
+  Buffer.contents buf
+
+let parse_line line =
+  match String.index_opt line ':' with
+  | None -> Error (Printf.sprintf "malformed line %S" line)
+  | Some k ->
+    let key = String.trim (String.sub line 0 k) in
+    let value = String.trim (String.sub line (k + 1) (String.length line - k - 1)) in
+    Ok (key, value)
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let init = { target = ""; nprocs = 1; focus = 0; inputs = []; fault = None } in
+  let step acc line =
+    match acc with
+    | Error _ -> acc
+    | Ok t -> (
+      match parse_line line with
+      | Error e -> Error e
+      | Ok (key, value) -> (
+        match key with
+        | "target" -> Ok { t with target = value }
+        | "nprocs" -> (
+          match int_of_string_opt value with
+          | Some n -> Ok { t with nprocs = n }
+          | None -> Error "nprocs: not an integer")
+        | "focus" -> (
+          match int_of_string_opt value with
+          | Some n -> Ok { t with focus = n }
+          | None -> Error "focus: not an integer")
+        | "fault" -> Ok { t with fault = Some value }
+        | "input" -> (
+          match String.index_opt value '=' with
+          | None -> Error (Printf.sprintf "input without '=': %S" value)
+          | Some e -> (
+            let name = String.trim (String.sub value 0 e) in
+            let num = String.trim (String.sub value (e + 1) (String.length value - e - 1)) in
+            match int_of_string_opt num with
+            | Some n -> Ok { t with inputs = t.inputs @ [ (name, n) ] }
+            | None -> Error (Printf.sprintf "input %s: not an integer" name)))
+        | other -> Error (Printf.sprintf "unknown key %S" other)))
+  in
+  match List.fold_left step (Ok init) lines with
+  | Ok t when t.target = "" -> Error "missing target"
+  | (Ok _ | Error _) as r -> r
+
+let save ~path cases =
+  let oc = open_out path in
+  (try
+     List.iteri
+       (fun k c ->
+         if k > 0 then output_string oc "\n";
+         output_string oc (to_string c))
+       cases
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text ->
+    (* blocks separated by blank lines *)
+    let blocks =
+      Str_split.split_blocks text
+    in
+    let rec parse_all acc = function
+      | [] -> Ok (List.rev acc)
+      | block :: rest -> (
+        match of_string block with
+        | Ok c -> parse_all (c :: acc) rest
+        | Error e -> Error e)
+    in
+    parse_all [] blocks
+
+let replay t ~info ?(step_limit = 10_000_000) () =
+  let config =
+    {
+      (Runner.default_config ~info) with
+      Runner.nprocs = t.nprocs;
+      focus = min t.focus (max 0 (t.nprocs - 1));
+      inputs = t.inputs;
+      step_limit;
+    }
+  in
+  match Runner.run config with
+  | Ok res -> Ok (Runner.faults res)
+  | Error (`Platform_limit _ as e) -> Error e

@@ -1,0 +1,41 @@
+(** Persistent test cases: save and replay error-inducing inputs.
+
+    COMPI "logs the derived error-inducing input for further bug
+    analysis" (paper section V); this module is that log. A test case
+    records everything needed to reproduce one run — target name, input
+    values, process count and focus — in a line-oriented text format
+    stable across sessions:
+
+    {v
+    target: susy-hmc
+    nprocs: 2
+    focus: 0
+    input: nx = 2
+    input: nz = 2
+    ...
+    fault: floating-point-exception
+    v} *)
+
+type t = {
+  target : string;
+  nprocs : int;
+  focus : int;
+  inputs : (string * int) list;
+  fault : string option;  (** fault kind observed when recorded *)
+}
+
+val of_bug : target:string -> Driver.bug -> t
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : path:string -> t list -> unit
+(** Writes test cases separated by blank lines; overwrites. *)
+
+val load : path:string -> (t list, string) result
+
+val replay :
+  t -> info:Minic.Branchinfo.t -> ?step_limit:int -> unit ->
+  ((int * Minic.Fault.t) list, [ `Platform_limit of int ]) Stdlib.result
+(** Re-run a saved test case; returns the faults observed (empty list =
+    clean run). *)

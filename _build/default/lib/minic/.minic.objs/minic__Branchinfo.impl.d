@@ -1,0 +1,1 @@
+lib/minic/branchinfo.ml: Array Ast Hashtbl List

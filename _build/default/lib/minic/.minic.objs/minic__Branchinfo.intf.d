@@ -1,0 +1,1 @@
+lib/minic/branchinfo.mli: Ast Hashtbl

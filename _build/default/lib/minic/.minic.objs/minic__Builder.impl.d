@@ -1,0 +1,1 @@
+lib/minic/builder.ml: Ast

@@ -1,0 +1,1 @@
+lib/minic/cfg.ml: Array Ast Branchinfo Hashtbl Lazy List Set String

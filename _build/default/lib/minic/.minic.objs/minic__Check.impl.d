@@ -1,0 +1,1 @@
+lib/minic/check.ml: Ast Hashtbl List Option Printf Set String

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Array Ast Fault Float Hashtbl List Mpi_iface Option Printf Smt Value

@@ -1,0 +1,1 @@
+lib/minic/mpi_iface.ml: Ast Value

@@ -1,0 +1,1 @@
+lib/minic/parse.ml: Ast Format List Printf String

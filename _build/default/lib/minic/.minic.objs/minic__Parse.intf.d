@@ -1,0 +1,1 @@
+lib/minic/parse.mli: Ast Format

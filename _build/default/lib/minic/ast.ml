@@ -1,0 +1,129 @@
+(* Abstract syntax of Mini-C, the target-program language.
+
+   Mini-C plays the role of C-plus-CIL in the original COMPI: targets are
+   written against this AST (via the Builder DSL), the instrumentation
+   pass (Branchinfo) assigns a unique id to every conditional, and the
+   interpreter (Interp) executes programs with either heavy (symbolic
+   shadow) or light (branch recording only) instrumentation — the paper's
+   two-way instrumentation.
+
+   Conditional statements carry a mutable-free [id] field; builders set it
+   to [unassigned_id] and {!Branchinfo.instrument} rewrites the program
+   with dense ids. A conditional with id [c] owns branches [2c] (true
+   side) and [2c+1] (false side). *)
+
+type ctype = Tint | Tfloat
+
+type unop = Neg | Lognot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Logand | Logor
+  | Bitand | Bitor | Bitxor | Shl | Shr
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Idx of string * expr  (* array read: a[e] *)
+  | Len of string  (* array length, used by generated harness code *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type lval = Lvar of string | Lidx of string * expr
+
+(* Reference to a communicator: the MPI_COMM_WORLD constant or a variable
+   holding a handle produced by Comm_split. The distinction drives COMPI's
+   automatic rw-vs-rc marking (paper section III-A). *)
+type comm_ref = World | Comm_var of string
+
+type reduce_op = Op_sum | Op_prod | Op_max | Op_min
+
+type mpi =
+  | Comm_rank of comm_ref * string
+  | Comm_size of comm_ref * string
+  | Comm_split of { comm : comm_ref; color : expr; key : expr; into : string }
+  | Barrier of comm_ref
+  | Send of { comm : comm_ref; dest : expr; tag : expr; data : expr }
+  | Recv of { comm : comm_ref; src : expr option; tag : expr option; into : lval }
+  | Isend of { comm : comm_ref; dest : expr; tag : expr; data : expr; req : string }
+  | Irecv of { comm : comm_ref; src : expr option; tag : expr option; req : string }
+  | Wait of { req : expr; into : lval option }
+      (* into receives the payload when the request was an Irecv *)
+  | Bcast of { comm : comm_ref; root : expr; data : lval }
+  | Reduce of { comm : comm_ref; op : reduce_op; root : expr; data : expr; into : lval }
+  | Allreduce of { comm : comm_ref; op : reduce_op; data : expr; into : lval }
+  | Gather of { comm : comm_ref; root : expr; data : expr; into : string }
+  | Scatter of { comm : comm_ref; root : expr; data : string; into : lval }
+  | Allgather of { comm : comm_ref; data : expr; into : string }
+  | Alltoall of { comm : comm_ref; data : string; into : string }
+
+(* A marked input variable (paper: developer-marked symbolic input).
+   [cap] is the input-capping bound from COMPI_int_with_limit; [lo] is an
+   optional lower bound (the marking interface also accepts one so that
+   e.g. sizes can be kept non-negative). [default] seeds the very first
+   (random) test when the driver has no derived value yet. *)
+type input_decl = { iname : string; cap : int option; lo : int option; default : int }
+
+type stmt =
+  | Decl of string * ctype * expr
+  | Decl_arr of string * ctype * expr  (* malloc(n * sizeof(elt)) *)
+  | Assign of lval * expr
+  | If of { id : int; cond : expr; then_ : block; else_ : block }
+  | While of { id : int; cond : expr; body : block }
+  | Call of string * expr list
+  | Call_assign of string * string * expr list  (* x = f(args) *)
+  | Return of expr option
+  | Assert of expr * string
+  | Abort of string
+  | Exit of expr
+      (* clean termination with a status code: how sanity checks reject
+         invalid inputs — an unsuccessful run, not a bug *)
+  | Input of input_decl
+  | Mpi of mpi
+  | Nop
+
+and block = stmt list
+
+type func = { fname : string; params : (string * ctype) list; body : block }
+
+type program = { funcs : func list; entry : string }
+
+let unassigned_id = -1
+
+let find_func program name =
+  List.find_opt (fun f -> f.fname = name) program.funcs
+
+(* Structural fold over every statement of a block, depth-first. *)
+let rec fold_block f acc block = List.fold_left (fold_stmt f) acc block
+
+and fold_stmt f acc stmt =
+  let acc = f acc stmt in
+  match stmt with
+  | If { then_; else_; _ } -> fold_block f (fold_block f acc then_) else_
+  | While { body; _ } -> fold_block f acc body
+  | Decl _ | Decl_arr _ | Assign _ | Call _ | Call_assign _ | Return _
+  | Assert _ | Abort _ | Exit _ | Input _ | Mpi _ | Nop ->
+    acc
+
+let fold_program f acc program =
+  List.fold_left (fun acc fn -> fold_block f acc fn.body) acc program.funcs
+
+(* Count conditionals in a block / function / program. Total branches is
+   twice this, matching CREST's static branch accounting. *)
+let conditionals_in_block block =
+  fold_block
+    (fun n stmt -> match stmt with If _ | While _ -> n + 1 | _ -> n)
+    0 block
+
+let conditionals_in_func fn = conditionals_in_block fn.body
+
+let conditionals_in_program program =
+  List.fold_left (fun n fn -> n + conditionals_in_func fn) 0 program.funcs
+
+let inputs_of_program program =
+  List.rev
+    (fold_program
+       (fun acc stmt -> match stmt with Input d -> d :: acc | _ -> acc)
+       [] program)

@@ -1,0 +1,66 @@
+type t = {
+  program : Ast.program;
+  total_conditionals : int;
+  total_branches : int;
+  funcs : string list;
+  conds_of_func : (string, int list) Hashtbl.t;
+  func_of_cond : string array;
+}
+
+let branch_of_cond c taken = (2 * c) + if taken then 0 else 1
+let cond_of_branch b = (b / 2, b mod 2 = 0)
+
+let instrument (program : Ast.program) =
+  let next = ref 0 in
+  let owners = ref [] in
+  let conds_of_func = Hashtbl.create 16 in
+  let fresh fname =
+    let id = !next in
+    incr next;
+    owners := fname :: !owners;
+    id
+  in
+  let rec walk_block fname block = List.map (walk_stmt fname) block
+  and walk_stmt fname (stmt : Ast.stmt) : Ast.stmt =
+    match stmt with
+    | Ast.If { id = _; cond; then_; else_ } ->
+      let id = fresh fname in
+      (* children are numbered after their parent, depth-first *)
+      Ast.If { id; cond; then_ = walk_block fname then_; else_ = walk_block fname else_ }
+    | Ast.While { id = _; cond; body } ->
+      let id = fresh fname in
+      Ast.While { id; cond; body = walk_block fname body }
+    | Ast.Decl _ | Ast.Decl_arr _ | Ast.Assign _ | Ast.Call _ | Ast.Call_assign _
+    | Ast.Return _ | Ast.Assert _ | Ast.Abort _ | Ast.Exit _ | Ast.Input _ | Ast.Mpi _
+    | Ast.Nop ->
+      stmt
+  in
+  let funcs =
+    List.map
+      (fun (fn : Ast.func) ->
+        let start = !next in
+        let body = walk_block fn.Ast.fname fn.Ast.body in
+        let ids = List.init (!next - start) (fun k -> start + k) in
+        Hashtbl.replace conds_of_func fn.Ast.fname ids;
+        { fn with Ast.body })
+      program.Ast.funcs
+  in
+  let func_of_cond = Array.of_list (List.rev !owners) in
+  {
+    program = { program with Ast.funcs };
+    total_conditionals = !next;
+    total_branches = 2 * !next;
+    funcs = List.map (fun (fn : Ast.func) -> fn.Ast.fname) funcs;
+    conds_of_func;
+    func_of_cond;
+  }
+
+let branches_of_func t fname =
+  match Hashtbl.find_opt t.conds_of_func fname with
+  | Some ids -> 2 * List.length ids
+  | None -> 0
+
+let reachable_branches t ~encountered =
+  List.fold_left
+    (fun acc fname -> if encountered fname then acc + branches_of_func t fname else acc)
+    0 t.funcs

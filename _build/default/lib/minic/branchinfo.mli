@@ -1,0 +1,31 @@
+(** Instrumentation pass: assigns dense ids to every conditional.
+
+    This is the CIL phase of the original COMPI: a static walk over the
+    program that numbers each conditional statement and reports the
+    static branch census used by the paper's Table III (total branches)
+    and by its coverage denominators (reachable branches = sum of the
+    branches of every function encountered during testing). A conditional
+    with id [c] owns branch [2c] (true side) and [2c+1] (false side). *)
+
+type t = {
+  program : Ast.program;  (** same program with ids assigned *)
+  total_conditionals : int;
+  total_branches : int;
+  funcs : string list;  (** in declaration order *)
+  conds_of_func : (string, int list) Hashtbl.t;
+  func_of_cond : string array;  (** indexed by conditional id *)
+}
+
+val instrument : Ast.program -> t
+
+val branch_of_cond : int -> bool -> int
+(** [branch_of_cond c taken] is the branch id for direction [taken]. *)
+
+val cond_of_branch : int -> int * bool
+
+val branches_of_func : t -> string -> int
+(** Number of branches owned by one function. *)
+
+val reachable_branches : t -> encountered:(string -> bool) -> int
+(** The paper's reachable-branch estimate: the sum of all branches of the
+    functions for which [encountered] holds. *)

@@ -1,0 +1,71 @@
+open Ast
+
+let i n = Int n
+let f x = Float x
+let v name = Var name
+let idx name e = Idx (name, e)
+let len name = Len name
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Mod, a, b)
+let ( =: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( &&: ) a b = Binop (Logand, a, b)
+let ( ||: ) a b = Binop (Logor, a, b)
+let neg e = Unop (Neg, e)
+let lognot e = Unop (Lognot, e)
+
+let decl name e = Decl (name, Tint, e)
+let declf name e = Decl (name, Tfloat, e)
+let decl_arr name e = Decl_arr (name, Tint, e)
+let decl_arrf name e = Decl_arr (name, Tfloat, e)
+let assign name e = Assign (Lvar name, e)
+let aset name index e = Assign (Lidx (name, index), e)
+let if_ cond then_ else_ = If { id = unassigned_id; cond; then_; else_ }
+let while_ cond body = While { id = unassigned_id; cond; body }
+
+let for_ x lo hi body =
+  [ decl x lo; while_ (v x <: hi) (body @ [ assign x (v x +: i 1) ]) ]
+
+let call name args = Call (name, args)
+let call_assign dst name args = Call_assign (dst, name, args)
+let ret e = Return (Some e)
+let ret_void = Return None
+let assert_ cond msg = if_ (lognot cond) [ Abort msg ] []
+let abort msg = Abort msg
+let exit_ code = Ast.Exit code
+
+let sanity cond = if_ (lognot cond) [ Ast.Exit (i 1) ] []
+
+let input ?cap ?lo ?(default = 0) iname = Input { iname; cap; lo; default }
+
+let comm_rank comm var = Mpi (Comm_rank (comm, var))
+let comm_size comm var = Mpi (Comm_size (comm, var))
+let comm_split comm ~color ~key ~into = Mpi (Comm_split { comm; color; key; into })
+let barrier comm = Mpi (Barrier comm)
+let send ?(comm = World) ~dest ~tag data = Mpi (Send { comm; dest; tag; data })
+
+let recv ?(comm = World) ?src ?tag ~into () = Mpi (Recv { comm; src; tag; into })
+let isend ?(comm = World) ~dest ~tag ~req data = Mpi (Isend { comm; dest; tag; data; req })
+let irecv ?(comm = World) ?src ?tag ~req () = Mpi (Irecv { comm; src; tag; req })
+let wait ?into req = Mpi (Wait { req; into })
+
+let bcast ?(comm = World) ~root data = Mpi (Bcast { comm; root; data })
+
+let reduce ?(comm = World) ~op ~root data ~into =
+  Mpi (Reduce { comm; op; root; data; into })
+
+let allreduce ?(comm = World) ~op data ~into = Mpi (Allreduce { comm; op; data; into })
+let gather ?(comm = World) ~root data ~into = Mpi (Gather { comm; root; data; into })
+let scatter ?(comm = World) ~root data ~into = Mpi (Scatter { comm; root; data; into })
+let allgather ?(comm = World) data ~into = Mpi (Allgather { comm; data; into })
+let alltoall ?(comm = World) data ~into = Mpi (Alltoall { comm; data; into })
+
+let func fname params body = { fname; params; body }
+let program ?(entry = "main") funcs = { funcs; entry }

@@ -1,0 +1,100 @@
+(** Combinator DSL for constructing Mini-C programs.
+
+    Targets (SUSY-HMC, HPL, IMB-MPI1, the toy examples) are written with
+    these combinators; {!Branchinfo.instrument} must be applied before a
+    program is executed so every conditional gets a branch id. *)
+
+open Ast
+
+(** {1 Expressions} *)
+
+val i : int -> expr
+val f : float -> expr
+val v : string -> expr
+val idx : string -> expr -> expr
+val len : string -> expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val neg : expr -> expr
+val lognot : expr -> expr
+
+(** {1 Statements} *)
+
+val decl : string -> expr -> stmt
+val declf : string -> expr -> stmt
+val decl_arr : string -> expr -> stmt
+val decl_arrf : string -> expr -> stmt
+val assign : string -> expr -> stmt
+val aset : string -> expr -> expr -> stmt
+
+val if_ : expr -> block -> block -> stmt
+(** Fresh conditional with an unassigned branch id. *)
+
+val while_ : expr -> block -> stmt
+
+val for_ : string -> expr -> expr -> block -> block
+(** [for_ x lo hi body] declares [x = lo] and loops while [x < hi],
+    incrementing [x] after [body] — sugar over [decl] and {!while_}, so
+    the loop condition is a real branch. *)
+
+val call : string -> expr list -> stmt
+val call_assign : string -> string -> expr list -> stmt
+val ret : expr -> stmt
+val ret_void : stmt
+
+val assert_ : expr -> string -> stmt
+(** Instrumented assertion: desugars to [if (!cond) abort(msg)] so that
+    concolic testing can negate its branch and steer into the failure. *)
+
+val abort : string -> stmt
+
+val exit_ : expr -> stmt
+(** Clean termination with a status code — an unsuccessful run rather
+    than a bug. *)
+
+val sanity : expr -> stmt
+(** [sanity cond] rejects the run with [exit(1)] unless [cond] holds —
+    the shape of MPI programs' input validation phase. Its conditional
+    is a real branch that concolic testing must flip to get past. *)
+
+val input : ?cap:int -> ?lo:int -> ?default:int -> string -> stmt
+(** Marked symbolic input (paper: COMPI_int / COMPI_int_with_limit). *)
+
+(** {1 MPI statements} *)
+
+val comm_rank : comm_ref -> string -> stmt
+val comm_size : comm_ref -> string -> stmt
+val comm_split : comm_ref -> color:expr -> key:expr -> into:string -> stmt
+val barrier : comm_ref -> stmt
+val send : ?comm:comm_ref -> dest:expr -> tag:expr -> expr -> stmt
+val recv : ?comm:comm_ref -> ?src:expr -> ?tag:expr -> into:lval -> unit -> stmt
+
+val isend : ?comm:comm_ref -> dest:expr -> tag:expr -> req:string -> expr -> stmt
+(** Non-blocking send; the request handle is stored in variable [req]. *)
+
+val irecv : ?comm:comm_ref -> ?src:expr -> ?tag:expr -> req:string -> unit -> stmt
+val wait : ?into:lval -> expr -> stmt
+val bcast : ?comm:comm_ref -> root:expr -> lval -> stmt
+val reduce : ?comm:comm_ref -> op:reduce_op -> root:expr -> expr -> into:lval -> stmt
+val allreduce : ?comm:comm_ref -> op:reduce_op -> expr -> into:lval -> stmt
+val gather : ?comm:comm_ref -> root:expr -> expr -> into:string -> stmt
+val scatter : ?comm:comm_ref -> root:expr -> string -> into:lval -> stmt
+val allgather : ?comm:comm_ref -> expr -> into:string -> stmt
+val alltoall : ?comm:comm_ref -> string -> into:string -> stmt
+
+(** {1 Programs} *)
+
+val func : string -> (string * ctype) list -> block -> func
+val program : ?entry:string -> func list -> program

@@ -1,0 +1,116 @@
+module Sset = Set.Make (String)
+
+type t = {
+  nconds : int;
+  succ_true : int list array;
+  succ_false : int list array;
+}
+
+let nconds g = g.nconds
+
+let successors g ~cond ~taken = if taken then g.succ_true.(cond) else g.succ_false.(cond)
+
+(* Entry conditionals of every function: the conditionals that can be the
+   first one executed when the function is called. Computed as a
+   fixpoint to tolerate (mutual) recursion. *)
+let entry_conds_table (program : Ast.program) =
+  let table : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  let in_progress = ref Sset.empty in
+  let rec of_func name =
+    match Hashtbl.find_opt table name with
+    | Some ids -> ids
+    | None ->
+      if Sset.mem name !in_progress then []
+      else begin
+        in_progress := Sset.add name !in_progress;
+        let ids =
+          match Ast.find_func program name with
+          | None -> []
+          | Some fn -> of_block fn.Ast.body
+        in
+        in_progress := Sset.remove name !in_progress;
+        Hashtbl.replace table name ids;
+        ids
+      end
+  and of_block (block : Ast.block) =
+    match block with
+    | [] -> []
+    | stmt :: rest -> (
+      match stmt with
+      | Ast.If { id; _ } | Ast.While { id; _ } -> [ id ]
+      | Ast.Call (name, _) | Ast.Call_assign (_, name, _) -> (
+        match of_func name with [] -> of_block rest | ids -> ids)
+      | Ast.Return _ | Ast.Abort _ | Ast.Exit _ -> []
+      | Ast.Decl _ | Ast.Decl_arr _ | Ast.Assign _ | Ast.Assert _ | Ast.Input _
+      | Ast.Mpi _ | Ast.Nop ->
+        of_block rest)
+  in
+  List.iter (fun (fn : Ast.func) -> ignore (of_func fn.Ast.fname)) program.Ast.funcs;
+  (table, of_func)
+
+let build (info : Branchinfo.t) =
+  let program = info.Branchinfo.program in
+  let n = info.Branchinfo.total_conditionals in
+  let succ_true = Array.make n [] in
+  let succ_false = Array.make n [] in
+  let _, entry_conds = entry_conds_table program in
+  (* firsts_of_block computes the conditionals that can run first in a
+     block followed by [cont]; as a side effect it records the successor
+     edges of every conditional inside the block. *)
+  let rec firsts_of_block block cont =
+    match block with
+    | [] -> cont
+    | stmt :: rest -> (
+      let next = lazy (firsts_of_block rest cont) in
+      match stmt with
+      | Ast.If { id; then_; else_; _ } ->
+        succ_true.(id) <- firsts_of_block then_ (Lazy.force next);
+        succ_false.(id) <- firsts_of_block else_ (Lazy.force next);
+        [ id ]
+      | Ast.While { id; body; _ } ->
+        succ_true.(id) <- firsts_of_block body [ id ];
+        succ_false.(id) <- Lazy.force next;
+        [ id ]
+      | Ast.Call (name, _) | Ast.Call_assign (_, name, _) -> (
+        match entry_conds name with [] -> Lazy.force next | ids -> ids)
+      | Ast.Return _ | Ast.Abort _ | Ast.Exit _ -> []
+      | Ast.Decl _ | Ast.Decl_arr _ | Ast.Assign _ | Ast.Assert _ | Ast.Input _
+      | Ast.Mpi _ | Ast.Nop ->
+        Lazy.force next)
+  in
+  List.iter
+    (fun (fn : Ast.func) -> ignore (firsts_of_block fn.Ast.body []))
+    program.Ast.funcs;
+  { nconds = n; succ_true; succ_false }
+
+let distances g ~uncovered =
+  let n = 2 * g.nconds in
+  let dist = Array.make n max_int in
+  for b = 0 to n - 1 do
+    if uncovered b then dist.(b) <- 0
+  done;
+  (* Bellman-style relaxation to a fixpoint; the graph is small. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for c = 0 to g.nconds - 1 do
+      let relax b succs =
+        if dist.(b) > 0 then begin
+          let best =
+            List.fold_left
+              (fun acc c' ->
+                let d = min dist.(2 * c') dist.((2 * c') + 1) in
+                min acc d)
+              max_int succs
+          in
+          if best < max_int && best + 1 < dist.(b) then begin
+            dist.(b) <- best + 1;
+            changed := true
+          end
+        end
+      in
+      relax (2 * c) g.succ_true.(c);
+      relax ((2 * c) + 1) g.succ_false.(c)
+    done
+  done;
+  dist

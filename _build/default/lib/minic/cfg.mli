@@ -1,0 +1,23 @@
+(** Static control-flow graph over conditionals.
+
+    Supports the CFG-directed search strategy of CREST that COMPI
+    compares against in Figure 4: each branch is scored by the shortest
+    static distance (in conditionals) to any still-uncovered branch.
+    The graph is an over-approximation — function calls link to the
+    callee's entry conditionals and a [Return] ends the local path —
+    which matches the precision the strategy needs. *)
+
+type t
+
+val build : Branchinfo.t -> t
+
+val nconds : t -> int
+
+val successors : t -> cond:int -> taken:bool -> int list
+(** Conditionals that can be reached next after taking one direction. *)
+
+val distances : t -> uncovered:(int -> bool) -> int array
+(** [distances g ~uncovered] has one entry per branch id ([2c] and
+    [2c+1]): 0 for an uncovered branch, otherwise 1 + the minimum over
+    the successors of its direction, [max_int] when no uncovered branch
+    is reachable. [uncovered] is queried on branch ids. *)

@@ -1,0 +1,213 @@
+(* Conservative structural checker. Variable tracking uses a
+   "may be defined" set: declarations made anywhere earlier in the
+   function body count (the interpreter keeps one flat frame per call),
+   and both arms of a conditional contribute their declarations. *)
+
+module Sset = Set.Make (String)
+
+type env = {
+  program : Ast.program;
+  mutable errors : string list;
+  func : string;
+}
+
+let report env fmt =
+  Printf.ksprintf (fun s -> env.errors <- Printf.sprintf "[%s] %s" env.func s :: env.errors) fmt
+
+let rec expr_vars env defined (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Float _ -> ()
+  | Ast.Var name | Ast.Len name ->
+    if not (Sset.mem name defined) then report env "read of undefined variable %s" name
+  | Ast.Idx (name, ie) ->
+    if not (Sset.mem name defined) then report env "read of undefined array %s" name;
+    expr_vars env defined ie
+  | Ast.Unop (_, e1) -> expr_vars env defined e1
+  | Ast.Binop (_, a, b) ->
+    expr_vars env defined a;
+    expr_vars env defined b
+
+let lval_vars env defined = function
+  | Ast.Lvar _ -> ()  (* stores may auto-declare (MPI receives do) *)
+  | Ast.Lidx (name, ie) ->
+    if not (Sset.mem name defined) then report env "write to undefined array %s" name;
+    expr_vars env defined ie
+
+let lval_def defined = function
+  | Ast.Lvar name -> Sset.add name defined
+  | Ast.Lidx _ -> defined
+
+let comm_vars env defined = function
+  | Ast.World -> ()
+  | Ast.Comm_var name ->
+    if not (Sset.mem name defined) then report env "use of undefined communicator %s" name
+
+let check_call env name args =
+  match Ast.find_func env.program name with
+  | None -> report env "call to undefined function %s" name
+  | Some fn ->
+    let want = List.length fn.Ast.params and got = List.length args in
+    if want <> got then report env "call to %s with %d args (expects %d)" name got want
+
+let rec check_block env defined block =
+  List.fold_left (check_stmt env) defined block
+
+and check_stmt env defined (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Nop -> defined
+  | Ast.Decl (name, _, e) | Ast.Decl_arr (name, _, e) ->
+    expr_vars env defined e;
+    Sset.add name defined
+  | Ast.Assign (lv, e) ->
+    expr_vars env defined e;
+    lval_vars env defined lv;
+    (match lv with
+    | Ast.Lvar name when not (Sset.mem name defined) ->
+      report env "assignment to undeclared variable %s" name
+    | Ast.Lvar _ | Ast.Lidx _ -> ());
+    lval_def defined lv
+  | Ast.If { cond; then_; else_; _ } ->
+    expr_vars env defined cond;
+    let d1 = check_block env defined then_ in
+    let d2 = check_block env defined else_ in
+    Sset.union d1 d2
+  | Ast.While { cond; body; _ } ->
+    expr_vars env defined cond;
+    check_block env defined body
+  | Ast.Call (name, args) ->
+    check_call env name args;
+    List.iter (expr_vars env defined) args;
+    defined
+  | Ast.Call_assign (dst, name, args) ->
+    check_call env name args;
+    List.iter (expr_vars env defined) args;
+    if not (Sset.mem dst defined) then
+      report env "call result assigned to undeclared variable %s" dst;
+    defined
+  | Ast.Return e_opt ->
+    Option.iter (expr_vars env defined) e_opt;
+    defined
+  | Ast.Assert (cond, _) ->
+    expr_vars env defined cond;
+    defined
+  | Ast.Abort _ -> defined
+  | Ast.Exit e ->
+    expr_vars env defined e;
+    defined
+  | Ast.Input d ->
+    (match (d.Ast.lo, d.Ast.cap) with
+    | Some lo, Some cap when lo > cap ->
+      report env "input %s has lo %d > cap %d" d.Ast.iname lo cap
+    | (Some _ | None), (Some _ | None) -> ());
+    Sset.add d.Ast.iname defined
+  | Ast.Mpi m -> check_mpi env defined m
+
+and check_mpi env defined (m : Ast.mpi) =
+  let e = expr_vars env defined in
+  match m with
+  | Ast.Comm_rank (c, var) | Ast.Comm_size (c, var) ->
+    comm_vars env defined c;
+    Sset.add var defined
+  | Ast.Comm_split { comm; color; key; into } ->
+    comm_vars env defined comm;
+    e color;
+    e key;
+    Sset.add into defined
+  | Ast.Barrier c ->
+    comm_vars env defined c;
+    defined
+  | Ast.Send { comm; dest; tag; data } ->
+    comm_vars env defined comm;
+    e dest;
+    e tag;
+    e data;
+    defined
+  | Ast.Recv { comm; src; tag; into } ->
+    comm_vars env defined comm;
+    Option.iter e src;
+    Option.iter e tag;
+    lval_vars env defined into;
+    lval_def defined into
+  | Ast.Isend { comm; dest; tag; data; req } ->
+    comm_vars env defined comm;
+    e dest;
+    e tag;
+    e data;
+    Sset.add req defined
+  | Ast.Irecv { comm; src; tag; req } ->
+    comm_vars env defined comm;
+    Option.iter e src;
+    Option.iter e tag;
+    Sset.add req defined
+  | Ast.Wait { req; into } ->
+    e req;
+    (match into with
+    | Some lv ->
+      lval_vars env defined lv;
+      lval_def defined lv
+    | None -> defined)
+  | Ast.Bcast { comm; root; data } ->
+    comm_vars env defined comm;
+    e root;
+    (match data with
+    | Ast.Lvar name when not (Sset.mem name defined) ->
+      report env "bcast of undefined variable %s" name
+    | Ast.Lvar _ | Ast.Lidx _ -> lval_vars env defined data);
+    lval_def defined data
+  | Ast.Reduce { comm; root; data; into; _ } ->
+    comm_vars env defined comm;
+    e root;
+    e data;
+    lval_vars env defined into;
+    lval_def defined into
+  | Ast.Allreduce { comm; data; into; _ } ->
+    comm_vars env defined comm;
+    e data;
+    lval_vars env defined into;
+    lval_def defined into
+  | Ast.Gather { comm; root; data; into } ->
+    comm_vars env defined comm;
+    e root;
+    e data;
+    Sset.add into defined
+  | Ast.Scatter { comm; root; data; into } ->
+    comm_vars env defined comm;
+    e root;
+    if not (Sset.mem data defined) then report env "scatter of undefined array %s" data;
+    lval_vars env defined into;
+    lval_def defined into
+  | Ast.Allgather { comm; data; into } ->
+    comm_vars env defined comm;
+    e data;
+    Sset.add into defined
+  | Ast.Alltoall { comm; data; into } ->
+    comm_vars env defined comm;
+    if not (Sset.mem data defined) then report env "alltoall of undefined array %s" data;
+    Sset.add into defined
+
+let check (program : Ast.program) =
+  let env = { program; errors = []; func = "<program>" } in
+  (match Ast.find_func program program.Ast.entry with
+  | None -> report env "entry function %s is not defined" program.Ast.entry
+  | Some fn ->
+    if fn.Ast.params <> [] then report env "entry function %s must take no parameters" fn.Ast.fname);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (fn : Ast.func) ->
+      if Hashtbl.mem seen fn.Ast.fname then
+        report env "duplicate function %s" fn.Ast.fname;
+      Hashtbl.replace seen fn.Ast.fname ())
+    program.Ast.funcs;
+  List.iter
+    (fun (fn : Ast.func) ->
+      let fenv = { env with func = fn.Ast.fname } in
+      let params = List.fold_left (fun acc (p, _) -> Sset.add p acc) Sset.empty fn.Ast.params in
+      let _ = check_block fenv params fn.Ast.body in
+      env.errors <- fenv.errors)
+    program.Ast.funcs;
+  List.rev env.errors
+
+let check_exn program =
+  match check program with
+  | [] -> program
+  | errors -> invalid_arg ("Minic.Check: " ^ String.concat "; " errors)

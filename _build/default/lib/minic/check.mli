@@ -1,0 +1,16 @@
+(** Structural validation of Mini-C programs.
+
+    Run at target-construction time (and in the test suite) to catch
+    builder mistakes before a campaign starts: missing entry function,
+    duplicate functions, calls to undefined functions, arity mismatches,
+    reads of variables not defined on any path, and ill-formed input
+    declarations. The checks are conservative: a program that passes can
+    still fault at runtime (that is the point of testing it), but every
+    reported error is a definite defect. *)
+
+val check : Ast.program -> string list
+(** Empty list = no problems found. *)
+
+val check_exn : Ast.program -> Ast.program
+(** Identity on valid programs; raises [Invalid_argument] with the full
+    error list otherwise. *)

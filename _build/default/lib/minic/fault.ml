@@ -1,0 +1,39 @@
+(* Runtime faults a Mini-C execution can produce. These are exactly the
+   bug classes COMPI exposes (paper section II-C): assertion violations,
+   segmentation faults, floating-point exceptions (division by zero), and
+   infinite loops (detected via a step budget, like COMPI's per-test
+   timeout). [Mpi_error] covers misuse of the message-passing substrate
+   (invalid rank, deadlock participation, ...). *)
+
+type t =
+  | Segfault of { array : string; index : int; length : int; func : string }
+  | Fpe of { func : string }
+  | Assert_fail of { message : string; func : string }
+  | Abort_called of { message : string; func : string }
+  | Step_limit_exceeded of { steps : int }
+  | Mpi_error of { message : string; func : string }
+  | Runtime_type_error of { message : string; func : string }
+
+exception Fault of t
+
+let kind_name = function
+  | Segfault _ -> "segfault"
+  | Fpe _ -> "floating-point-exception"
+  | Assert_fail _ -> "assertion-violation"
+  | Abort_called _ -> "abort"
+  | Step_limit_exceeded _ -> "timeout"
+  | Mpi_error _ -> "mpi-error"
+  | Runtime_type_error _ -> "type-error"
+
+let pp ppf = function
+  | Segfault { array; index; length; func } ->
+    Format.fprintf ppf "segfault in %s: %s[%d] with length %d" func array index length
+  | Fpe { func } -> Format.fprintf ppf "floating point exception (division by zero) in %s" func
+  | Assert_fail { message; func } -> Format.fprintf ppf "assertion failed in %s: %s" func message
+  | Abort_called { message; func } -> Format.fprintf ppf "abort in %s: %s" func message
+  | Step_limit_exceeded { steps } ->
+    Format.fprintf ppf "step limit exceeded after %d steps (possible infinite loop)" steps
+  | Mpi_error { message; func } -> Format.fprintf ppf "MPI error in %s: %s" func message
+  | Runtime_type_error { message; func } -> Format.fprintf ppf "type error in %s: %s" func message
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,69 @@
+(* The neutral MPI request/reply protocol between the interpreter and
+   whatever runtime hosts it (the mpisim scheduler in production, a
+   single-process stub in unit tests). Keeping this in minic avoids a
+   dependency from the language on the simulator.
+
+   Communicators are integer handles; [world] is MPI_COMM_WORLD. *)
+
+type comm = int
+
+let world : comm = 0
+
+type reduce_op = Rsum | Rprod | Rmax | Rmin
+
+type request =
+  | Rank of comm
+  | Size of comm
+  | Split of { comm : comm; color : int; key : int }
+  | Barrier of comm
+  | Send of { comm : comm; dest : int; tag : int; data : Value.t }
+  | Recv of { comm : comm; src : int option; tag : int option }
+  | Isend of { comm : comm; dest : int; tag : int; data : Value.t }
+      (* immediate-mode send: completes eagerly, returns a request handle *)
+  | Irecv of { comm : comm; src : int option; tag : int option }
+      (* posted receive: returns a request handle without blocking *)
+  | Wait of int  (* block until the request handle completes *)
+  | Bcast of { comm : comm; root : int; data : Value.t option }
+      (* [data] is [Some] only at the root *)
+  | Reduce of { comm : comm; op : reduce_op; root : int; data : Value.t }
+  | Allreduce of { comm : comm; op : reduce_op; data : Value.t }
+  | Gather of { comm : comm; root : int; data : Value.t }
+  | Scatter of { comm : comm; root : int; data : Value.t option }
+      (* [data] is the whole source array at the root; the scheduler
+         hands element [i] to rank [i] *)
+  | Allgather of { comm : comm; data : Value.t }
+  | Alltoall of { comm : comm; data : Value.t }
+      (* whole per-destination array; element [j] goes to rank [j] *)
+
+type reply =
+  | Runit
+  | Rint of int
+  | Rvalue of Value.t
+  | Rvalues of Value.t list
+  | Rnone  (** e.g. the non-root side of Reduce *)
+
+type handler = request -> reply
+
+let reduce_op_of_ast = function
+  | Ast.Op_sum -> Rsum
+  | Ast.Op_prod -> Rprod
+  | Ast.Op_max -> Rmax
+  | Ast.Op_min -> Rmin
+
+let request_name = function
+  | Rank _ -> "MPI_Comm_rank"
+  | Size _ -> "MPI_Comm_size"
+  | Split _ -> "MPI_Comm_split"
+  | Barrier _ -> "MPI_Barrier"
+  | Send _ -> "MPI_Send"
+  | Recv _ -> "MPI_Recv"
+  | Isend _ -> "MPI_Isend"
+  | Irecv _ -> "MPI_Irecv"
+  | Wait _ -> "MPI_Wait"
+  | Bcast _ -> "MPI_Bcast"
+  | Reduce _ -> "MPI_Reduce"
+  | Allreduce _ -> "MPI_Allreduce"
+  | Gather _ -> "MPI_Gather"
+  | Scatter _ -> "MPI_Scatter"
+  | Allgather _ -> "MPI_Allgather"
+  | Alltoall _ -> "MPI_Alltoall"

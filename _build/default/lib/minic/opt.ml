@@ -1,0 +1,116 @@
+let bool_int b = if b then 1 else 0
+
+let fold_int_binop (op : Ast.binop) x y =
+  match op with
+  | Ast.Add -> Some (x + y)
+  | Ast.Sub -> Some (x - y)
+  | Ast.Mul -> Some (x * y)
+  | Ast.Div -> if y = 0 then None else Some (x / y)
+  | Ast.Mod -> if y = 0 then None else Some (x mod y)
+  | Ast.Eq -> Some (bool_int (x = y))
+  | Ast.Ne -> Some (bool_int (x <> y))
+  | Ast.Lt -> Some (bool_int (x < y))
+  | Ast.Le -> Some (bool_int (x <= y))
+  | Ast.Gt -> Some (bool_int (x > y))
+  | Ast.Ge -> Some (bool_int (x >= y))
+  | Ast.Logand -> Some (bool_int (x <> 0 && y <> 0))
+  | Ast.Logor -> Some (bool_int (x <> 0 || y <> 0))
+  | Ast.Bitand -> Some (x land y)
+  | Ast.Bitor -> Some (x lor y)
+  | Ast.Bitxor -> Some (x lxor y)
+  | Ast.Shl -> Some (x lsl (y land 62))
+  | Ast.Shr -> Some (x asr (y land 62))
+
+let rec fold_expr (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Int _ | Ast.Float _ | Ast.Var _ | Ast.Len _ -> e
+  | Ast.Idx (name, ie) -> Ast.Idx (name, fold_expr ie)
+  | Ast.Unop (op, e1) -> (
+    match (op, fold_expr e1) with
+    | Ast.Neg, Ast.Int n -> Ast.Int (-n)
+    | Ast.Neg, Ast.Float x -> Ast.Float (-.x)
+    | Ast.Lognot, Ast.Int n -> Ast.Int (bool_int (n = 0))
+    | op, e1' -> Ast.Unop (op, e1'))
+  | Ast.Binop (op, a, b) -> (
+    let a' = fold_expr a and b' = fold_expr b in
+    match (a', b') with
+    | Ast.Int x, Ast.Int y -> (
+      match fold_int_binop op x y with
+      | Some r -> Ast.Int r
+      | None -> Ast.Binop (op, a', b')  (* trapping division: keep *)
+      )
+    | _, _ -> Ast.Binop (op, a', b'))
+
+let rec simplify_block (block : Ast.block) : Ast.block =
+  List.concat_map simplify_stmt block
+
+and simplify_stmt (stmt : Ast.stmt) : Ast.block =
+  match stmt with
+  | Ast.Nop -> []
+  | Ast.Decl (name, ctype, e) -> [ Ast.Decl (name, ctype, fold_expr e) ]
+  | Ast.Decl_arr (name, ctype, e) -> [ Ast.Decl_arr (name, ctype, fold_expr e) ]
+  | Ast.Assign (lv, e) -> [ Ast.Assign (simplify_lval lv, fold_expr e) ]
+  | Ast.If { id; cond; then_; else_ } -> (
+    match fold_expr cond with
+    | Ast.Int 0 -> simplify_block else_
+    | Ast.Int _ -> simplify_block then_
+    | cond ->
+      [ Ast.If { id; cond; then_ = simplify_block then_; else_ = simplify_block else_ } ])
+  | Ast.While { id; cond; body } -> (
+    match fold_expr cond with
+    | Ast.Int 0 -> []
+    | cond -> [ Ast.While { id; cond; body = simplify_block body } ])
+  | Ast.Call (name, args) -> [ Ast.Call (name, List.map fold_expr args) ]
+  | Ast.Call_assign (dst, name, args) ->
+    [ Ast.Call_assign (dst, name, List.map fold_expr args) ]
+  | Ast.Return e -> [ Ast.Return (Option.map fold_expr e) ]
+  | Ast.Assert (cond, msg) -> (
+    match fold_expr cond with
+    | Ast.Int n when n <> 0 -> []  (* statically true *)
+    | cond -> [ Ast.Assert (cond, msg) ])
+  | Ast.Abort _ | Ast.Input _ -> [ stmt ]
+  | Ast.Exit e -> [ Ast.Exit (fold_expr e) ]
+  | Ast.Mpi m -> [ Ast.Mpi (simplify_mpi m) ]
+
+and simplify_lval (lv : Ast.lval) =
+  match lv with
+  | Ast.Lvar _ -> lv
+  | Ast.Lidx (name, e) -> Ast.Lidx (name, fold_expr e)
+
+and simplify_mpi (m : Ast.mpi) : Ast.mpi =
+  let e = fold_expr in
+  match m with
+  | Ast.Comm_rank _ | Ast.Comm_size _ -> m
+  | Ast.Comm_split { comm; color; key; into } ->
+    Ast.Comm_split { comm; color = e color; key = e key; into }
+  | Ast.Barrier _ -> m
+  | Ast.Send { comm; dest; tag; data } ->
+    Ast.Send { comm; dest = e dest; tag = e tag; data = e data }
+  | Ast.Recv { comm; src; tag; into } ->
+    Ast.Recv { comm; src = Option.map e src; tag = Option.map e tag; into = simplify_lval into }
+  | Ast.Isend { comm; dest; tag; data; req } ->
+    Ast.Isend { comm; dest = e dest; tag = e tag; data = e data; req }
+  | Ast.Irecv { comm; src; tag; req } ->
+    Ast.Irecv { comm; src = Option.map e src; tag = Option.map e tag; req }
+  | Ast.Wait { req; into } ->
+    Ast.Wait { req = e req; into = Option.map simplify_lval into }
+  | Ast.Bcast { comm; root; data } -> Ast.Bcast { comm; root = e root; data = simplify_lval data }
+  | Ast.Reduce { comm; op; root; data; into } ->
+    Ast.Reduce { comm; op; root = e root; data = e data; into = simplify_lval into }
+  | Ast.Allreduce { comm; op; data; into } ->
+    Ast.Allreduce { comm; op; data = e data; into = simplify_lval into }
+  | Ast.Gather { comm; root; data; into } ->
+    Ast.Gather { comm; root = e root; data = e data; into }
+  | Ast.Scatter { comm; root; data; into } ->
+    Ast.Scatter { comm; root = e root; data; into = simplify_lval into }
+  | Ast.Allgather { comm; data; into } -> Ast.Allgather { comm; data = e data; into }
+  | Ast.Alltoall _ -> m
+
+let simplify_program (program : Ast.program) =
+  {
+    program with
+    Ast.funcs =
+      List.map
+        (fun (fn : Ast.func) -> { fn with Ast.body = simplify_block fn.Ast.body })
+        program.Ast.funcs;
+  }

@@ -1,0 +1,15 @@
+(** Constant folding and dead-branch elimination.
+
+    The front-end clean-up CIL performs before instrumentation: literal
+    arithmetic is folded and conditionals with literal conditions are
+    replaced by the surviving arm, so the branch census reflects real
+    decisions only. Run {e before} {!Branchinfo.instrument}.
+
+    The pass is conservative about faults: expressions that can trap at
+    runtime (division or modulo by a literal zero, array accesses) are
+    never folded away, and only literal-on-both-sides operations fold,
+    so observable behaviour is preserved exactly. *)
+
+val fold_expr : Ast.expr -> Ast.expr
+val simplify_block : Ast.block -> Ast.block
+val simplify_program : Ast.program -> Ast.program

@@ -1,0 +1,704 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tint of int
+  | Tfloat of float
+  | Tident of string
+  | Tstring of string
+  | Tpunct of string  (* operators and punctuation *)
+  | Teof
+
+type lexed = { tok : token; tline : int }
+
+let keywords_punct =
+  (* longest first so the scanner is greedy *)
+  [
+    "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "->"; "++";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "="; "<"; ">"; "+"; "-"; "*";
+    "/"; "%"; "!"; "&"; "|"; "^";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let lex (src : string) : lexed list =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { tok; tline = !line } :: !out in
+  let rec go k =
+    if k >= n then emit Teof
+    else
+      let c = src.[k] in
+      if c = '\n' then begin
+        incr line;
+        go (k + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (k + 1)
+      else if c = '/' && k + 1 < n && src.[k + 1] = '*' then begin
+        (* block comment *)
+        let j = ref (k + 2) in
+        while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/') do
+          if src.[!j] = '\n' then incr line;
+          incr j
+        done;
+        if !j + 1 >= n then
+          raise (Parse_error { line = !line; message = "unterminated comment" });
+        go (!j + 2)
+      end
+      else if c = '/' && k + 1 < n && src.[k + 1] = '/' then begin
+        let j = ref (k + 2) in
+        while !j < n && src.[!j] <> '\n' do
+          incr j
+        done;
+        go !j
+      end
+      else if c = '"' then begin
+        let j = ref (k + 1) in
+        while !j < n && src.[!j] <> '"' do
+          incr j
+        done;
+        if !j >= n then raise (Parse_error { line = !line; message = "unterminated string" });
+        emit (Tstring (String.sub src (k + 1) (!j - k - 1)));
+        go (!j + 1)
+      end
+      else if is_digit c then begin
+        let j = ref k in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        if !j < n && src.[!j] = '.' then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done;
+          emit (Tfloat (float_of_string (String.sub src k (!j - k))))
+        end
+        else emit (Tint (int_of_string (String.sub src k (!j - k))));
+        go !j
+      end
+      else if is_ident_start c then begin
+        let j = ref k in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        emit (Tident (String.sub src k (!j - k)));
+        go !j
+      end
+      else begin
+        match
+          List.find_opt
+            (fun p ->
+              let lp = String.length p in
+              k + lp <= n && String.sub src k lp = p)
+            keywords_punct
+        with
+        | Some p ->
+          emit (Tpunct p);
+          go (k + String.length p)
+        | None ->
+          raise
+            (Parse_error
+               { line = !line; message = Printf.sprintf "unexpected character %C" c })
+      end
+  in
+  go 0;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable toks : lexed list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> { tok = Teof; tline = 0 }
+
+let peek2 st =
+  match st.toks with _ :: t :: _ -> t.tok | _ -> Teof
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st message = raise (Parse_error { line = (peek st).tline; message })
+
+let eat_punct st p =
+  match (peek st).tok with
+  | Tpunct q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let eat_ident st name =
+  match (peek st).tok with
+  | Tident i when i = name -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" name)
+
+let any_ident st =
+  match (peek st).tok with
+  | Tident i ->
+    advance st;
+    i
+  | _ -> fail st "expected an identifier"
+
+let try_punct st p =
+  match (peek st).tok with
+  | Tpunct q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let is_ident st name =
+  match (peek st).tok with Tident i -> i = name | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_punct = function
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Mod, 10)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Ne, 6)
+  | "&" -> Some (Ast.Bitand, 5)
+  | "^" -> Some (Ast.Bitxor, 4)
+  | "|" -> Some (Ast.Bitor, 3)
+  | "&&" -> Some (Ast.Logand, 2)
+  | "||" -> Some (Ast.Logor, 1)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).tok with
+    | Tpunct p -> (
+      match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := Ast.Binop (op, !lhs, rhs)
+      | Some _ | None -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if try_punct st "!" then Ast.Unop (Ast.Lognot, parse_unary st)
+  else if try_punct st "-" then Ast.Unop (Ast.Neg, parse_unary st)
+  else parse_primary st
+
+and parse_primary st =
+  match (peek st).tok with
+  | Tint n ->
+    advance st;
+    Ast.Int n
+  | Tfloat x ->
+    advance st;
+    Ast.Float x
+  | Tpunct "(" ->
+    advance st;
+    let e = parse_expr st in
+    eat_punct st ")";
+    e
+  | Tident "len" when peek2 st = Tpunct "(" ->
+    advance st;
+    eat_punct st "(";
+    let name = any_ident st in
+    eat_punct st ")";
+    Ast.Len name
+  | Tident "sizeof" when peek2 st = Tpunct "(" ->
+    (* sizeof(t) reads as the element count 1: malloc(n * sizeof(int))
+       allocates n cells *)
+    advance st;
+    eat_punct st "(";
+    let _ = any_ident st in
+    eat_punct st ")";
+    Ast.Int 1
+  | Tident name -> (
+    advance st;
+    match (peek st).tok with
+    | Tpunct "[" ->
+      advance st;
+      let idx = parse_expr st in
+      eat_punct st "]";
+      Ast.Idx (name, idx)
+    | _ -> Ast.Var name)
+  | Tstring _ -> fail st "string literal in expression position"
+  | Tpunct p -> fail st (Printf.sprintf "unexpected %S in expression" p)
+  | Teof -> fail st "unexpected end of input in expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_comm st =
+  let name = any_ident st in
+  if name = "MPI_COMM_WORLD" then Ast.World else Ast.Comm_var name
+
+let parse_amp_ident st =
+  eat_punct st "&";
+  any_ident st
+
+let parse_amp_lval st =
+  eat_punct st "&";
+  let name = any_ident st in
+  if try_punct st "[" then begin
+    let idx = parse_expr st in
+    eat_punct st "]";
+    Ast.Lidx (name, idx)
+  end
+  else Ast.Lvar name
+
+let parse_src_or_any st =
+  if is_ident st "MPI_ANY" then begin
+    advance st;
+    None
+  end
+  else Some (parse_expr st)
+
+let reduce_op st =
+  match any_ident st with
+  | "MPI_SUM" -> Ast.Op_sum
+  | "MPI_PROD" -> Ast.Op_prod
+  | "MPI_MAX" -> Ast.Op_max
+  | "MPI_MIN" -> Ast.Op_min
+  | other -> fail st (Printf.sprintf "unknown reduce op %S" other)
+
+(* "malloc( expr )" where sizeof(t) inside the expression reads as 1 —
+   so the pretty-printer's "malloc((n) * sizeof(int))" yields n cells. *)
+let parse_malloc_size st =
+  eat_ident st "malloc";
+  eat_punct st "(";
+  let e = parse_expr st in
+  eat_punct st ")";
+  e
+
+let rec parse_block st =
+  eat_punct st "{";
+  let stmts = ref [] in
+  while not (try_punct st "}") do
+    stmts := List.rev_append (parse_stmt st) !stmts
+  done;
+  List.rev !stmts
+
+(* one source statement can desugar to several AST statements (for) *)
+and parse_stmt st : Ast.stmt list =
+  match (peek st).tok with
+  | Tpunct ";" ->
+    advance st;
+    [ Ast.Nop ]
+  | Tident ("int" | "double") -> parse_decl st
+  | Tident "if" -> [ parse_if st ]
+  | Tident "while" -> [ parse_while st ]
+  | Tident "for" -> parse_for st
+  | Tident "return" ->
+    advance st;
+    if try_punct st ";" then [ Ast.Return None ]
+    else begin
+      let e = parse_expr st in
+      eat_punct st ";";
+      [ Ast.Return (Some e) ]
+    end
+  | Tident "assert" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    eat_punct st ";";
+    [ Ast.Assert (cond, "assert") ]
+  | Tident "sanity" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    eat_punct st ";";
+    [
+      Ast.If
+        {
+          id = Ast.unassigned_id;
+          cond = Ast.Unop (Ast.Lognot, cond);
+          then_ = [ Ast.Exit (Ast.Int 1) ];
+          else_ = [];
+        };
+    ]
+  | Tident "abort" ->
+    advance st;
+    eat_punct st "(";
+    let message =
+      match (peek st).tok with
+      | Tstring s ->
+        advance st;
+        s
+      | _ -> "abort"
+    in
+    eat_punct st ")";
+    eat_punct st ";";
+    [ Ast.Abort message ]
+  | Tident "exit" ->
+    advance st;
+    eat_punct st "(";
+    let code = parse_expr st in
+    eat_punct st ")";
+    eat_punct st ";";
+    [ Ast.Exit code ]
+  | Tident "COMPI_int" ->
+    advance st;
+    eat_punct st "(";
+    let name = parse_amp_ident st in
+    eat_punct st ")";
+    eat_punct st ";";
+    [ Ast.Input { iname = name; cap = None; lo = None; default = 0 } ]
+  | Tident "COMPI_int_with_limit" ->
+    advance st;
+    eat_punct st "(";
+    let name = parse_amp_ident st in
+    eat_punct st ",";
+    let cap = parse_int st in
+    eat_punct st ")";
+    eat_punct st ";";
+    [ Ast.Input { iname = name; cap = Some cap; lo = None; default = 0 } ]
+  | Tident "COMPI_int_range" ->
+    advance st;
+    eat_punct st "(";
+    let name = parse_amp_ident st in
+    eat_punct st ",";
+    let lo = parse_int st in
+    eat_punct st ",";
+    let cap = parse_int st in
+    eat_punct st ",";
+    let default = parse_int st in
+    eat_punct st ")";
+    eat_punct st ";";
+    [ Ast.Input { iname = name; cap = Some cap; lo = Some lo; default } ]
+  | Tident name when String.length name > 4 && String.sub name 0 4 = "MPI_" ->
+    [ parse_mpi st name ]
+  | Tident name -> (
+    advance st;
+    match (peek st).tok with
+    | Tpunct "(" ->
+      (* statement call *)
+      let args = parse_args st in
+      eat_punct st ";";
+      [ Ast.Call (name, args) ]
+    | Tpunct "[" ->
+      advance st;
+      let idx = parse_expr st in
+      eat_punct st "]";
+      eat_punct st "=";
+      let e = parse_expr st in
+      eat_punct st ";";
+      [ Ast.Assign (Ast.Lidx (name, idx), e) ]
+    | Tpunct "=" -> (
+      advance st;
+      (* call-assign when "ident (" follows and ident is not a builtin *)
+      match ((peek st).tok, peek2 st) with
+      | Tident callee, Tpunct "("
+        when callee <> "len" && callee <> "malloc" && callee <> "sizeof" ->
+        advance st;
+        let args = parse_args st in
+        eat_punct st ";";
+        [ Ast.Call_assign (name, callee, args) ]
+      | _ ->
+        let e = parse_expr st in
+        eat_punct st ";";
+        [ Ast.Assign (Ast.Lvar name, e) ])
+    | _ -> fail st (Printf.sprintf "unexpected token after %S" name))
+  | Tint _ | Tfloat _ | Tstring _ -> fail st "statement cannot start with a literal"
+  | Tpunct p -> fail st (Printf.sprintf "unexpected %S" p)
+  | Teof -> fail st "unexpected end of input"
+
+and parse_int st =
+  let neg = try_punct st "-" in
+  match (peek st).tok with
+  | Tint n ->
+    advance st;
+    if neg then -n else n
+  | _ -> fail st "expected an integer literal"
+
+and parse_args st =
+  eat_punct st "(";
+  if try_punct st ")" then []
+  else begin
+    let args = ref [ parse_expr st ] in
+    while try_punct st "," do
+      args := parse_expr st :: !args
+    done;
+    eat_punct st ")";
+    List.rev !args
+  end
+
+and parse_decl st =
+  let ctype =
+    match any_ident st with
+    | "int" -> Ast.Tint
+    | "double" -> Ast.Tfloat
+    | _ -> fail st "expected a type"
+  in
+  if try_punct st "*" then begin
+    (* array declaration via malloc *)
+    let name = any_ident st in
+    eat_punct st "=";
+    let size = parse_malloc_size st in
+    eat_punct st ";";
+    [ Ast.Decl_arr (name, ctype, size) ]
+  end
+  else begin
+    let name = any_ident st in
+    eat_punct st "=";
+    let e = parse_expr st in
+    eat_punct st ";";
+    [ Ast.Decl (name, ctype, e) ]
+  end
+
+and parse_if st =
+  eat_ident st "if";
+  eat_punct st "(";
+  let cond = parse_expr st in
+  eat_punct st ")";
+  let then_ = parse_block st in
+  let else_ = if is_ident st "else" then (advance st; parse_block st) else [] in
+  Ast.If { id = Ast.unassigned_id; cond; then_; else_ }
+
+and parse_while st =
+  eat_ident st "while";
+  eat_punct st "(";
+  let cond = parse_expr st in
+  eat_punct st ")";
+  let body = parse_block st in
+  Ast.While { id = Ast.unassigned_id; cond; body }
+
+and parse_for st =
+  (* for (int x = lo; x < hi; x++) block   — Builder.for_ sugar *)
+  eat_ident st "for";
+  eat_punct st "(";
+  eat_ident st "int";
+  let x = any_ident st in
+  eat_punct st "=";
+  let lo = parse_expr st in
+  eat_punct st ";";
+  eat_ident st x;
+  eat_punct st "<";
+  let hi = parse_expr st in
+  eat_punct st ";";
+  eat_ident st x;
+  eat_punct st "++";
+  eat_punct st ")";
+  let body = parse_block st in
+  [
+    Ast.Decl (x, Ast.Tint, lo);
+    Ast.While
+      {
+        id = Ast.unassigned_id;
+        cond = Ast.Binop (Ast.Lt, Ast.Var x, hi);
+        body = body @ [ Ast.Assign (Ast.Lvar x, Ast.Binop (Ast.Add, Ast.Var x, Ast.Int 1)) ];
+      };
+  ]
+
+and parse_mpi st name : Ast.stmt =
+  advance st;
+  eat_punct st "(";
+  let finish stmt =
+    eat_punct st ")";
+    eat_punct st ";";
+    Ast.Mpi stmt
+  in
+  match name with
+  | "MPI_Comm_rank" ->
+    let comm = parse_comm st in
+    eat_punct st ",";
+    let var = parse_amp_ident st in
+    finish (Ast.Comm_rank (comm, var))
+  | "MPI_Comm_size" ->
+    let comm = parse_comm st in
+    eat_punct st ",";
+    let var = parse_amp_ident st in
+    finish (Ast.Comm_size (comm, var))
+  | "MPI_Comm_split" ->
+    let comm = parse_comm st in
+    eat_punct st ",";
+    let color = parse_expr st in
+    eat_punct st ",";
+    let key = parse_expr st in
+    eat_punct st ",";
+    let into = parse_amp_ident st in
+    finish (Ast.Comm_split { comm; color; key; into })
+  | "MPI_Barrier" ->
+    let comm = parse_comm st in
+    finish (Ast.Barrier comm)
+  | "MPI_Send" ->
+    let data = parse_expr st in
+    eat_punct st ",";
+    let dest = parse_expr st in
+    eat_punct st ",";
+    let tag = parse_expr st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Send { comm; dest; tag; data })
+  | "MPI_Recv" ->
+    let into = parse_amp_lval st in
+    eat_punct st ",";
+    let src = parse_src_or_any st in
+    eat_punct st ",";
+    let tag = parse_src_or_any st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Recv { comm; src; tag; into })
+  | "MPI_Isend" ->
+    let data = parse_expr st in
+    eat_punct st ",";
+    let dest = parse_expr st in
+    eat_punct st ",";
+    let tag = parse_expr st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    eat_punct st ",";
+    let req = parse_amp_ident st in
+    finish (Ast.Isend { comm; dest; tag; data; req })
+  | "MPI_Irecv" ->
+    let src = parse_src_or_any st in
+    eat_punct st ",";
+    let tag = parse_src_or_any st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    eat_punct st ",";
+    let req = parse_amp_ident st in
+    finish (Ast.Irecv { comm; src; tag; req })
+  | "MPI_Wait" ->
+    eat_punct st "&";
+    let req = parse_expr st in
+    let into = if try_punct st "->" then Some (parse_amp_lval st) else None in
+    finish (Ast.Wait { req; into })
+  | "MPI_Bcast" ->
+    let data = parse_amp_lval st in
+    eat_punct st ",";
+    let root = parse_expr st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Bcast { comm; root; data })
+  | "MPI_Reduce" ->
+    let data = parse_expr st in
+    eat_punct st ",";
+    let into = parse_amp_lval st in
+    eat_punct st ",";
+    let op = reduce_op st in
+    eat_punct st ",";
+    let root = parse_expr st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Reduce { comm; op; root; data; into })
+  | "MPI_Allreduce" ->
+    let data = parse_expr st in
+    eat_punct st ",";
+    let into = parse_amp_lval st in
+    eat_punct st ",";
+    let op = reduce_op st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Allreduce { comm; op; data; into })
+  | "MPI_Gather" ->
+    let data = parse_expr st in
+    eat_punct st ",";
+    let into = any_ident st in
+    eat_punct st ",";
+    let root = parse_expr st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Gather { comm; root; data; into })
+  | "MPI_Scatter" ->
+    let data = any_ident st in
+    eat_punct st ",";
+    let into = parse_amp_lval st in
+    eat_punct st ",";
+    let root = parse_expr st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Scatter { comm; root; data; into })
+  | "MPI_Allgather" ->
+    let data = parse_expr st in
+    eat_punct st ",";
+    let into = any_ident st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Allgather { comm; data; into })
+  | "MPI_Alltoall" ->
+    let data = any_ident st in
+    eat_punct st ",";
+    let into = any_ident st in
+    eat_punct st ",";
+    let comm = parse_comm st in
+    finish (Ast.Alltoall { comm; data; into })
+  | other -> fail st (Printf.sprintf "unknown MPI call %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_func st =
+  eat_ident st "int";
+  let fname = any_ident st in
+  eat_punct st "(";
+  let params = ref [] in
+  if not (try_punct st ")") then begin
+    let param () =
+      let ctype =
+        match any_ident st with
+        | "int" -> Ast.Tint
+        | "double" -> Ast.Tfloat
+        | _ -> fail st "expected a parameter type"
+      in
+      let name = any_ident st in
+      (name, ctype)
+    in
+    params := [ param () ];
+    while try_punct st "," do
+      params := param () :: !params
+    done;
+    eat_punct st ")"
+  end;
+  let body = parse_block st in
+  { Ast.fname; params = List.rev !params; body }
+
+let program_of_state st =
+  let funcs = ref [] in
+  while (peek st).tok <> Teof do
+    funcs := parse_func st :: !funcs
+  done;
+  { Ast.funcs = List.rev !funcs; entry = "main" }
+
+let run_parser f src =
+  match f { toks = lex src } with
+  | result -> Ok result
+  | exception Parse_error e -> Error e
+
+let program src = run_parser program_of_state src
+
+let program_exn src =
+  match program src with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "Minic.Parse: %a" pp_error e)
+
+let expr src =
+  run_parser
+    (fun st ->
+      let e = parse_expr st in
+      match (peek st).tok with
+      | Teof -> e
+      | _ -> fail st "trailing input after expression")
+    src

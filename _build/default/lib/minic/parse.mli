@@ -1,0 +1,26 @@
+(** Parser for the Mini-C surface syntax.
+
+    Accepts the dialect the pretty-printer emits (so
+    [parse (Pretty.program_to_string p)] reconstructs [p]'s structure)
+    plus hand-writing conveniences: [for] loops (desugared like
+    {!Builder.for_}), [sanity(cond);], string-argument [abort], and the
+    marking forms [COMPI_int(&x);] / [COMPI_int_with_limit(&x, cap);] /
+    [COMPI_int_range(&x, lo, cap, default);].
+
+    Comments ([/* ... */] and [// ...]) are skipped, so the branch-id
+    markers in pretty-printed output are ignored; run
+    {!Branchinfo.instrument} on the result to assign fresh ids. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val program : string -> (Ast.program, error) result
+(** Parse a whole program (a sequence of function definitions); the
+    entry point is the function named [main]. *)
+
+val program_exn : string -> Ast.program
+(** Raises [Invalid_argument] with the rendered error. *)
+
+val expr : string -> (Ast.expr, error) result
+(** Parse a single expression (used by tests and the CLI). *)

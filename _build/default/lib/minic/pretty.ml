@@ -1,0 +1,155 @@
+let binop_str (op : Ast.binop) =
+  match op with
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Logand -> "&&"
+  | Ast.Logor -> "||"
+  | Ast.Bitand -> "&"
+  | Ast.Bitor -> "|"
+  | Ast.Bitxor -> "^"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+
+let rec pp_expr ppf (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> Format.fprintf ppf "%d" n
+  | Ast.Float x -> Format.fprintf ppf "%g" x
+  | Ast.Var name -> Format.pp_print_string ppf name
+  | Ast.Idx (name, ie) -> Format.fprintf ppf "%s[%a]" name pp_expr ie
+  | Ast.Len name -> Format.fprintf ppf "len(%s)" name
+  | Ast.Unop (Ast.Neg, e1) -> Format.fprintf ppf "-(%a)" pp_expr e1
+  | Ast.Unop (Ast.Lognot, e1) -> Format.fprintf ppf "!(%a)" pp_expr e1
+  | Ast.Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+
+let pp_lval ppf (lv : Ast.lval) =
+  match lv with
+  | Ast.Lvar name -> Format.pp_print_string ppf name
+  | Ast.Lidx (name, ie) -> Format.fprintf ppf "%s[%a]" name pp_expr ie
+
+let comm_str = function Ast.World -> "MPI_COMM_WORLD" | Ast.Comm_var name -> name
+
+let reduce_op_str = function
+  | Ast.Op_sum -> "MPI_SUM"
+  | Ast.Op_prod -> "MPI_PROD"
+  | Ast.Op_max -> "MPI_MAX"
+  | Ast.Op_min -> "MPI_MIN"
+
+let ctype_str = function Ast.Tint -> "int" | Ast.Tfloat -> "double"
+
+let pp_mpi ppf (m : Ast.mpi) =
+  match m with
+  | Ast.Comm_rank (c, var) -> Format.fprintf ppf "MPI_Comm_rank(%s, &%s);" (comm_str c) var
+  | Ast.Comm_size (c, var) -> Format.fprintf ppf "MPI_Comm_size(%s, &%s);" (comm_str c) var
+  | Ast.Comm_split { comm; color; key; into } ->
+    Format.fprintf ppf "MPI_Comm_split(%s, %a, %a, &%s);" (comm_str comm) pp_expr color
+      pp_expr key into
+  | Ast.Barrier c -> Format.fprintf ppf "MPI_Barrier(%s);" (comm_str c)
+  | Ast.Send { comm; dest; tag; data } ->
+    Format.fprintf ppf "MPI_Send(%a, %a, %a, %s);" pp_expr data pp_expr dest pp_expr tag
+      (comm_str comm)
+  | Ast.Recv { comm; src; tag; into } ->
+    let pp_opt ppf = function
+      | Some e -> pp_expr ppf e
+      | None -> Format.pp_print_string ppf "MPI_ANY"
+    in
+    Format.fprintf ppf "MPI_Recv(&%a, %a, %a, %s);" pp_lval into pp_opt src pp_opt tag
+      (comm_str comm)
+  | Ast.Isend { comm; dest; tag; data; req } ->
+    Format.fprintf ppf "MPI_Isend(%a, %a, %a, %s, &%s);" pp_expr data pp_expr dest pp_expr
+      tag (comm_str comm) req
+  | Ast.Irecv { comm; src; tag; req } ->
+    let pp_opt ppf = function
+      | Some e -> pp_expr ppf e
+      | None -> Format.pp_print_string ppf "MPI_ANY"
+    in
+    Format.fprintf ppf "MPI_Irecv(%a, %a, %s, &%s);" pp_opt src pp_opt tag (comm_str comm)
+      req
+  | Ast.Wait { req; into } -> (
+    match into with
+    | Some lv -> Format.fprintf ppf "MPI_Wait(&%a -> &%a);" pp_expr req pp_lval lv
+    | None -> Format.fprintf ppf "MPI_Wait(&%a);" pp_expr req)
+  | Ast.Bcast { comm; root; data } ->
+    Format.fprintf ppf "MPI_Bcast(&%a, %a, %s);" pp_lval data pp_expr root (comm_str comm)
+  | Ast.Reduce { comm; op; root; data; into } ->
+    Format.fprintf ppf "MPI_Reduce(%a, &%a, %s, %a, %s);" pp_expr data pp_lval into
+      (reduce_op_str op) pp_expr root (comm_str comm)
+  | Ast.Allreduce { comm; op; data; into } ->
+    Format.fprintf ppf "MPI_Allreduce(%a, &%a, %s, %s);" pp_expr data pp_lval into
+      (reduce_op_str op) (comm_str comm)
+  | Ast.Gather { comm; root; data; into } ->
+    Format.fprintf ppf "MPI_Gather(%a, %s, %a, %s);" pp_expr data into pp_expr root
+      (comm_str comm)
+  | Ast.Scatter { comm; root; data; into } ->
+    Format.fprintf ppf "MPI_Scatter(%s, &%a, %a, %s);" data pp_lval into pp_expr root
+      (comm_str comm)
+  | Ast.Allgather { comm; data; into } ->
+    Format.fprintf ppf "MPI_Allgather(%a, %s, %s);" pp_expr data into (comm_str comm)
+  | Ast.Alltoall { comm; data; into } ->
+    Format.fprintf ppf "MPI_Alltoall(%s, %s, %s);" data into (comm_str comm)
+
+let rec pp_stmt ppf (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Nop -> Format.fprintf ppf ";"
+  | Ast.Decl (name, ctype, e) ->
+    Format.fprintf ppf "%s %s = %a;" (ctype_str ctype) name pp_expr e
+  | Ast.Decl_arr (name, ctype, e) ->
+    Format.fprintf ppf "%s *%s = malloc((%a) * sizeof(%s));" (ctype_str ctype) name pp_expr
+      e (ctype_str ctype)
+  | Ast.Assign (lv, e) -> Format.fprintf ppf "%a = %a;" pp_lval lv pp_expr e
+  | Ast.If { id; cond; then_; else_ } ->
+    Format.fprintf ppf "@[<v 2>if /*%d*/ (%a) {%a@]@,}" id pp_expr cond pp_block then_;
+    if else_ <> [] then Format.fprintf ppf "@[<v 2> else {%a@]@,}" pp_block else_
+  | Ast.While { id; cond; body } ->
+    Format.fprintf ppf "@[<v 2>while /*%d*/ (%a) {%a@]@,}" id pp_expr cond pp_block body
+  | Ast.Call (name, args) -> Format.fprintf ppf "%s(%a);" name pp_args args
+  | Ast.Call_assign (dst, name, args) ->
+    Format.fprintf ppf "%s = %s(%a);" dst name pp_args args
+  | Ast.Return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Ast.Return None -> Format.fprintf ppf "return;"
+  | Ast.Assert (cond, msg) -> Format.fprintf ppf "assert(%a); /* %s */" pp_expr cond msg
+  | Ast.Abort msg -> Format.fprintf ppf "abort(); /* %s */" msg
+  | Ast.Exit code -> Format.fprintf ppf "exit(%a);" pp_expr code
+  | Ast.Input { iname; cap; lo; default } ->
+    (match (cap, lo) with
+    | Some c, _ -> Format.fprintf ppf "COMPI_int_with_limit(&%s, %d);" iname c
+    | None, _ -> Format.fprintf ppf "COMPI_int(&%s);" iname);
+    ignore lo;
+    ignore default
+  | Ast.Mpi m -> pp_mpi ppf m
+
+and pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    pp_expr ppf args
+
+and pp_block ppf block =
+  List.iter (fun stmt -> Format.fprintf ppf "@,%a" pp_stmt stmt) block
+
+let pp_func ppf (fn : Ast.func) =
+  let pp_param ppf (name, ctype) = Format.fprintf ppf "%s %s" (ctype_str ctype) name in
+  Format.fprintf ppf "@[<v 2>int %s(%a) {%a@]@,}@," fn.Ast.fname
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_param)
+    fn.Ast.params pp_block fn.Ast.body
+
+let pp_program ppf (program : Ast.program) =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun fn -> Format.fprintf ppf "%a@," pp_func fn) program.Ast.funcs;
+  Format.fprintf ppf "@]"
+
+let program_to_string program = Format.asprintf "%a" pp_program program
+
+let source_lines program =
+  program_to_string program
+  |> String.split_on_char '\n'
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.length

@@ -1,0 +1,16 @@
+(** C-flavoured pretty-printer for Mini-C programs.
+
+    Used by the examples (to show what a target looks like), by
+    debugging, and by the Table III harness, which measures target size
+    in pretty-printed source lines (the analogue of the paper's
+    SLOCCount numbers). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string
+
+val source_lines : Ast.program -> int
+(** Non-blank lines of the pretty-printed program. *)

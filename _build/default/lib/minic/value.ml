@@ -1,0 +1,54 @@
+(* Runtime values of Mini-C programs, and the message payloads carried by
+   the MPI simulator. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Varr_int of int array
+  | Varr_float of float array
+
+let type_name = function
+  | Vint _ -> "int"
+  | Vfloat _ -> "float"
+  | Varr_int _ -> "int[]"
+  | Varr_float _ -> "float[]"
+
+let equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> Float.equal x y
+  | Varr_int x, Varr_int y -> x = y
+  | Varr_float x, Varr_float y ->
+    Array.length x = Array.length y
+    && Array.for_all2 Float.equal x y
+  | (Vint _ | Vfloat _ | Varr_int _ | Varr_float _), _ -> false
+
+let pp ppf = function
+  | Vint n -> Format.fprintf ppf "%d" n
+  | Vfloat f -> Format.fprintf ppf "%g" f
+  | Varr_int a ->
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_seq
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         Format.pp_print_int)
+      (Array.to_seq a)
+  | Varr_float a ->
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_seq
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf f -> Format.fprintf ppf "%g" f))
+      (Array.to_seq a)
+
+(* Approximate wire size in bytes, used for log-size accounting. *)
+let byte_size = function
+  | Vint _ -> 8
+  | Vfloat _ -> 8
+  | Varr_int a -> 8 * Array.length a
+  | Varr_float a -> 8 * Array.length a
+
+(* Deep copy so that message payloads do not alias sender state. *)
+let copy = function
+  | Vint n -> Vint n
+  | Vfloat f -> Vfloat f
+  | Varr_int a -> Varr_int (Array.copy a)
+  | Varr_float a -> Varr_float (Array.copy a)

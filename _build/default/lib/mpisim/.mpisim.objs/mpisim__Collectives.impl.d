@@ -1,0 +1,1 @@
+lib/mpisim/collectives.ml: Array Float List Minic Mpi_iface Option Printf Value

@@ -1,0 +1,1 @@
+lib/mpisim/rankmap.ml: Array Hashtbl Int List Minic Option

@@ -1,0 +1,1 @@
+lib/mpisim/scheduler.ml: Array Collectives Effect Fault Hashtbl Int List Minic Mpi_iface Option Printf Queue Rankmap Result Trace Value

@@ -1,0 +1,1 @@
+lib/mpisim/trace.ml: Buffer Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/mpisim/trace.mli: Format

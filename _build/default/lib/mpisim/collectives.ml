@@ -1,0 +1,93 @@
+open Minic
+
+let int_op = function
+  | Mpi_iface.Rsum -> ( + )
+  | Mpi_iface.Rprod -> ( * )
+  | Mpi_iface.Rmax -> max
+  | Mpi_iface.Rmin -> min
+
+let float_op = function
+  | Mpi_iface.Rsum -> ( +. )
+  | Mpi_iface.Rprod -> ( *. )
+  | Mpi_iface.Rmax -> Float.max
+  | Mpi_iface.Rmin -> Float.min
+
+let reduce op payloads =
+  match payloads with
+  | [] -> Error "reduce with no participants"
+  | first :: rest ->
+    let combine acc v =
+      match acc with
+      | Error _ -> acc
+      | Ok acc_v -> (
+        match (acc_v, v) with
+        | Value.Vint a, Value.Vint b -> Ok (Value.Vint (int_op op a b))
+        | Value.Vfloat a, Value.Vfloat b -> Ok (Value.Vfloat (float_op op a b))
+        | Value.Varr_int a, Value.Varr_int b when Array.length a = Array.length b ->
+          Ok (Value.Varr_int (Array.map2 (int_op op) a b))
+        | Value.Varr_float a, Value.Varr_float b when Array.length a = Array.length b ->
+          Ok (Value.Varr_float (Array.map2 (float_op op) a b))
+        | (Value.Vint _ | Value.Vfloat _ | Value.Varr_int _ | Value.Varr_float _), _ ->
+          Error
+            (Printf.sprintf "reduce over mismatched payloads (%s vs %s)"
+               (Value.type_name acc_v) (Value.type_name v)))
+    in
+    List.fold_left combine (Ok (Value.copy first)) rest
+
+let gather payloads =
+  let all_ints =
+    List.for_all (function Value.Vint _ -> true | _ -> false) payloads
+  in
+  let all_floats =
+    List.for_all (function Value.Vfloat _ -> true | _ -> false) payloads
+  in
+  if all_ints then
+    Ok
+      (Value.Varr_int
+         (Array.of_list
+            (List.map (function Value.Vint n -> n | _ -> assert false) payloads)))
+  else if all_floats then
+    Ok
+      (Value.Varr_float
+         (Array.of_list
+            (List.map (function Value.Vfloat x -> x | _ -> assert false) payloads)))
+  else Error "gather expects scalar payloads of one type"
+
+let scatter src n =
+  match src with
+  | Value.Varr_int a when Array.length a >= n ->
+    Ok (List.init n (fun k -> Value.Vint a.(k)))
+  | Value.Varr_float a when Array.length a >= n ->
+    Ok (List.init n (fun k -> Value.Vfloat a.(k)))
+  | Value.Varr_int a ->
+    Error
+      (Printf.sprintf "scatter source has %d elements for %d participants"
+         (Array.length a) n)
+  | Value.Varr_float a ->
+    Error
+      (Printf.sprintf "scatter source has %d elements for %d participants"
+         (Array.length a) n)
+  | Value.Vint _ | Value.Vfloat _ -> Error "scatter source must be an array"
+
+let alltoall sends =
+  let n = List.length sends in
+  let as_int_rows =
+    List.map (function Value.Varr_int a when Array.length a >= n -> Some a | _ -> None) sends
+  in
+  if List.for_all Option.is_some as_int_rows then
+    let rows = List.map Option.get as_int_rows in
+    Ok
+      (List.init n (fun j ->
+           Value.Varr_int (Array.of_list (List.map (fun row -> row.(j)) rows))))
+  else
+    let as_float_rows =
+      List.map
+        (function Value.Varr_float a when Array.length a >= n -> Some a | _ -> None)
+        sends
+    in
+    if List.for_all Option.is_some as_float_rows then
+      let rows = List.map Option.get as_float_rows in
+      Ok
+        (List.init n (fun j ->
+             Value.Varr_float (Array.of_list (List.map (fun row -> row.(j)) rows))))
+    else Error "alltoall expects one array of length >= nprocs per sender"

@@ -1,0 +1,36 @@
+(** Communicator registry: membership and local/global rank maps.
+
+    One registry lives for the duration of one simulated run. Comm 0 is
+    MPI_COMM_WORLD; {!split} allocates fresh handles. The registry also
+    serves COMPI's mapping table (paper Table II): for the focus process,
+    each non-default communicator row lists global ranks in local-rank
+    order, which is how a derived local-rank value is translated back to
+    a global rank when selecting the next focus. *)
+
+type t
+
+val create : nprocs:int -> t
+val world_size : t -> int
+
+val members : t -> comm:int -> int array option
+(** Global ranks in local-rank order; [None] for unknown handles. *)
+
+val size : t -> comm:int -> int option
+val local_rank : t -> comm:int -> global:int -> int option
+val global_of_local : t -> comm:int -> local:int -> int option
+
+val split : t -> parent:int -> (int * int * int) list -> (int * int) list
+(** [split t ~parent decisions] performs MPI_Comm_split. [decisions] is
+    [(global_rank, color, key)] for every member of [parent]; the result
+    maps each global rank to its new comm handle (or [-1] when its color
+    is negative, the MPI_UNDEFINED convention). Members of a color are
+    ordered by key, ties broken by parent-comm local rank. *)
+
+val comms_of : t -> global:int -> (int * int) list
+(** All communicators containing [global], as [(comm, local_rank)],
+    world included, in handle order. *)
+
+val mapping_table : t -> global:int -> (int * int array) list
+(** Paper Table II from the perspective of one process: every non-world
+    communicator containing it, with the row of global ranks indexed by
+    local rank. *)

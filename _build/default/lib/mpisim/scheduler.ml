@@ -1,0 +1,519 @@
+open Minic
+
+exception Platform_limit of int
+
+let default_max_procs = 512
+
+type _ Effect.t += Mpi_call : Mpi_iface.request -> Mpi_iface.reply Effect.t
+
+let mpi_handler : Mpi_iface.handler = fun req -> Effect.perform (Mpi_call req)
+
+type step =
+  | Done of (unit, Fault.t) result
+  | Paused of Mpi_iface.request * (Mpi_iface.reply, step) Effect.Deep.continuation
+
+let start_fiber body =
+  Effect.Deep.match_with body ()
+    {
+      Effect.Deep.retc = (fun r -> Done r);
+      exnc =
+        (function
+        (* a fault injected while the fiber was blocked (deadlock, bad
+           request) may escape bodies that do not run under Interp.run *)
+        | Fault.Fault f -> Done (Error f)
+        | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Mpi_call req ->
+            Some
+              (fun (k : (a, step) Effect.Deep.continuation) -> Paused (req, k))
+          | _ -> None);
+    }
+
+type leaked_message = { leak_comm : int; leak_dest : int; leak_tag : int }
+
+type run_result = {
+  outcomes : (unit, Fault.t) result array;
+  deadlocked : int list;
+  registry : Rankmap.t;
+  leaked : leaked_message list;
+      (* messages still sitting in mailboxes after every process
+         finished: sends that no receive ever consumed — the message-leak
+         diagnostic of MPI correctness checkers (UMPIRE/MARMOT family) *)
+}
+
+(* A message sitting in a mailbox. *)
+type message = { src_local : int; tag : int; data : Value.t }
+
+(* A receive that could not be matched yet. *)
+type pending_recv = {
+  recv_rank : int;  (* global *)
+  src_filter : int option;
+  tag_filter : int option;
+  recv_k : (Mpi_iface.reply, step) Effect.Deep.continuation;
+}
+
+(* Non-blocking request state, per owning rank. Isends complete eagerly
+   (the simulator buffers sends), so only receives can be outstanding. *)
+type nb_status =
+  | Nb_send_done
+  | Nb_recv_posted of { comm : int; local : int; src_filter : int option; tag_filter : int option }
+  | Nb_recv_done of Value.t
+
+type nb_table = { mutable next_handle : int; statuses : (int, nb_status) Hashtbl.t }
+
+(* A fiber blocked in MPI_Wait. *)
+type pending_wait = {
+  wait_rank : int;
+  wait_handle : int;
+  wait_k : (Mpi_iface.reply, step) Effect.Deep.continuation;
+}
+
+(* One collective in progress on a communicator. *)
+type arrival = {
+  arr_local : int;
+  arr_rank : int;  (* global *)
+  arr_req : Mpi_iface.request;
+  arr_k : (Mpi_iface.reply, step) Effect.Deep.continuation;
+}
+
+type site = { signature : string; mutable arrivals : arrival list }
+
+(* Collectives are compatible only if their signature (operation plus
+   root/op parameters) agrees across participants. *)
+let op_name = function
+  | Mpi_iface.Rsum -> "sum"
+  | Mpi_iface.Rprod -> "prod"
+  | Mpi_iface.Rmax -> "max"
+  | Mpi_iface.Rmin -> "min"
+
+let coll_signature (req : Mpi_iface.request) =
+  match req with
+  | Mpi_iface.Barrier _ -> Some "barrier"
+  | Mpi_iface.Split _ -> Some "split"
+  | Mpi_iface.Bcast { root; _ } -> Some (Printf.sprintf "bcast:%d" root)
+  | Mpi_iface.Reduce { op; root; _ } ->
+    Some (Printf.sprintf "reduce:%s:%d" (op_name op) root)
+  | Mpi_iface.Allreduce { op; _ } -> Some (Printf.sprintf "allreduce:%s" (op_name op))
+  | Mpi_iface.Gather { root; _ } -> Some (Printf.sprintf "gather:%d" root)
+  | Mpi_iface.Scatter { root; _ } -> Some (Printf.sprintf "scatter:%d" root)
+  | Mpi_iface.Allgather _ -> Some "allgather"
+  | Mpi_iface.Alltoall _ -> Some "alltoall"
+  | Mpi_iface.Rank _ | Mpi_iface.Size _ | Mpi_iface.Send _ | Mpi_iface.Recv _
+  | Mpi_iface.Isend _ | Mpi_iface.Irecv _ | Mpi_iface.Wait _ ->
+    None
+
+let mpi_fault message = Fault.Fault (Fault.Mpi_error { message; func = "<mpi>" })
+
+type sched = {
+  nprocs : int;
+  registry : Rankmap.t;
+  results : (unit, Fault.t) result option array;
+  runq : (int * (unit -> step)) Queue.t;
+  mailboxes : (int * int, message Queue.t) Hashtbl.t;  (* (comm, dest local) *)
+  pending_recvs : (int * int, pending_recv) Hashtbl.t;  (* (comm, local) *)
+  sites : (int, site) Hashtbl.t;  (* per communicator *)
+  nb_tables : nb_table array;  (* per global rank *)
+  pending_waits : (int, pending_wait) Hashtbl.t;  (* per waiting rank *)
+  on_event : Trace.event -> unit;
+  mutable deadlocked : int list;
+}
+
+let resume s rank k reply = Queue.push (rank, fun () -> Effect.Deep.continue k reply) s.runq
+
+let crash s rank k message =
+  Queue.push (rank, fun () -> Effect.Deep.discontinue k (mpi_fault message)) s.runq
+
+let mailbox s key =
+  match Hashtbl.find_opt s.mailboxes key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace s.mailboxes key q;
+    q
+
+let matches ~src_filter ~tag_filter (m : message) =
+  (match src_filter with Some src -> src = m.src_local | None -> true)
+  && match tag_filter with Some tag -> tag = m.tag | None -> true
+
+(* Pull the first matching message out of a mailbox, preserving order. *)
+let take_matching q ~src_filter ~tag_filter =
+  let rec go acc =
+    if Queue.is_empty q then begin
+      List.iter (fun m -> Queue.push m q) (List.rev acc);
+      None
+    end
+    else
+      let m = Queue.pop q in
+      if matches ~src_filter ~tag_filter m then begin
+        (* put the skipped prefix back in front *)
+        let rest = List.of_seq (Queue.to_seq q) in
+        Queue.clear q;
+        List.iter (fun x -> Queue.push x q) (List.rev_append acc rest);
+        Some m
+      end
+      else go (m :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Collective completion                                               *)
+(* ------------------------------------------------------------------ *)
+
+let payload_of_arrival (a : arrival) =
+  match a.arr_req with
+  | Mpi_iface.Reduce { data; _ }
+  | Mpi_iface.Allreduce { data; _ }
+  | Mpi_iface.Gather { data; _ }
+  | Mpi_iface.Allgather { data; _ }
+  | Mpi_iface.Alltoall { data; _ } ->
+    Some data
+  | Mpi_iface.Bcast { data; _ } -> data
+  | Mpi_iface.Scatter { data; _ } -> data
+  | Mpi_iface.Barrier _ | Mpi_iface.Split _ | Mpi_iface.Rank _ | Mpi_iface.Size _
+  | Mpi_iface.Send _ | Mpi_iface.Recv _ | Mpi_iface.Isend _ | Mpi_iface.Irecv _
+  | Mpi_iface.Wait _ ->
+    None
+
+let crash_all s arrivals message =
+  List.iter (fun a -> crash s a.arr_rank a.arr_k message) arrivals
+
+let complete_collective s comm (site : site) =
+  s.on_event
+    (Trace.Collective
+       { comm; signature = site.signature; participants = List.length site.arrivals });
+  let arrivals = List.sort (fun a b -> Int.compare a.arr_local b.arr_local) site.arrivals in
+  let payloads () = List.map (fun a -> Option.get (payload_of_arrival a)) arrivals in
+  let reply_each f = List.iter (fun a -> resume s a.arr_rank a.arr_k (f a)) arrivals in
+  let reply_root root make_root_reply =
+    List.iter
+      (fun a ->
+        if a.arr_local = root then resume s a.arr_rank a.arr_k (make_root_reply ())
+        else resume s a.arr_rank a.arr_k Mpi_iface.Rnone)
+      arrivals
+  in
+  let first = List.hd arrivals in
+  match first.arr_req with
+  | Mpi_iface.Barrier _ -> reply_each (fun _ -> Mpi_iface.Runit)
+  | Mpi_iface.Bcast { root; _ } -> (
+    match List.find_opt (fun a -> a.arr_local = root) arrivals with
+    | None -> crash_all s arrivals "bcast root outside communicator"
+    | Some root_a -> (
+      match payload_of_arrival root_a with
+      | Some v -> reply_each (fun _ -> Mpi_iface.Rvalue (Value.copy v))
+      | None -> crash_all s arrivals "bcast root supplied no data"))
+  | Mpi_iface.Reduce { op; root; _ } -> (
+    match Collectives.reduce op (payloads ()) with
+    | Ok v ->
+      if List.exists (fun a -> a.arr_local = root) arrivals then
+        reply_root root (fun () -> Mpi_iface.Rvalue v)
+      else crash_all s arrivals "reduce root outside communicator"
+    | Error e -> crash_all s arrivals e)
+  | Mpi_iface.Allreduce { op; _ } -> (
+    match Collectives.reduce op (payloads ()) with
+    | Ok v -> reply_each (fun _ -> Mpi_iface.Rvalue (Value.copy v))
+    | Error e -> crash_all s arrivals e)
+  | Mpi_iface.Gather { root; _ } -> (
+    match Collectives.gather (payloads ()) with
+    | Ok v ->
+      if List.exists (fun a -> a.arr_local = root) arrivals then
+        reply_root root (fun () -> Mpi_iface.Rvalue v)
+      else crash_all s arrivals "gather root outside communicator"
+    | Error e -> crash_all s arrivals e)
+  | Mpi_iface.Allgather _ -> (
+    match Collectives.gather (payloads ()) with
+    | Ok v -> reply_each (fun _ -> Mpi_iface.Rvalue (Value.copy v))
+    | Error e -> crash_all s arrivals e)
+  | Mpi_iface.Scatter { root; _ } -> (
+    match List.find_opt (fun a -> a.arr_local = root) arrivals with
+    | None -> crash_all s arrivals "scatter root outside communicator"
+    | Some root_a -> (
+      match payload_of_arrival root_a with
+      | None -> crash_all s arrivals "scatter root supplied no data"
+      | Some src -> (
+        match Collectives.scatter src (List.length arrivals) with
+        | Ok parts ->
+          List.iter2
+            (fun a part -> resume s a.arr_rank a.arr_k (Mpi_iface.Rvalue part))
+            arrivals parts
+        | Error e -> crash_all s arrivals e)))
+  | Mpi_iface.Alltoall _ -> (
+    match Collectives.alltoall (payloads ()) with
+    | Ok parts ->
+      List.iter2
+        (fun a part -> resume s a.arr_rank a.arr_k (Mpi_iface.Rvalue part))
+        arrivals parts
+    | Error e -> crash_all s arrivals e)
+  | Mpi_iface.Split _ ->
+    let decisions =
+      List.map
+        (fun a ->
+          match a.arr_req with
+          | Mpi_iface.Split { color; key; _ } -> (a.arr_rank, color, key)
+          | _ -> assert false)
+        arrivals
+    in
+    let handles = Rankmap.split s.registry ~parent:comm decisions in
+    List.iter
+      (fun a ->
+        let handle = List.assoc a.arr_rank handles in
+        resume s a.arr_rank a.arr_k (Mpi_iface.Rint handle))
+      arrivals
+  | Mpi_iface.Rank _ | Mpi_iface.Size _ | Mpi_iface.Send _ | Mpi_iface.Recv _
+  | Mpi_iface.Isend _ | Mpi_iface.Irecv _ | Mpi_iface.Wait _ ->
+    assert false
+
+(* ------------------------------------------------------------------ *)
+(* Non-blocking request bookkeeping                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_handle table status =
+  let h = table.next_handle in
+  table.next_handle <- h + 1;
+  Hashtbl.replace table.statuses h status;
+  h
+
+(* Complete a posted receive on [rank]; wake its waiter if any. *)
+let complete_posted s ~rank ~handle ~data =
+  Hashtbl.replace s.nb_tables.(rank).statuses handle (Nb_recv_done data);
+  match Hashtbl.find_opt s.pending_waits rank with
+  | Some w when w.wait_handle = handle ->
+    Hashtbl.remove s.pending_waits rank;
+    Hashtbl.remove s.nb_tables.(rank).statuses handle;
+    resume s rank w.wait_k (Mpi_iface.Rvalue data)
+  | Some _ | None -> ()
+
+(* Earliest matching posted receive of the destination, if any. *)
+let find_posted s ~dest_rank ~comm ~dest_local (m : message) =
+  let best = ref None in
+  Hashtbl.iter
+    (fun handle status ->
+      match status with
+      | Nb_recv_posted p
+        when p.comm = comm && p.local = dest_local
+             && matches ~src_filter:p.src_filter ~tag_filter:p.tag_filter m -> (
+        match !best with
+        | Some h when h <= handle -> ()
+        | Some _ | None -> best := Some handle)
+      | Nb_recv_posted _ | Nb_send_done | Nb_recv_done _ -> ())
+    s.nb_tables.(dest_rank).statuses;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let comm_of_request (req : Mpi_iface.request) =
+  match req with
+  | Mpi_iface.Rank comm
+  | Mpi_iface.Size comm
+  | Mpi_iface.Barrier comm
+  | Mpi_iface.Split { comm; _ }
+  | Mpi_iface.Send { comm; _ }
+  | Mpi_iface.Recv { comm; _ }
+  | Mpi_iface.Isend { comm; _ }
+  | Mpi_iface.Irecv { comm; _ }
+  | Mpi_iface.Bcast { comm; _ }
+  | Mpi_iface.Reduce { comm; _ }
+  | Mpi_iface.Allreduce { comm; _ }
+  | Mpi_iface.Gather { comm; _ }
+  | Mpi_iface.Scatter { comm; _ }
+  | Mpi_iface.Allgather { comm; _ }
+  | Mpi_iface.Alltoall { comm; _ } ->
+    comm
+  | Mpi_iface.Wait _ -> Mpi_iface.world
+
+let handle_request s rank req k =
+  let comm = comm_of_request req in
+  match Rankmap.local_rank s.registry ~comm ~global:rank with
+  | None ->
+    crash s rank k
+      (Printf.sprintf "%s on communicator %d which rank %d does not belong to"
+         (Mpi_iface.request_name req) comm rank)
+  | Some my_local -> (
+    match req with
+    | Mpi_iface.Rank _ -> resume s rank k (Mpi_iface.Rint my_local)
+    | Mpi_iface.Size _ ->
+      resume s rank k
+        (Mpi_iface.Rint (Option.get (Rankmap.size s.registry ~comm)))
+    | Mpi_iface.Send { dest; tag; data; _ } | Mpi_iface.Isend { dest; tag; data; _ } -> (
+      let size = Option.get (Rankmap.size s.registry ~comm) in
+      if dest < 0 || dest >= size then
+        crash s rank k (Printf.sprintf "send to invalid rank %d (size %d)" dest size)
+      else begin
+        let msg = { src_local = my_local; tag; data } in
+        s.on_event (Trace.Send { from_rank = rank; to_local = dest; comm; tag });
+        (* matching priority: a blocked Recv first, then posted Irecvs in
+           post order, then the mailbox. (Strict MPI interleaves blocked
+           and posted receives by posting time; a blocked receive and an
+           overlapping outstanding Irecv on one process is already
+           ambiguous code, so the simpler rule is acceptable here.) *)
+        (match Hashtbl.find_opt s.pending_recvs (comm, dest) with
+        | Some pr
+          when matches ~src_filter:pr.src_filter ~tag_filter:pr.tag_filter msg ->
+          Hashtbl.remove s.pending_recvs (comm, dest);
+          s.on_event
+            (Trace.Recv_matched { rank = pr.recv_rank; src_local = my_local; tag; comm });
+          resume s pr.recv_rank pr.recv_k (Mpi_iface.Rvalue data)
+        | Some _ | None -> (
+          let dest_rank = Option.get (Rankmap.global_of_local s.registry ~comm ~local:dest) in
+          match find_posted s ~dest_rank ~comm ~dest_local:dest msg with
+          | Some handle -> complete_posted s ~rank:dest_rank ~handle ~data
+          | None -> Queue.push msg (mailbox s (comm, dest))));
+        match req with
+        | Mpi_iface.Isend _ ->
+          let handle = fresh_handle s.nb_tables.(rank) Nb_send_done in
+          resume s rank k (Mpi_iface.Rint handle)
+        | _ -> resume s rank k Mpi_iface.Runit
+      end)
+    | Mpi_iface.Irecv { src; tag; _ } -> (
+      let table = s.nb_tables.(rank) in
+      match take_matching (mailbox s (comm, my_local)) ~src_filter:src ~tag_filter:tag with
+      | Some m ->
+        let handle = fresh_handle table (Nb_recv_done m.data) in
+        resume s rank k (Mpi_iface.Rint handle)
+      | None ->
+        let handle =
+          fresh_handle table
+            (Nb_recv_posted { comm; local = my_local; src_filter = src; tag_filter = tag })
+        in
+        resume s rank k (Mpi_iface.Rint handle))
+    | Mpi_iface.Wait handle -> (
+      let table = s.nb_tables.(rank) in
+      match Hashtbl.find_opt table.statuses handle with
+      | None -> crash s rank k (Printf.sprintf "wait on unknown request %d" handle)
+      | Some Nb_send_done ->
+        Hashtbl.remove table.statuses handle;
+        resume s rank k Mpi_iface.Runit
+      | Some (Nb_recv_done data) ->
+        Hashtbl.remove table.statuses handle;
+        resume s rank k (Mpi_iface.Rvalue data)
+      | Some (Nb_recv_posted _) ->
+        if Hashtbl.mem s.pending_waits rank then
+          crash s rank k "second simultaneous wait on one process"
+        else
+          Hashtbl.replace s.pending_waits rank
+            { wait_rank = rank; wait_handle = handle; wait_k = k })
+    | Mpi_iface.Recv { src; tag; _ } -> (
+      (match src with
+      | Some sl ->
+        let size = Option.get (Rankmap.size s.registry ~comm) in
+        if sl < 0 || sl >= size then
+          crash s rank k (Printf.sprintf "recv from invalid rank %d (size %d)" sl size)
+      | None -> ());
+      match take_matching (mailbox s (comm, my_local)) ~src_filter:src ~tag_filter:tag with
+      | Some m ->
+        s.on_event (Trace.Recv_matched { rank; src_local = m.src_local; tag = m.tag; comm });
+        resume s rank k (Mpi_iface.Rvalue m.data)
+      | None ->
+        if Hashtbl.mem s.pending_recvs (comm, my_local) then
+          crash s rank k "second simultaneous recv on one process"
+        else
+          Hashtbl.replace s.pending_recvs (comm, my_local)
+            { recv_rank = rank; src_filter = src; tag_filter = tag; recv_k = k })
+    | Mpi_iface.Barrier _ | Mpi_iface.Split _ | Mpi_iface.Bcast _ | Mpi_iface.Reduce _
+    | Mpi_iface.Allreduce _ | Mpi_iface.Gather _ | Mpi_iface.Scatter _
+    | Mpi_iface.Allgather _ | Mpi_iface.Alltoall _ -> (
+      let signature = Option.get (coll_signature req) in
+      let arrival = { arr_local = my_local; arr_rank = rank; arr_req = req; arr_k = k } in
+      let size = Option.get (Rankmap.size s.registry ~comm) in
+      match Hashtbl.find_opt s.sites comm with
+      | Some site when site.signature <> signature ->
+        crash s rank k
+          (Printf.sprintf "collective mismatch on communicator %d: %s vs %s" comm
+             site.signature signature)
+      | Some site ->
+        site.arrivals <- arrival :: site.arrivals;
+        if List.length site.arrivals = size then begin
+          Hashtbl.remove s.sites comm;
+          complete_collective s comm site
+        end
+      | None ->
+        if size = 1 then
+          complete_collective s comm { signature; arrivals = [ arrival ] }
+        else Hashtbl.replace s.sites comm { signature; arrivals = [ arrival ] }))
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let drain s =
+  while not (Queue.is_empty s.runq) do
+    let rank, thunk = Queue.pop s.runq in
+    match thunk () with
+    | Done r ->
+      s.on_event (Trace.Finished { rank; ok = Result.is_ok r });
+      s.results.(rank) <- Some r
+    | Paused (req, k) -> handle_request s rank req k
+  done
+
+(* Terminate every blocked fiber with a deadlock fault and record it. *)
+let break_deadlock s =
+  let blocked = ref [] in
+  Hashtbl.iter (fun _ pr -> blocked := (pr.recv_rank, pr.recv_k) :: !blocked) s.pending_recvs;
+  Hashtbl.reset s.pending_recvs;
+  Hashtbl.iter (fun _ w -> blocked := (w.wait_rank, w.wait_k) :: !blocked) s.pending_waits;
+  Hashtbl.reset s.pending_waits;
+  Hashtbl.iter
+    (fun _ site ->
+      List.iter (fun a -> blocked := (a.arr_rank, a.arr_k) :: !blocked) site.arrivals)
+    s.sites;
+  Hashtbl.reset s.sites;
+  if !blocked <> [] then
+    s.on_event (Trace.Deadlock { ranks = List.map fst !blocked });
+  List.iter
+    (fun (rank, k) ->
+      s.deadlocked <- rank :: s.deadlocked;
+      crash s rank k "deadlock: all unfinished processes are blocked")
+    !blocked
+
+let run ?(max_procs = default_max_procs) ?(on_event = fun (_ : Trace.event) -> ())
+    ~nprocs body =
+  if nprocs < 1 || nprocs > max_procs then raise (Platform_limit nprocs);
+  let s =
+    {
+      on_event;
+      nprocs;
+      registry = Rankmap.create ~nprocs;
+      results = Array.make nprocs None;
+      runq = Queue.create ();
+      mailboxes = Hashtbl.create 16;
+      pending_recvs = Hashtbl.create 16;
+      sites = Hashtbl.create 8;
+      nb_tables =
+        Array.init nprocs (fun _ -> { next_handle = 1; statuses = Hashtbl.create 8 });
+      pending_waits = Hashtbl.create 8;
+      deadlocked = [];
+    }
+  in
+  for rank = 0 to nprocs - 1 do
+    Queue.push (rank, fun () -> start_fiber (fun () -> body ~rank ~mpi:mpi_handler)) s.runq
+  done;
+  let rec settle () =
+    drain s;
+    if Array.exists Option.is_none s.results then begin
+      break_deadlock s;
+      if Queue.is_empty s.runq then
+        (* blocked set was empty yet fibers unfinished: impossible unless
+           a fiber was lost; fail loudly rather than spin *)
+        invalid_arg "Scheduler.run: stuck with no blocked fibers"
+      else settle ()
+    end
+  in
+  settle ();
+  let leaked =
+    Hashtbl.fold
+      (fun (comm, dest) q acc ->
+        Queue.fold
+          (fun acc (m : message) ->
+            { leak_comm = comm; leak_dest = dest; leak_tag = m.tag } :: acc)
+          acc q)
+      s.mailboxes []
+  in
+  {
+    outcomes = Array.map Option.get s.results;
+    deadlocked = List.sort Int.compare s.deadlocked;
+    registry = s.registry;
+    leaked;
+  }

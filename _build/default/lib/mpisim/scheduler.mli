@@ -1,0 +1,44 @@
+(** Deterministic cooperative MPI scheduler.
+
+    Each simulated process runs as an OCaml-5 effect fiber; every MPI
+    request suspends the fiber and is matched here. Point-to-point sends
+    are eager (buffered); receives and collectives block until matched.
+    Scheduling is FIFO and fully deterministic, which the test suite
+    relies on.
+
+    A run that reaches a state where unfinished processes are all blocked
+    is declared deadlocked: the blocked processes are terminated with an
+    [Fault.Mpi_error] mentioning "deadlock" and the result is flagged. *)
+
+exception Platform_limit of int
+(** Raised when a test demands more processes than the platform cap —
+    the simulator's version of the paper's anecdote about COMPI freezing
+    the machine by launching hundreds of thousands of processes. *)
+
+val default_max_procs : int
+
+type leaked_message = { leak_comm : int; leak_dest : int; leak_tag : int }
+
+type run_result = {
+  outcomes : (unit, Minic.Fault.t) result array;  (** per global rank *)
+  deadlocked : int list;  (** ranks terminated by deadlock detection *)
+  registry : Rankmap.t;  (** communicator registry after the run *)
+  leaked : leaked_message list;
+      (** sends that no receive consumed — the message-leak diagnostic of
+          the UMPIRE/MARMOT family of MPI checkers *)
+}
+
+val mpi_handler : Minic.Mpi_iface.handler
+(** The handler a process body must use: performs the scheduling
+    effect. Only valid while running under {!run}. *)
+
+val run :
+  ?max_procs:int ->
+  ?on_event:(Trace.event -> unit) ->
+  nprocs:int ->
+  (rank:int -> mpi:Minic.Mpi_iface.handler -> (unit, Minic.Fault.t) result) ->
+  run_result
+(** [run ~nprocs body] executes [body ~rank ~mpi] for every rank as a
+    fiber and schedules them to completion. [body] must not let
+    exceptions escape (return faults as [Error]); an escaped exception
+    aborts the whole run. *)

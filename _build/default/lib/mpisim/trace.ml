@@ -1,0 +1,60 @@
+type event =
+  | Send of { from_rank : int; to_local : int; comm : int; tag : int }
+  | Recv_matched of { rank : int; src_local : int; tag : int; comm : int }
+  | Collective of { comm : int; signature : string; participants : int }
+  | Finished of { rank : int; ok : bool }
+  | Deadlock of { ranks : int list }
+
+let pp_event ppf = function
+  | Send { from_rank; to_local; comm; tag } ->
+    Format.fprintf ppf "send   rank %d -> local %d (comm %d, tag %d)" from_rank to_local
+      comm tag
+  | Recv_matched { rank; src_local; tag; comm } ->
+    Format.fprintf ppf "recv   rank %d <- local %d (comm %d, tag %d)" rank src_local comm
+      tag
+  | Collective { comm; signature; participants } ->
+    Format.fprintf ppf "coll   %s on comm %d (%d participants)" signature comm participants
+  | Finished { rank; ok } ->
+    Format.fprintf ppf "done   rank %d (%s)" rank (if ok then "ok" else "fault")
+  | Deadlock { ranks } ->
+    Format.fprintf ppf "DEADLOCK ranks [%s]"
+      (String.concat "; " (List.map string_of_int ranks))
+
+type t = { mutable events_rev : event list; mutable n : int }
+
+let create () = { events_rev = []; n = 0 }
+
+let collector t ev =
+  t.events_rev <- ev :: t.events_rev;
+  t.n <- t.n + 1
+
+let events t = List.rev t.events_rev
+let length t = t.n
+
+let kind_name = function
+  | Send _ -> "send"
+  | Recv_matched _ -> "recv"
+  | Collective _ -> "collective"
+  | Finished _ -> "finished"
+  | Deadlock _ -> "deadlock"
+
+let summary t =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let k = kind_name ev in
+      Hashtbl.replace table k (1 + Option.value (Hashtbl.find_opt table k) ~default:0))
+    (events t);
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let timeline ?(limit = 200) t =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun k ev ->
+      if k < limit then
+        Buffer.add_string buf (Format.asprintf "%4d  %a\n" k pp_event ev))
+    (events t);
+  if length t > limit then
+    Buffer.add_string buf (Printf.sprintf "... (%d more events)\n" (length t - limit));
+  Buffer.contents buf

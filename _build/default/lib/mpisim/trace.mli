@@ -1,0 +1,30 @@
+(** Communication traces: a stream of scheduler events and a text
+    timeline renderer.
+
+    Pass {!collector} as [on_event] to {!Scheduler.run} to capture what
+    the simulated communication actually did — useful when debugging a
+    target, and the backbone of `compi-cli exec --trace`. *)
+
+type event =
+  | Send of { from_rank : int; to_local : int; comm : int; tag : int }
+  | Recv_matched of { rank : int; src_local : int; tag : int; comm : int }
+  | Collective of { comm : int; signature : string; participants : int }
+  | Finished of { rank : int; ok : bool }
+  | Deadlock of { ranks : int list }
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val create : unit -> t
+val collector : t -> event -> unit
+val events : t -> event list
+(** In emission order. *)
+
+val length : t -> int
+
+val summary : t -> (string * int) list
+(** Event counts by kind, alphabetical. *)
+
+val timeline : ?limit:int -> t -> string
+(** One line per event, capped at [limit] (default 200). *)

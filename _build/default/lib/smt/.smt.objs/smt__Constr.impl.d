@@ -1,0 +1,1 @@
+lib/smt/constr.ml: Format Int Linexp List Varid

@@ -1,0 +1,1 @@
+lib/smt/constr.mli: Format Linexp Varid

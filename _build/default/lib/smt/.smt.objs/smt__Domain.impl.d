@@ -1,0 +1,1 @@
+lib/smt/domain.ml: Format

@@ -1,0 +1,1 @@
+lib/smt/domain.mli: Format

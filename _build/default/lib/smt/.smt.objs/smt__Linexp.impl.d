@@ -1,0 +1,1 @@
+lib/smt/linexp.ml: Format Int List Option Varid

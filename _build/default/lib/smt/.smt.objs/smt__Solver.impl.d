@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Constr Domain Int Linexp List Model Option Stdlib Varid

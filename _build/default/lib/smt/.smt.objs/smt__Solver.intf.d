@@ -1,0 +1,1 @@
+lib/smt/solver.mli: Constr Domain Model Stdlib Varid

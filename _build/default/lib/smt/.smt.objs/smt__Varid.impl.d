@@ -1,0 +1,1 @@
+lib/smt/varid.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/smt/varid.mli: Format Map Set

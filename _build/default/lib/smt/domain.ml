@@ -1,0 +1,34 @@
+type t = { lo : int; hi : int }
+
+let make ~lo ~hi =
+  if lo > hi then invalid_arg "Domain.make: lo > hi";
+  { lo; hi }
+
+let default_lo = -1_000_000
+let default_hi = 1_000_000
+let full = { lo = default_lo; hi = default_hi }
+let singleton v = { lo = v; hi = v }
+let is_singleton d = if d.lo = d.hi then Some d.lo else None
+let size d = d.hi - d.lo + 1
+let mem v d = d.lo <= v && v <= d.hi
+let clamp_lo b d = if b > d.hi then None else Some { d with lo = max b d.lo }
+let clamp_hi b d = if b < d.lo then None else Some { d with hi = min b d.hi }
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let remove v d =
+  if v = d.lo && v = d.hi then None
+  else if v = d.lo then Some { d with lo = v + 1 }
+  else if v = d.hi then Some { d with hi = v - 1 }
+  else Some d
+
+let split d =
+  if d.lo = d.hi then None
+  else
+    let mid = d.lo + ((d.hi - d.lo) / 2) in
+    Some ({ d with hi = mid }, { d with lo = mid + 1 })
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp ppf d = Format.fprintf ppf "[%d, %d]" d.lo d.hi

@@ -1,0 +1,39 @@
+(** Integer interval domains used by the finite-domain search.
+
+    Every symbolic variable ranges over a bounded interval; input capping
+    (section IV-A of the paper) tightens the upper bound, MPI-semantics
+    constraints tighten the lower bound. *)
+
+type t = private { lo : int; hi : int }
+
+val make : lo:int -> hi:int -> t
+(** Raises [Invalid_argument] when [lo > hi]. *)
+
+val default_lo : int
+val default_hi : int
+
+val full : t
+(** The default domain [[default_lo, default_hi]]. *)
+
+val singleton : int -> t
+val is_singleton : t -> int option
+val size : t -> int
+val mem : int -> t -> bool
+
+val clamp_lo : int -> t -> t option
+(** [clamp_lo b d] intersects [d] with [[b, +inf)]; [None] if empty. *)
+
+val clamp_hi : int -> t -> t option
+val inter : t -> t -> t option
+
+val remove : int -> t -> t option
+(** Removing an interior value is a no-op (intervals cannot represent
+    holes); removing an endpoint shrinks the interval. [None] if the
+    result is empty. *)
+
+val split : t -> (t * t) option
+(** [split d] halves a non-singleton domain at its midpoint; [None] for
+    singletons. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

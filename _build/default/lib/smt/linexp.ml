@@ -1,0 +1,59 @@
+type t = { coeffs : int Varid.Map.t; k : int }
+
+let normalize coeffs = Varid.Map.filter (fun _ c -> c <> 0) coeffs
+let const k = { coeffs = Varid.Map.empty; k }
+let var v = { coeffs = Varid.Map.singleton v 1; k = 0 }
+
+let of_terms terms k =
+  let add_term acc (c, v) =
+    Varid.Map.update v
+      (function None -> Some c | Some c' -> Some (c + c'))
+      acc
+  in
+  { coeffs = normalize (List.fold_left add_term Varid.Map.empty terms); k }
+
+let merge f a b =
+  let coeffs =
+    Varid.Map.merge
+      (fun _ ca cb -> Some (f (Option.value ca ~default:0) (Option.value cb ~default:0)))
+      a.coeffs b.coeffs
+  in
+  { coeffs = normalize coeffs; k = f a.k b.k }
+
+let add a b = merge ( + ) a b
+let sub a b = merge ( - ) a b
+let neg a = { coeffs = Varid.Map.map (fun c -> -c) a.coeffs; k = -a.k }
+
+let scale s a =
+  if s = 0 then const 0
+  else { coeffs = Varid.Map.map (fun c -> s * c) a.coeffs; k = s * a.k }
+
+let add_const k a = { a with k = a.k + k }
+let is_const a = if Varid.Map.is_empty a.coeffs then Some a.k else None
+let coeff v a = match Varid.Map.find_opt v a.coeffs with Some c -> c | None -> 0
+let constant a = a.k
+let terms a = Varid.Map.fold (fun v c acc -> (c, v) :: acc) a.coeffs [] |> List.rev
+let vars a = Varid.Map.fold (fun v _ acc -> Varid.Set.add v acc) a.coeffs Varid.Set.empty
+let mem v a = Varid.Map.mem v a.coeffs
+
+let eval lookup a =
+  Varid.Map.fold (fun v c acc -> acc + (c * lookup v)) a.coeffs a.k
+
+let equal a b = a.k = b.k && Varid.Map.equal Int.equal a.coeffs b.coeffs
+
+let compare a b =
+  let c = Int.compare a.k b.k in
+  if c <> 0 then c else Varid.Map.compare Int.compare a.coeffs b.coeffs
+
+let pp ppf a =
+  let pp_term ppf (c, v) =
+    if c = 1 then Varid.pp ppf v
+    else if c = -1 then Format.fprintf ppf "-%a" Varid.pp v
+    else Format.fprintf ppf "%d*%a" c Varid.pp v
+  in
+  match terms a with
+  | [] -> Format.fprintf ppf "%d" a.k
+  | t :: ts ->
+    pp_term ppf t;
+    List.iter (fun (c, v) -> Format.fprintf ppf " + %a" pp_term (c, v)) ts;
+    if a.k <> 0 then Format.fprintf ppf " + %d" a.k

@@ -1,0 +1,43 @@
+(** Linear integer expressions [sum_i c_i * x_i + k].
+
+    This is the only expression form the symbolic shadow ever produces:
+    CREST-style concolic execution concretizes every non-linear operation,
+    so the solver (like Yices in the original COMPI) only needs linear
+    integer arithmetic. *)
+
+type t
+
+val const : int -> t
+val var : Varid.t -> t
+
+val of_terms : (int * Varid.t) list -> int -> t
+(** [of_terms [(c0, x0); ...] k] builds [c0*x0 + ... + k]. Zero
+    coefficients are dropped; repeated variables are summed. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val add_const : int -> t -> t
+
+val is_const : t -> int option
+(** [is_const e] is [Some k] iff [e] mentions no variable. *)
+
+val coeff : Varid.t -> t -> int
+(** Coefficient of a variable (0 if absent). *)
+
+val constant : t -> int
+(** The constant term [k]. *)
+
+val terms : t -> (int * Varid.t) list
+(** Non-zero terms in increasing variable order. *)
+
+val vars : t -> Varid.Set.t
+val mem : Varid.t -> t -> bool
+
+val eval : (Varid.t -> int) -> t -> int
+(** [eval lookup e] evaluates [e] under the assignment [lookup]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

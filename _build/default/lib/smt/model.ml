@@ -1,0 +1,29 @@
+type t = int Varid.Map.t
+
+let empty = Varid.Map.empty
+let set = Varid.Map.add
+let find = Varid.Map.find_opt
+let get v ~default m = match find v m with Some x -> x | None -> default
+let mem = Varid.Map.mem
+let bindings = Varid.Map.bindings
+let of_bindings bs = List.fold_left (fun m (v, x) -> set v x m) empty bs
+
+let union_prefer_left fresh stale =
+  Varid.Map.union (fun _ f _ -> Some f) fresh stale
+
+let lookup_fn ~default m v = get v ~default m
+
+let changed_vars ~before ~after =
+  Varid.Map.fold
+    (fun v x acc ->
+      match find v before with
+      | Some x' when x' = x -> acc
+      | Some _ | None -> Varid.Set.add v acc)
+    after Varid.Set.empty
+
+let equal = Varid.Map.equal Int.equal
+
+let pp ppf m =
+  Format.fprintf ppf "{";
+  Varid.Map.iter (fun v x -> Format.fprintf ppf " %a=%d" Varid.pp v x) m;
+  Format.fprintf ppf " }"

@@ -1,0 +1,28 @@
+(** Concrete assignments of symbolic variables, i.e. solver models and
+    the "previous inputs" used by incremental solving. *)
+
+type t
+
+val empty : t
+val set : Varid.t -> int -> t -> t
+val find : Varid.t -> t -> int option
+val get : Varid.t -> default:int -> t -> int
+val mem : Varid.t -> t -> bool
+val bindings : t -> (Varid.t * int) list
+val of_bindings : (Varid.t * int) list -> t
+
+val union_prefer_left : t -> t -> t
+(** [union_prefer_left fresh stale] keeps every binding of [fresh] and
+    falls back to [stale] elsewhere — how an incremental solve merges
+    re-solved variables with previous values. *)
+
+val lookup_fn : default:int -> t -> Varid.t -> int
+(** Total lookup function for evaluation. *)
+
+val changed_vars : before:t -> after:t -> Varid.Set.t
+(** Variables whose value differs between the two models (present in
+    [after] and either absent from [before] or bound differently). These
+    are COMPI's "most up-to-date" values (section III-C). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

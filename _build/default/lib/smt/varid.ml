@@ -1,0 +1,19 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf v = Format.fprintf ppf "x%d" v
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+
+type gen = { mutable next : int }
+
+let make_gen () = { next = 0 }
+
+let fresh g =
+  let v = g.next in
+  g.next <- v + 1;
+  v
+
+let count g = g.next

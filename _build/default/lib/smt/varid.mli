@@ -1,0 +1,25 @@
+(** Identifiers for symbolic variables.
+
+    A symbolic variable stands for one marked program input (or one
+    MPI-semantics value such as a rank read at a particular call site).
+    Identifiers are dense small integers allocated by a {!gen}. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+
+(** Allocator for fresh variable identifiers. *)
+type gen
+
+val make_gen : unit -> gen
+
+val fresh : gen -> t
+(** [fresh g] returns the next unused identifier: 0, 1, 2, ... *)
+
+val count : gen -> int
+(** [count g] is the number of identifiers allocated so far. *)

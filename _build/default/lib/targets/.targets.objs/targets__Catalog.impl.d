@@ -1,0 +1,1 @@
+lib/targets/catalog.ml: Heat2d Hpl Imb_mpi1 List Npb_cg Printf Registry Susy_hmc Toy

@@ -1,0 +1,1 @@
+lib/targets/catalog.mli: Registry

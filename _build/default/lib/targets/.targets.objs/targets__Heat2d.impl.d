@@ -1,0 +1,1 @@
+lib/targets/heat2d.ml: Ast Builder Minic Registry

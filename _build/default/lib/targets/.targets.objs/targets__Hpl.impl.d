@@ -1,0 +1,1 @@
+lib/targets/hpl.ml: Ast Builder List Minic Printf Registry

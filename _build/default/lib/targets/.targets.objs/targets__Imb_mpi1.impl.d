@@ -1,0 +1,1 @@
+lib/targets/imb_mpi1.ml: Ast Builder List Minic Printf Registry

@@ -1,0 +1,1 @@
+lib/targets/npb_cg.ml: Ast Builder Minic Registry

@@ -1,0 +1,1 @@
+lib/targets/registry.ml: Minic

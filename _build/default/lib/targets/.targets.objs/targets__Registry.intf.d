@@ -1,0 +1,1 @@
+lib/targets/registry.mli: Minic

@@ -1,0 +1,1 @@
+lib/targets/susy_hmc.ml: Ast Builder List Minic Printf Registry

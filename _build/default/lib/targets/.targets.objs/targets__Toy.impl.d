@@ -1,0 +1,1 @@
+lib/targets/toy.ml: Ast Builder Minic Registry

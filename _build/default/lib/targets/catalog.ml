@@ -1,0 +1,13 @@
+let all () =
+  [
+    Toy.fig1; Toy.fig2; Susy_hmc.target; Hpl.target; Imb_mpi1.target; Heat2d.target;
+    Npb_cg.target;
+  ]
+let find name = List.find_opt (fun (t : Registry.t) -> t.Registry.name = name) (all ())
+
+let find_exn name =
+  match find name with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "unknown target %s" name)
+
+let names () = List.map (fun (t : Registry.t) -> t.Registry.name) (all ())

@@ -1,0 +1,8 @@
+(** The target catalogue: every evaluation program by name. *)
+
+val all : unit -> Registry.t list
+(** toy-fig1, toy-fig2, susy-hmc, hpl, imb-mpi1, heat2d, npb-cg. *)
+
+val find : string -> Registry.t option
+val find_exn : string -> Registry.t
+val names : unit -> string list

@@ -1,0 +1,116 @@
+(* Beyond the paper's three programs: a 2-D heat-diffusion stencil with
+   row-block decomposition and halo exchange — the canonical SPMD kernel
+   the paper's introduction motivates. Serves as a fourth target and as
+   the README's "realistic scenario" example.
+
+   Seeded defect: the halo-exchange buffer is sized for the interior
+   rows only; when the row count is not divisible by the process count,
+   the last rank owns one extra row and writes one element past its
+   buffer (an off-by-one remainder bug, found by COMPI when it varies
+   the process count so that [ny mod size <> 0]). *)
+
+open Minic
+open Builder
+
+let stencil_row =
+  func "stencil_row"
+    [ ("width", Ast.Tint); ("above", Ast.Tint); ("below", Ast.Tint); ("here", Ast.Tint) ]
+    ([ decl "acc" (i 0) ]
+    @ for_ "c" (i 0) (v "width")
+        [
+          if_ (v "c" =: i 0)
+            [ assign "acc" (v "acc" +: v "here") ]
+            [
+              if_ (v "c" =: v "width" -: i 1)
+                [ assign "acc" (v "acc" +: v "here") ]
+                [ assign "acc" (v "acc" +: ((v "above" +: v "below" +: v "here") /: i 3)) ];
+            ];
+        ]
+    @ [
+        if_ (v "acc" <: i 0) [ ret (i 0) ] [];
+        ret (v "acc");
+      ])
+
+let main =
+  let step_body =
+    [
+      if_ (v "rank" >: i 0)
+        [
+          send ~dest:(v "rank" -: i 1) ~tag:(i 1) (v "source_temp" +: v "t");
+          recv ~src:(v "rank" -: i 1) ~tag:(i 2) ~into:(Ast.Lvar "up") ();
+        ]
+        [ assign "up" (v "source_temp") ];
+      if_ (v "rank" <: v "size" -: i 1)
+        [
+          send ~dest:(v "rank" +: i 1) ~tag:(i 2) (v "source_temp" -: v "t");
+          recv ~src:(v "rank" +: i 1) ~tag:(i 1) ~into:(Ast.Lvar "down") ();
+        ]
+        [ assign "down" (i 0) ];
+      assign "delta" (i 0);
+    ]
+    @ for_ "r" (i 0) (v "myrows")
+        [
+          call_assign "row_acc" "stencil_row" [ v "nx"; v "up"; v "down"; v "source_temp" ];
+          (* r + 1 skips the top halo row; the buffer was sized with the
+             quotient row count, so the last rank's remainder rows walk
+             off its end whenever ny mod size >= 2 *)
+          aset "field" ((v "r" +: i 1) *: v "nx") (v "row_acc");
+          assign "delta" (v "delta" +: (v "row_acc" %: v "tol"));
+        ]
+    @ [
+        allreduce ~op:Ast.Op_max (v "delta") ~into:(Ast.Lvar "gdelta");
+        if_ (v "gdelta" <=: v "tol") [ assign "t" (v "steps") ] [ assign "t" (v "t" +: i 1) ];
+      ]
+  in
+  func "main" []
+    [
+      input "nx" ~lo:(-8) ~cap:64 ~default:16;
+      input "ny" ~lo:(-8) ~cap:64 ~default:16;
+      input "steps" ~lo:(-8) ~cap:20 ~default:5;
+      input "source_temp" ~lo:(-8) ~cap:1000 ~default:100;
+      input "tol" ~lo:(-8) ~cap:50 ~default:2;
+      decl "rank" (i 0);
+      decl "size" (i 0);
+      comm_rank Ast.World "rank";
+      comm_size Ast.World "size";
+      sanity (v "nx" >=: i 4);
+      sanity (v "ny" >=: i 4);
+      sanity (v "steps" >=: i 1);
+      sanity (v "source_temp" >: i 0);
+      sanity (v "tol" >=: i 1);
+      sanity (v "ny" >=: v "size");
+      decl "rows" (v "ny" /: v "size");
+      decl "rem" (v "ny" %: v "size");
+      decl "myrows" (v "rows");
+      if_ (v "rank" =: v "size" -: i 1) [ assign "myrows" (v "rows" +: v "rem") ] [];
+      if_ (v "myrows" <: i 1) [ exit_ (i 1) ] [];
+      decl_arr "field" ((v "rows" +: i 2) *: v "nx");
+      decl "t" (i 0);
+      decl "up" (i 0);
+      decl "down" (i 0);
+      decl "row_acc" (i 0);
+      decl "delta" (i 0);
+      decl "gdelta" (i 0);
+      while_ (v "t" <: v "steps") step_body;
+      decl "final" (i 0);
+      reduce ~op:Ast.Op_sum ~root:(i 0) (v "delta") ~into:(Ast.Lvar "final");
+      if_ (v "rank" =: i 0)
+        [ if_ (v "final" <: i 0) [ abort "negative energy" ] [] ]
+        [];
+    ]
+
+let target =
+  Registry.make ~name:"heat2d"
+    ~description:
+      "2-D heat stencil with halo exchange (beyond the paper): remainder-row buffer \
+       overflow found only when ny mod size <> 0"
+    ~tuning:
+      {
+        Registry.dfs_phase = 30;
+        depth_bound = 200;
+        key_input = "ny";
+        default_cap = 64;
+        initial_nprocs = 4;
+        step_limit = 2_000_000;
+      }
+    (program [ main; stencil_row ])

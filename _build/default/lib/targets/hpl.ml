@@ -1,0 +1,577 @@
+(* Synthetic HPL: blocked LU factorization over a P x Q process grid,
+   reproducing the control-flow shape of the High-Performance Linpack
+   benchmark used in the paper's evaluation:
+
+   - 28 marked input parameters, each range-checked in a deep sanity
+     phase, plus combination checks (the trait that makes every search
+     strategy except BoundedDFS fail — Figure 4);
+   - a panel-factorization phase with three algorithmic variants
+     (pfact/rfact: left / Crout / right) and a recursive panel splitting
+     controlled by nbmin / ndiv;
+   - six broadcast variants (bcast 0..5) mirroring HPL's 1ring/1ringM/
+     2ring/2ringM/long/longM topologies, all moving data through real
+     simulator collectives;
+   - a trailing-matrix update whose work grows ~ N^2 / NB, giving the
+     super-linear cost curve of Figure 6;
+   - swap variants (bin-exch / spread / mix), backward substitution and
+     a residual check. *)
+
+open Minic
+open Builder
+
+(* name, lower bound, upper bound, default, cap for marking *)
+let params =
+  [
+    ("ns", 1, 4, 1, 4);
+    ("n", 1, 100_000, 64, 300);
+    ("nbs", 1, 3, 1, 3);
+    ("nb", 1, 64, 16, 64);
+    ("pmap", 0, 1, 0, 1);
+    ("grids", 1, 2, 1, 2);
+    ("p", 1, 16, 2, 16);
+    ("q", 1, 16, 2, 16);
+    ("thresh_exp", 0, 8, 4, 8);
+    ("npfacts", 1, 3, 1, 3);
+    ("pfact", 0, 2, 1, 2);
+    ("nbmins", 1, 2, 1, 2);
+    ("nbmin", 1, 8, 2, 8);
+    ("ndivs", 1, 2, 1, 2);
+    ("ndiv", 2, 4, 2, 4);
+    ("nrfacts", 1, 3, 1, 3);
+    ("rfact", 0, 2, 1, 2);
+    ("nbcasts", 1, 2, 1, 2);
+    ("bcast", 0, 5, 0, 5);
+    ("ndepths", 1, 2, 1, 2);
+    ("depth", 0, 1, 0, 1);
+    ("swap", 0, 2, 1, 2);
+    ("swap_thresh", 0, 128, 64, 128);
+    ("l1_trans", 0, 1, 0, 1);
+    ("u_trans", 0, 1, 0, 1);
+    ("equil", 0, 1, 1, 1);
+    ("align", 1, 16, 8, 16);
+    ("seed", 1, 4096, 1, 4096);
+  ]
+
+let () = assert (List.length params = 28)
+
+(* One panel-factorization variant: a loop over the panel's columns with
+   pivot-search and scaling branches. The three variants differ in where
+   the update happens (left-looking / Crout / right-looking). *)
+let pfact_variant name pivot_bias =
+  func name
+    [ ("m", Ast.Tint); ("nb", Ast.Tint); ("seed", Ast.Tint) ]
+    ([ decl "pivots" (i 0); decl "r" (v "seed"); decl "pv" (i 0) ]
+    @ for_ "jj" (i 0) (v "nb")
+        [
+          assign "r" (((v "r" *: i 48271) +: i pivot_bias) %: i 65536);
+          if_ (v "r" %: i 7 =: i 0)
+            [ assign "pivots" (v "pivots" +: i 1) ]  (* off-diagonal pivot *)
+            [];
+          (* per-column pivot search, variant picked by the residue *)
+          if_ (v "jj" %: i 3 =: i 0)
+            [ call_assign "pv" "pivot_full" [ v "m"; v "r" ] ]
+            [
+              if_ (v "jj" %: i 3 =: i 1)
+                [ call_assign "pv" "pivot_tournament" [ v "m"; v "r" ] ]
+                [ call_assign "pv" "pivot_threshold" [ v "m"; v "r" ] ];
+            ];
+          if_ (v "jj" =: i 0) [ decl "first_col" (i 1) ] [];
+          if_ (v "jj" >=: v "m") [ ret (v "pivots" +: v "pv") ] [];
+          if_ (v "r" %: i 97 =: i 13) [ decl "tiny_pivot" (i 1) ] [];
+        ]
+    @ [
+        if_ (v "pivots" >: v "nb" /: i 2) [ ret (v "pivots" +: i 1) ] [];
+        ret (v "pivots");
+      ])
+
+(* Recursive panel splitting controlled by nbmin / ndiv. *)
+let rpanel =
+  func "rpanel"
+    [ ("width", Ast.Tint); ("nbmin", Ast.Tint); ("ndiv", Ast.Tint); ("pfact", Ast.Tint);
+      ("seed", Ast.Tint) ]
+    [
+      if_ (v "width" <=: v "nbmin")
+        [
+          decl "piv" (i 0);
+          if_ (v "pfact" =: i 0)
+            [ call_assign "piv" "pdfact_left" [ v "width"; v "width"; v "seed" ] ]
+            [
+              if_ (v "pfact" =: i 1)
+                [ call_assign "piv" "pdfact_crout" [ v "width"; v "width"; v "seed" ] ]
+                [ call_assign "piv" "pdfact_right" [ v "width"; v "width"; v "seed" ] ];
+            ];
+          ret (v "piv");
+        ]
+        [];
+      decl "part" (v "width" /: v "ndiv");
+      if_ (v "part" <: i 1) [ assign "part" (i 1) ] [];
+      decl "left" (i 0);
+      decl "right" (i 0);
+      call_assign "left" "rpanel" [ v "part"; v "nbmin"; v "ndiv"; v "pfact"; v "seed" ];
+      call_assign "right" "rpanel"
+        [ v "width" -: v "part"; v "nbmin"; v "ndiv"; v "pfact"; v "seed" +: i 1 ];
+      ret (v "left" +: v "right");
+    ]
+
+(* Six broadcast variants. Each computes its topology bookkeeping with
+   branches, then moves the panel through a real collective. *)
+let bcast_variant idx name =
+  func name
+    [ ("panel", Ast.Tint); ("root_col", Ast.Tint); ("q", Ast.Tint); ("mycol", Ast.Tint) ]
+    [
+      decl "hops" (i 0);
+      if_ (v "q" <=: i 1) [ ret (v "panel") ] [];
+      if_ (v "mycol" =: v "root_col")
+        [ assign "hops" (i 0) ]
+        [
+          decl "dist" (v "mycol" -: v "root_col");
+          if_ (v "dist" <: i 0) [ assign "dist" (v "dist" +: v "q") ] [];
+          (if idx mod 2 = 0 then assign "hops" (v "dist")
+           else if_ (v "dist" %: i 2 =: i 0)
+               [ assign "hops" (v "dist" /: i 2) ]
+               [ assign "hops" ((v "dist" +: i 1) /: i 2) ]);
+        ];
+      (if idx >= 4 then
+         (* "long" variants split the panel *)
+         if_ (v "panel" >: i 8)
+           [ decl "chunk" (v "panel" /: i 2); decl "rest" (v "panel" -: v "chunk") ]
+           [ decl "whole" (v "panel") ]
+       else Ast.Nop);
+      decl "bval" (v "panel");
+      bcast ~root:(i 0) (Ast.Lvar "bval");
+      if_ (v "hops" >: v "q") [ ret (v "bval" +: v "q") ] [];
+      ret (v "bval" +: v "hops");
+    ]
+
+let bcast_names =
+  [ "bcast_1ring"; "bcast_1ringm"; "bcast_2ring"; "bcast_2ringm"; "bcast_blong"; "bcast_blongm" ]
+
+(* Row-swap variants: binary-exchange, spread, and the mixed strategy
+   selected by swap_thresh. *)
+let swap_variant name style =
+  func name
+    [ ("rows", Ast.Tint); ("p", Ast.Tint); ("myrow", Ast.Tint) ]
+    ([ decl "steps" (i 0); decl "left" (v "rows") ]
+    @ (match style with
+      | `Binexch ->
+        [
+          while_ (v "left" >: i 1)
+            [
+              assign "left" ((v "left" +: i 1) /: i 2);
+              assign "steps" (v "steps" +: i 1);
+              if_ (v "steps" >: i 30) [ ret (v "steps") ] [];
+            ];
+        ]
+      | `Spread ->
+        for_ "s" (i 0) (v "p")
+          [
+            if_ (v "s" <>: v "myrow") [ assign "steps" (v "steps" +: i 1) ] [];
+          ]
+      | `Mix ->
+        [
+          if_ (v "rows" >: v "p" *: i 4)
+            [ assign "steps" (v "p") ]
+            [ assign "steps" (v "rows" /: (v "p" +: i 1)) ];
+        ])
+    @ [ ret (v "steps") ])
+
+(* Trailing update: the O(N^2 / NB) workhorse that dominates runtime. *)
+let pdupdate =
+  func "pdupdate"
+    [ ("n", Ast.Tint); ("nb", Ast.Tint); ("j", Ast.Tint); ("l1", Ast.Tint); ("u", Ast.Tint) ]
+    ([ decl "work" (i 0); decl "acc" (i 0); decl "tf" (i 0) ]
+    @ for_ "c" (v "j") (v "n")
+        [
+          if_ (v "c" %: v "nb" =: i 0) [ assign "work" (v "work" +: i 2) ] [];
+          (* rank-k update of one trailing column: dominated by dgemm in
+             real HPL, modelled as a fixed bundle of flops per column *)
+          assign "acc" ((v "acc" *: i 3) +: v "c");
+          assign "acc" (v "acc" -: ((v "acc" /: i 7) *: i 7));
+          assign "work" (v "work" +: i 1 +: (v "acc" %: i 2));
+        ]
+    @ [
+        (* tile kernel dispatch on the block residue *)
+        call_assign "tf"
+          (Printf.sprintf "dgemm_tile_%d" 0)
+          [ v "nb"; (v "n" -: v "j") %: i 64 ];
+        assign "work" (v "work" +: v "tf");
+        if_ (v "l1" =: i 1)
+          [
+            call_assign "tf" "dgemm_tile_1" [ v "nb"; v "nb" ];
+            assign "work" (v "work" +: i 3 +: v "tf");
+          ]
+          [];
+        if_ (v "u" =: i 1)
+          [
+            call_assign "tf" "dgemm_tile_2" [ v "nb"; v "nb" /: i 2 ];
+            assign "work" (v "work" +: i 5 +: v "tf");
+          ]
+          [];
+        ret (v "work");
+      ])
+
+(* Backward substitution over blocks. *)
+let pdtrsv =
+  func "pdtrsv"
+    [ ("n", Ast.Tint); ("nb", Ast.Tint) ]
+    [
+      decl "jb" (v "n");
+      decl "ops" (i 0);
+      while_ (v "jb" >: i 0)
+        [
+          decl "w" (v "nb");
+          if_ (v "jb" <: v "nb") [ assign "w" (v "jb") ] [];
+          assign "ops" (v "ops" +: v "w");
+          if_ (v "ops" %: i 1000 =: i 999) [ decl "flush" (i 1) ] [];
+          assign "jb" (v "jb" -: v "nb");
+        ];
+      ret (v "ops");
+    ]
+
+(* Tiled dgemm kernels: one per register-blocking shape, dispatched on
+   the panel width's residue. *)
+let dgemm_tile_func k =
+  let name = Printf.sprintf "dgemm_tile_%d" k in
+  let tile = 1 + (k mod 3) in
+  func name
+    [ ("rows", Ast.Tint); ("cols", Ast.Tint) ]
+    ([
+       if_ (v "rows" <=: i 0) [ ret (i 0) ] [];
+       decl "flops" (i 0);
+       decl "rr" (v "rows" %: i (tile + 1));
+     ]
+    @ for_ "b" (i 0) ((v "cols" /: i (tile + 1)) +: i 1)
+        [
+          if_ (v "b" %: i 2 =: i (k mod 2))
+            [ assign "flops" (v "flops" +: i tile) ]
+            [ assign "flops" (v "flops" +: i 1) ];
+        ]
+    @ [
+        if_ (v "rr" <>: i 0) [ assign "flops" (v "flops" +: v "rr") ] [];
+        if_ (v "flops" >: v "rows" *: v "cols") [ ret (v "rows" *: v "cols") ] [];
+        ret (v "flops");
+      ])
+
+(* Pivot-search variants: full column, binary-tournament, threshold. *)
+let pivot_search_func name style =
+  func name
+    [ ("m", Ast.Tint); ("seed", Ast.Tint) ]
+    ([ decl "best" (i 0); decl "s" (v "seed") ]
+    @ (match style with
+      | `Full ->
+        for_ "r" (i 0) (v "m")
+          [
+            assign "s" (((v "s" *: i 16807) +: i 3) %: i 4096);
+            if_ (v "s" >: v "best") [ assign "best" (v "s") ] [];
+          ]
+      | `Tournament ->
+        [
+          decl "span" (v "m");
+          while_ (v "span" >: i 1)
+            [
+              assign "span" ((v "span" +: i 1) /: i 2);
+              assign "s" (((v "s" *: i 16807) +: i 7) %: i 4096);
+              if_ (v "s" %: i 3 =: i 0) [ assign "best" (v "best" +: i 1) ] [];
+              if_ (v "best" >: i 64) [ ret (v "best") ] [];
+            ];
+        ]
+      | `Threshold ->
+        [
+          assign "s" (((v "s" *: i 16807) +: i 11) %: i 4096);
+          if_ (v "s" >: i 2048)
+            [ assign "best" (v "s") ]
+            [ if_ (v "m" >: i 8) [ assign "best" (v "m") ] [ assign "best" (i 1) ] ];
+        ])
+    @ [
+        if_ (v "best" =: i 0) [ ret (i 1) ] [];
+        ret (v "best");
+      ])
+
+(* Phase timers with HPL's wall/cpu split and max/min accounting. *)
+let timer_func phase bias =
+  let name = "timer_" ^ phase in
+  func name
+    [ ("sample", Ast.Tint) ]
+    [
+      decl "tick" (((v "sample" *: i bias) +: i 1) %: i 997);
+      if_ (v "tick" <: i 0) [ assign "tick" (i 0 -: v "tick") ] [];
+      if_ (v "tick" >: i 900) [ ret (i 900) ] [];
+      if_ (v "tick" %: i 7 =: i 0) [ ret (v "tick" +: i 1) ] [];
+      ret (v "tick");
+    ]
+
+(* Random matrix generation, HPL's pdmatgen: per-panel seeding with
+   alignment and transposition branches. *)
+let pdmatgen =
+  func "pdmatgen"
+    [ ("n", Ast.Tint); ("nb", Ast.Tint); ("align", Ast.Tint); ("seed", Ast.Tint) ]
+    ([ decl "cells" (i 0); decl "s" (v "seed") ]
+    @ for_ "panel" (i 0) ((v "n" /: v "nb") +: i 1)
+        [
+          assign "s" (((v "s" *: i 69069) +: i 1) %: i 65536);
+          if_ (v "s" %: i 2 =: i 0) [ assign "cells" (v "cells" +: i 2) ] [];
+          if_ (v "panel" %: v "align" =: i 0)
+            [ assign "cells" (v "cells" +: v "nb") ]
+            [ assign "cells" (v "cells" +: i 1) ];
+        ]
+    @ [
+        if_ (v "cells" <=: i 0) [ ret (i 1) ] [];
+        ret (v "cells");
+      ])
+
+(* Row/column equilibration, selected by the equil parameter. *)
+let equil_scale =
+  func "equil_scale"
+    [ ("n", Ast.Tint); ("nb", Ast.Tint) ]
+    [
+      decl "passes" (i 0);
+      decl "left" (v "n");
+      while_ (v "left" >: v "nb")
+        [
+          assign "left" (v "left" -: v "nb");
+          assign "passes" (v "passes" +: i 1);
+          if_ (v "passes" >: i 100) [ ret (v "passes") ] [];
+        ];
+      if_ (v "left" =: i 0) [ ret (v "passes") ] [];
+      ret (v "passes" +: i 1);
+    ]
+
+(* Serial fallback: only runs on a single process — unreachable for the
+   No_Fwk ablation, which is pinned to an 8-process launch. *)
+let serial_lu =
+  func "serial_lu"
+    [ ("n", Ast.Tint); ("nb", Ast.Tint) ]
+    ([ decl "flops" (i 0) ]
+    @ for_ "col" (i 0) (v "n")
+        [
+          if_ (v "col" %: v "nb" =: i 0)
+            [ assign "flops" (v "flops" +: i 3) ]
+            [ assign "flops" (v "flops" +: i 1) ];
+        ]
+    @ [
+        if_ (v "flops" <: v "n") [ ret (v "n") ] [];
+        if_ (v "flops" >: v "n" *: i 4) [ ret (v "n" *: i 4) ] [];
+        ret (v "flops");
+      ])
+
+(* Wide-machine layout: needs at least 12 processes — beyond the initial
+   8-process launch, so only reachable when the framework raises the
+   process count toward the cap. *)
+let tall_grid_setup =
+  func "tall_grid_setup"
+    [ ("p", Ast.Tint); ("q", Ast.Tint); ("size", Ast.Tint) ]
+    [
+      decl "spare" (v "size" -: (v "p" *: v "q"));
+      if_ (v "spare" <: i 0) [ ret (i (-1)) ] [];
+      if_ (v "spare" >: v "q") [ decl "many_spares" (i 1) ] [];
+      if_ (v "p" >: v "q") [ ret (v "p") ] [];
+      ret (v "q");
+    ]
+
+(* Present in the build, selected by pfact = 3 — but pfact is capped at
+   2, so this variant is statically counted yet never reachable. *)
+let pdfact_custom = pfact_variant "pdfact_custom" 53
+
+(* Residual check on floats: concrete branches only (COMPI does not
+   track floating point symbolically). *)
+let residual =
+  func "residual"
+    [ ("n", Ast.Tint); ("seed", Ast.Tint) ]
+    [
+      declf "norm" (f 1.0 +: (v "seed" %: i 7));
+      declf "resid" (v "n" /: (v "norm" *: f 100.0));
+      if_ (v "resid" <: f 16.0) [ ret (i 1) ] [];
+      ret (i 0);
+    ]
+
+let main =
+  func "main" []
+    (List.map
+       (fun (name, lo, _, default, cap) -> input name ~lo:(min (-8) (lo - 8)) ~cap ~default)
+       params
+    @ [
+        decl "rank" (i 0);
+        decl "size" (i 0);
+        comm_rank Ast.World "rank";
+        comm_size Ast.World "size";
+      ]
+    (* the famous HPL.dat sanity phase: every parameter range-checked;
+       the third check is a parity branch on the concretized value so it
+       adds coverage without letting DFS pin parameters to equalities *)
+    @ List.concat_map
+        (fun (name, lo, hi, _, _) ->
+          [
+            sanity (v name >=: i lo);
+            sanity (v name <=: i hi);
+            if_ ((v name -: i lo) %: i 2 =: i 0) [ decl (name ^ "_even") (i 1) ] [];
+          ])
+        params
+    @ [
+        (* combination checks *)
+        sanity (v "nb" <=: v "n");
+        sanity (v "nbmin" <=: v "nb");
+        sanity (v "p" <=: v "size");
+        sanity (v "q" <=: v "size");
+        sanity (v "p" *: v "q" <=: v "size");
+        sanity (v "depth" <: v "q");
+        sanity (v "swap_thresh" <=: v "n");
+        if_ (v "ns" >: i 2) [ decl "many_problems" (i 1) ] [];
+        (* process grid *)
+        decl "myrow" (i 0);
+        decl "mycol" (i 0);
+        if_ (v "pmap" =: i 0)
+          [ assign "myrow" (v "rank" /: v "q"); assign "mycol" (v "rank" %: v "q") ]
+          [ assign "myrow" (v "rank" %: v "p"); assign "mycol" (v "rank" /: v "p") ];
+        decl "in_grid" (i 0);
+        if_ (v "myrow" <: v "p" &&: (v "mycol" <: v "q")) [ assign "in_grid" (i 1) ] [];
+        (* row/col communicators: rc variables for the framework *)
+        decl "rowcomm" (i 0);
+        comm_split Ast.World ~color:(v "myrow") ~key:(v "mycol") ~into:"rowcomm";
+        decl "colcomm" (i 0);
+        comm_split Ast.World ~color:(v "mycol") ~key:(v "myrow") ~into:"colcomm";
+        decl "rowrank" (i 0);
+        comm_rank (Ast.Comm_var "rowcomm") "rowrank";
+        decl "colrank" (i 0);
+        comm_rank (Ast.Comm_var "colcomm") "colrank";
+        if_ (v "rowrank" =: i 0) [ decl "row_leader" (i 1) ] [];
+        if_ (v "colrank" >: i 1) [ decl "deep_col" (i 1) ] [];
+        (* generation, equilibration, and size-dependent layouts *)
+        decl "gen" (i 0);
+        call_assign "gen" "pdmatgen" [ v "n"; v "nb"; v "align"; v "seed" ];
+        if_ (v "equil" =: i 1)
+          [ decl "eqp" (i 0); call_assign "eqp" "equil_scale" [ v "n"; v "nb" ] ]
+          [];
+        if_ (v "size" =: i 1)
+          [ decl "slu" (i 0); call_assign "slu" "serial_lu" [ v "n"; v "nb" ] ]
+          [];
+        if_ (v "size" >=: i 12)
+          [ decl "tg" (i 0); call_assign "tg" "tall_grid_setup" [ v "p"; v "q"; v "size" ] ]
+          [];
+        if_ (v "pfact" =: i 3)
+          [ decl "pc" (i 0); call_assign "pc" "pdfact_custom" [ v "nb"; v "nb"; v "seed" ] ]
+          [];
+        (* factorization sweep *)
+        decl "piv" (i 0);
+        decl "bres" (i 0);
+        decl "upd" (i 0);
+        decl "swaps" (i 0);
+        decl "total_work" (i 0);
+        decl "j" (i 0);
+        while_
+          (v "j" <: v "n")
+          [
+            decl "width" (v "nb");
+            if_ (v "n" -: v "j" <: v "nb") [ assign "width" (v "n" -: v "j") ] [];
+            call_assign "piv" "rpanel"
+              [ v "width"; v "nbmin"; v "ndiv"; v "pfact"; v "seed" +: v "j" ];
+            (* broadcast variant dispatch *)
+            (let rec dispatch k =
+               if k = 5 then
+                 call_assign "bres" (List.nth bcast_names 5)
+                   [ v "width"; v "mycol"; v "q"; v "mycol" ]
+               else
+                 if_ (v "bcast" =: i k)
+                   [
+                     call_assign "bres" (List.nth bcast_names k)
+                       [ v "width"; v "mycol"; v "q"; v "mycol" ];
+                   ]
+                   [ dispatch (k + 1) ]
+             in
+             dispatch 0);
+            (* swap variant dispatch *)
+            if_ (v "swap" =: i 0)
+              [ call_assign "swaps" "swap_binexch" [ v "width"; v "p"; v "myrow" ] ]
+              [
+                if_ (v "swap" =: i 1)
+                  [ call_assign "swaps" "swap_spread" [ v "width"; v "p"; v "myrow" ] ]
+                  [
+                    if_ (v "width" >: v "swap_thresh")
+                      [ call_assign "swaps" "swap_spread" [ v "width"; v "p"; v "myrow" ] ]
+                      [ call_assign "swaps" "swap_mix" [ v "width"; v "p"; v "myrow" ] ];
+                  ];
+              ];
+            call_assign "upd" "pdupdate" [ v "n"; v "nb"; v "j"; v "l1_trans"; v "u_trans" ];
+            assign "total_work" (v "total_work" +: v "piv" +: v "bres" +: v "swaps" +: v "upd");
+            if_ (v "depth" =: i 1)
+              [
+                (* look-ahead: factor the next panel early *)
+                if_ (v "j" +: v "nb" <: v "n")
+                  [
+                    call_assign "piv" "rpanel"
+                      [ v "nb"; v "nbmin"; v "ndiv"; v "rfact"; v "seed" +: v "j" +: i 1 ];
+                  ]
+                  [];
+              ]
+              [];
+            assign "j" (v "j" +: v "nb");
+          ];
+        (* backward substitution, timing and validation *)
+        decl "ops" (i 0);
+        call_assign "ops" "pdtrsv" [ v "n"; v "nb" ];
+        decl "tsum" (i 0);
+        decl "tt" (i 0);
+        call_assign "tt" "timer_rfact" [ v "total_work" ];
+        assign "tsum" (v "tsum" +: v "tt");
+        call_assign "tt" "timer_pfact" [ v "total_work" +: i 1 ];
+        assign "tsum" (v "tsum" +: v "tt");
+        call_assign "tt" "timer_mxswp" [ v "ops" ];
+        assign "tsum" (v "tsum" +: v "tt");
+        call_assign "tt" "timer_update" [ v "total_work" +: v "ops" ];
+        assign "tsum" (v "tsum" +: v "tt");
+        call_assign "tt" "timer_laswp" [ v "ops" +: i 2 ];
+        assign "tsum" (v "tsum" +: v "tt");
+        call_assign "tt" "timer_ptrsv" [ v "ops" +: i 3 ];
+        assign "tsum" (v "tsum" +: v "tt");
+        if_ (v "tsum" <=: i 0) [ decl "timer_anomaly" (i 1) ] [];
+        decl "passed" (i 0);
+        call_assign "passed" "residual" [ v "n"; v "seed" ];
+        decl "gwork" (i 0);
+        allreduce ~op:Ast.Op_sum (v "total_work") ~into:(Ast.Lvar "gwork");
+        if_ (v "passed" =: i 1)
+          [ if_ (v "equil" =: i 1) [ decl "equilibrated" (i 1) ] [] ]
+          [ decl "failed_residual" (i 1) ];
+        if_ (v "gwork" <=: i 0) [ abort "no work performed" ] [];
+      ])
+
+let target =
+  Registry.make ~name:"hpl"
+    ~description:
+      "Synthetic High-Performance Linpack: 28 marked parameters, deep sanity check, \
+       P x Q grid, recursive panel factorization, 6 broadcast variants, O(N^2/NB) update"
+    ~tuning:
+      {
+        Registry.dfs_phase = 200;
+        depth_bound = 600;
+        key_input = "n";
+        default_cap = 300;
+        initial_nprocs = 8;
+        step_limit = 4_000_000;
+      }
+    (program
+       ([ main; rpanel; pdupdate; pdtrsv; residual ]
+       @ [ pdmatgen; equil_scale; serial_lu; tall_grid_setup; pdfact_custom ]
+       @ List.map dgemm_tile_func [ 0; 1; 2; 3; 4; 5 ]
+       @ [
+           pivot_search_func "pivot_full" `Full;
+           pivot_search_func "pivot_tournament" `Tournament;
+           pivot_search_func "pivot_threshold" `Threshold;
+         ]
+       @ [
+           timer_func "rfact" 13;
+           timer_func "pfact" 17;
+           timer_func "mxswp" 19;
+           timer_func "update" 23;
+           timer_func "laswp" 29;
+           timer_func "ptrsv" 31;
+         ]
+       @ [
+           pfact_variant "pdfact_left" 11;
+           pfact_variant "pdfact_crout" 23;
+           pfact_variant "pdfact_right" 37;
+         ]
+       @ List.mapi bcast_variant bcast_names
+       @ [
+           swap_variant "swap_binexch" `Binexch;
+           swap_variant "swap_spread" `Spread;
+           swap_variant "swap_mix" `Mix;
+         ]))

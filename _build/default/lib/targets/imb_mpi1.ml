@@ -1,0 +1,535 @@
+(* Synthetic IMB-MPI1: the Intel MPI Benchmarks MPI-1 suite driver.
+
+   15 marked inputs select which of the benchmarks run, how many
+   iterations each performs and over which message-length range; an
+   npmin-style sweep re-runs the collectives on sub-communicators of
+   decreasing size (a real Comm_split per subset, feeding rc variables).
+   Every benchmark moves data through the simulator's point-to-point or
+   collective machinery. *)
+
+open Minic
+open Builder
+
+(* The per-benchmark inner loops: each returns a checksum so results
+   feed a final branch. *)
+
+let bench_pingpong =
+  func "bench_pingpong"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       if_ (v "size" <: i 2) [ ret (i 0) ] [];
+       decl "sum" (i 0);
+       decl "buf" (i 0);
+     ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          if_ (v "rank" =: i 0)
+            [
+              send ~dest:(i 1) ~tag:(i 10) (v "msglen" +: v "it");
+              recv ~src:(i 1) ~tag:(i 11) ~into:(Ast.Lvar "buf") ();
+              assign "sum" (v "sum" +: v "buf");
+            ]
+            [
+              if_ (v "rank" =: i 1)
+                [
+                  recv ~src:(i 0) ~tag:(i 10) ~into:(Ast.Lvar "buf") ();
+                  send ~dest:(i 0) ~tag:(i 11) (v "buf" +: i 1);
+                ]
+                [];
+            ];
+        ]
+    @ [ ret (v "sum") ])
+
+let bench_pingping =
+  func "bench_pingping"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       if_ (v "size" <: i 2) [ ret (i 0) ] [];
+       decl "sum" (i 0);
+       decl "buf" (i 0);
+       decl "peer" (i 0);
+       if_ (v "rank" =: i 0) [ assign "peer" (i 1) ] [ assign "peer" (i 0) ];
+     ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          if_ (v "rank" <=: i 1)
+            [
+              send ~dest:(v "peer") ~tag:(i 20) (v "msglen");
+              recv ~src:(v "peer") ~tag:(i 20) ~into:(Ast.Lvar "buf") ();
+              assign "sum" (v "sum" +: v "buf");
+            ]
+            [];
+        ]
+    @ [ ret (v "sum") ])
+
+let bench_sendrecv =
+  func "bench_sendrecv"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       if_ (v "size" <: i 2) [ ret (i 0) ] [];
+       decl "sum" (i 0);
+       decl "buf" (i 0);
+       decl "right" ((v "rank" +: i 1) %: v "size");
+       decl "left" ((v "rank" +: v "size" -: i 1) %: v "size");
+     ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          send ~dest:(v "right") ~tag:(i 30) (v "msglen" +: v "rank");
+          recv ~src:(v "left") ~tag:(i 30) ~into:(Ast.Lvar "buf") ();
+          assign "sum" (v "sum" +: v "buf");
+        ]
+    @ [ ret (v "sum") ])
+
+let bench_exchange =
+  (* the real IMB Exchange uses Isend/Irecv/Waitall: post both receives,
+     fire both sends, then wait *)
+  func "bench_exchange"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       if_ (v "size" <: i 2) [ ret (i 0) ] [];
+       decl "sum" (i 0);
+       decl "buf" (i 0);
+       decl "right" ((v "rank" +: i 1) %: v "size");
+       decl "left" ((v "rank" +: v "size" -: i 1) %: v "size");
+     ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          irecv ~src:(v "left") ~tag:(i 40) ~req:"rreq_l" ();
+          irecv ~src:(v "right") ~tag:(i 41) ~req:"rreq_r" ();
+          isend ~dest:(v "right") ~tag:(i 40) ~req:"sreq_r" (v "msglen");
+          isend ~dest:(v "left") ~tag:(i 41) ~req:"sreq_l" (v "msglen" +: i 1);
+          wait ~into:(Ast.Lvar "buf") (v "rreq_l");
+          assign "sum" (v "sum" +: v "buf");
+          wait ~into:(Ast.Lvar "buf") (v "rreq_r");
+          assign "sum" (v "sum" +: v "buf");
+          wait (v "sreq_r");
+          wait (v "sreq_l");
+        ]
+    @ [ ret (v "sum") ])
+
+(* Collective benchmarks share one shape: parameterize by construction. *)
+let collective_bench name body_stmts =
+  func name
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([ decl "sum" (i 0); decl "buf" (i 0) ]
+    @ for_ "it" (i 0) (v "iters") body_stmts
+    @ [
+        if_ (v "sum" <: i 0) [ ret (i 0) ] [];
+        ret (v "sum");
+      ])
+
+let bench_bcast =
+  collective_bench "bench_bcast"
+    [
+      assign "buf" (v "msglen" +: v "it");
+      bcast ~root:(i 0) (Ast.Lvar "buf");
+      assign "sum" (v "sum" +: v "buf");
+    ]
+
+let bench_allreduce =
+  collective_bench "bench_allreduce"
+    [
+      allreduce ~op:Ast.Op_sum (v "msglen" +: v "rank") ~into:(Ast.Lvar "buf");
+      assign "sum" (v "sum" +: v "buf");
+    ]
+
+let bench_reduce =
+  collective_bench "bench_reduce"
+    [
+      reduce ~op:Ast.Op_max ~root:(i 0) (v "msglen" +: v "rank") ~into:(Ast.Lvar "buf");
+      if_ (v "rank" =: i 0) [ assign "sum" (v "sum" +: v "buf") ] [];
+    ]
+
+let bench_reduce_scatter =
+  collective_bench "bench_reduce_scatter"
+    [
+      (* modelled as reduce followed by scatter through an array *)
+      allreduce ~op:Ast.Op_sum (v "msglen") ~into:(Ast.Lvar "buf");
+      assign "sum" (v "sum" +: (v "buf" /: v "size"));
+    ]
+
+let bench_allgather =
+  collective_bench "bench_allgather"
+    [
+      allgather (v "msglen" +: v "rank") ~into:"gbuf";
+      assign "sum" (v "sum" +: idx "gbuf" (i 0));
+      if_ (len "gbuf" >: i 1) [ assign "sum" (v "sum" +: idx "gbuf" (i 1)) ] [];
+    ]
+
+let bench_gather =
+  collective_bench "bench_gather"
+    [
+      gather ~root:(i 0) (v "msglen" +: v "rank") ~into:"gbuf";
+      if_ (v "rank" =: i 0) [ assign "sum" (v "sum" +: idx "gbuf" (v "size" -: i 1)) ] [];
+    ]
+
+let bench_scatter =
+  func "bench_scatter"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       decl "sum" (i 0);
+       decl "buf" (i 0);
+       decl_arr "sbuf" (v "size");
+     ]
+    @ for_ "k" (i 0) (v "size") [ aset "sbuf" (v "k") (v "msglen" +: v "k") ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          scatter ~root:(i 0) "sbuf" ~into:(Ast.Lvar "buf");
+          assign "sum" (v "sum" +: v "buf");
+        ]
+    @ [ ret (v "sum") ])
+
+let bench_alltoall =
+  func "bench_alltoall"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       decl "sum" (i 0);
+       decl_arr "sbuf" (v "size");
+     ]
+    @ for_ "k" (i 0) (v "size") [ aset "sbuf" (v "k") (v "msglen" +: v "rank" +: v "k") ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          alltoall "sbuf" ~into:"rbuf";
+          assign "sum" (v "sum" +: idx "rbuf" (i 0));
+        ]
+    @ [ ret (v "sum") ])
+
+let bench_barrier =
+  collective_bench "bench_barrier"
+    [ barrier Ast.World; assign "sum" (v "sum" +: i 1) ]
+
+(* The v-variants: counts differ per rank, modelled by branch-rich count
+   computation feeding the regular collective machinery. *)
+let vcount_func =
+  func "vcount"
+    [ ("rank", Ast.Tint); ("size", Ast.Tint); ("msglen", Ast.Tint) ]
+    [
+      decl "c" (v "msglen");
+      if_ (v "rank" =: i 0) [ assign "c" (v "c" +: v "size") ] [];
+      if_ (v "rank" %: i 2 =: i 1) [ assign "c" (v "c" +: i 1) ] [];
+      if_ (v "c" >: i 4096) [ assign "c" (i 4096) ] [];
+      if_ (v "c" <=: i 0) [ assign "c" (i 1) ] [];
+      ret (v "c");
+    ]
+
+let bench_allgatherv =
+  collective_bench "bench_allgatherv"
+    [
+      decl "cnt" (i 0);
+      call_assign "cnt" "vcount" [ v "rank"; v "size"; v "msglen" ];
+      allgather (v "cnt") ~into:"gbuf";
+      assign "sum" (v "sum" +: idx "gbuf" (v "size" -: i 1));
+    ]
+
+let bench_gatherv =
+  collective_bench "bench_gatherv"
+    [
+      decl "cnt" (i 0);
+      call_assign "cnt" "vcount" [ v "rank"; v "size"; v "msglen" ];
+      gather ~root:(i 0) (v "cnt") ~into:"gbuf";
+      if_ (v "rank" =: i 0)
+        [
+          if_ (len "gbuf" >: i 2)
+            [ assign "sum" (v "sum" +: idx "gbuf" (i 2)) ]
+            [ assign "sum" (v "sum" +: idx "gbuf" (i 0)) ];
+        ]
+        [];
+    ]
+
+let bench_scatterv =
+  func "bench_scatterv"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       decl "sum" (i 0);
+       decl "buf" (i 0);
+       decl_arr "sbuf" (v "size");
+     ]
+    @ for_ "k" (i 0) (v "size")
+        [
+          if_ (v "k" %: i 3 =: i 0)
+            [ aset "sbuf" (v "k") (v "msglen" *: i 2) ]
+            [ aset "sbuf" (v "k") (v "msglen") ];
+        ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          scatter ~root:(i 0) "sbuf" ~into:(Ast.Lvar "buf");
+          if_ (v "buf" >: v "msglen") [ assign "sum" (v "sum" +: i 2) ]
+            [ assign "sum" (v "sum" +: i 1) ];
+        ]
+    @ [ ret (v "sum") ])
+
+(* Uniband: a window of outstanding nonblocking sends from even ranks to
+   their odd neighbour, measuring one-directional message rate. *)
+let bench_uniband =
+  func "bench_uniband"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       if_ (v "size" <: i 2) [ ret (i 0) ] [];
+       if_ (v "rank" >=: i 2) [ ret (i 0) ] [];
+       decl "sum" (i 0);
+       decl "buf" (i 0);
+     ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          if_ (v "rank" =: i 0)
+            [
+              isend ~dest:(i 1) ~tag:(i 60) ~req:"w0" (v "msglen");
+              isend ~dest:(i 1) ~tag:(i 61) ~req:"w1" (v "msglen" +: i 1);
+              wait (v "w0");
+              wait (v "w1");
+              recv ~src:(i 1) ~tag:(i 62) ~into:(Ast.Lvar "buf") ();
+              assign "sum" (v "sum" +: v "buf");
+            ]
+            [
+              irecv ~src:(i 0) ~tag:(i 60) ~req:"r0" ();
+              irecv ~src:(i 0) ~tag:(i 61) ~req:"r1" ();
+              wait ~into:(Ast.Lvar "buf") (v "r0");
+              assign "sum" (v "sum" +: v "buf");
+              wait ~into:(Ast.Lvar "buf") (v "r1");
+              assign "sum" (v "sum" +: v "buf");
+              send ~dest:(i 0) ~tag:(i 62) (v "sum" %: i 1000);
+            ];
+        ]
+    @ [ ret (v "sum") ])
+
+(* Biband: both directions at once, the nonblocking exchange stressed. *)
+let bench_biband =
+  func "bench_biband"
+    [ ("iters", Ast.Tint); ("msglen", Ast.Tint); ("rank", Ast.Tint); ("size", Ast.Tint) ]
+    ([
+       if_ (v "size" <: i 2) [ ret (i 0) ] [];
+       if_ (v "rank" >=: i 2) [ ret (i 0) ] [];
+       decl "sum" (i 0);
+       decl "buf" (i 0);
+       decl "peer" (i 1 -: v "rank");
+     ]
+    @ for_ "it" (i 0) (v "iters")
+        [
+          irecv ~src:(v "peer") ~tag:(i 63) ~req:"rr" ();
+          isend ~dest:(v "peer") ~tag:(i 63) ~req:"sr" (v "msglen" +: v "rank");
+          wait ~into:(Ast.Lvar "buf") (v "rr");
+          wait (v "sr");
+          assign "sum" (v "sum" +: v "buf");
+          if_ (v "sum" >: i 1000000) [ assign "sum" (v "sum" /: i 2) ] [];
+        ]
+    @ [ ret (v "sum") ])
+
+(* Post-run latency statistics: min/max/avg classification per length. *)
+let latency_stats_func k =
+  let name = Printf.sprintf "latency_stats_%d" k in
+  func name
+    [ ("sample", Ast.Tint); ("iters", Ast.Tint) ]
+    [
+      if_ (v "iters" <=: i 0) [ ret (i 0) ] [];
+      decl "avg" (v "sample" /: v "iters");
+      if_ (v "avg" <: i k) [ ret (i k) ] [];
+      if_ (v "avg" >: i (1000 * (k + 1))) [ ret (i (1000 * (k + 1))) ] [];
+      if_ (v "avg" %: i (k + 3) =: i 1) [ ret (v "avg" +: i 1) ] [];
+      ret (v "avg");
+    ]
+
+(* One-sided benchmarks exist in IMB-RMA, not MPI-1: kept in the build
+   behind an impossible guard (iters is capped at 100), statically
+   counted but unreachable — the Table III reachable/total gap. *)
+let bench_rma_put =
+  collective_bench "bench_rma_put"
+    [
+      allreduce ~op:Ast.Op_max (v "msglen") ~into:(Ast.Lvar "buf");
+      if_ (v "buf" >: i 0) [ assign "sum" (v "sum" +: v "buf") ] [];
+      if_ (v "it" %: i 16 =: i 15) [ barrier Ast.World ] [];
+    ]
+
+let benches =
+  [
+    ("run_pingpong", "bench_pingpong");
+    ("run_pingping", "bench_pingping");
+    ("run_sendrecv", "bench_sendrecv");
+    ("run_exchange", "bench_exchange");
+    ("run_bcast", "bench_bcast");
+    ("run_allreduce", "bench_allreduce");
+    ("run_reduce", "bench_reduce");
+    ("run_reduce_scatter", "bench_reduce_scatter");
+    ("run_allgather", "bench_allgather");
+    ("run_gather", "bench_gather");
+    ("run_scatter", "bench_scatter");
+    ("run_alltoall", "bench_alltoall");
+  ]
+
+(* benches keyed off derived conditions rather than their own flag *)
+let extra_benches =
+  [
+    ("run_allgather", "bench_allgatherv");
+    ("run_gather", "bench_gatherv");
+    ("run_scatter", "bench_scatterv");
+  ]
+
+let main =
+  func "main" []
+    ([
+       (* 15 marked inputs: iteration count (the paper's N, capped at
+          100), message-length exponents, npmin, and 11 benchmark
+          selection flags (alltoall is keyed off msgexp parity) *)
+       input "iters" ~lo:(-8) ~cap:100 ~default:10;
+       input "minexp" ~lo:(-8) ~cap:8 ~default:0;
+       input "maxexp" ~lo:(-8) ~cap:12 ~default:4;
+       input "npmin" ~lo:(-8) ~cap:16 ~default:2;
+     ]
+    @ List.map
+        (fun (flag, _) -> input flag ~lo:(-8) ~cap:1 ~default:1)
+        (List.filteri (fun k _ -> k < 11) benches)
+    @ [
+        decl "rank" (i 0);
+        decl "size" (i 0);
+        comm_rank Ast.World "rank";
+        comm_size Ast.World "size";
+        sanity (v "iters" >=: i 1);
+        sanity (v "minexp" >=: i 0);
+        sanity (v "maxexp" >=: v "minexp");
+        sanity (v "maxexp" <=: i 20);
+        sanity (v "npmin" >=: i 1);
+        sanity (v "npmin" <=: v "size");
+      ]
+    @ List.concat_map
+        (fun (flag, _) -> [ sanity (v flag >=: i 0); sanity (v flag <=: i 1) ])
+        (List.filteri (fun k _ -> k < 11) benches)
+    @ [
+        decl "checksum" (i 0);
+        decl "r" (i 0);
+        decl "e" (v "minexp");
+        while_
+          (v "e" <=: v "maxexp")
+          ([
+             decl "msglen" (Ast.Binop (Ast.Shl, i 1, v "e"));
+           ]
+          @ List.concat_map
+              (fun (flag, bench) ->
+                let guarded call_stmts =
+                  if flag = "run_alltoall" then
+                    (* alltoall keyed off message-length parity instead of
+                       a flag: exactly 11 flags + parity = 12 benches *)
+                    [ if_ (v "e" %: i 2 =: i 0) call_stmts [] ]
+                  else [ if_ (v flag =: i 1) call_stmts [] ]
+                in
+                guarded
+                  [
+                    call_assign "r" bench [ v "iters"; v "msglen"; v "rank"; v "size" ];
+                    assign "checksum" (v "checksum" +: v "r");
+                  ])
+              benches
+          @ List.concat_map
+              (fun (flag, bench) ->
+                (* v-variants run when the flag is set AND the message is
+                   large enough to make uneven counts interesting *)
+                [
+                  if_
+                    (v flag =: i 1 &&: (v "e" >=: i 2))
+                    [
+                      call_assign "r" bench [ v "iters"; v "msglen"; v "rank"; v "size" ];
+                      assign "checksum" (v "checksum" +: v "r");
+                    ]
+                    [];
+                ])
+              extra_benches
+          @ [
+              (* IMB-RMA lives in another suite: guard can never hold
+                 because iters is capped at 100 *)
+              if_
+                (v "iters" >: i 100)
+                [
+                  call_assign "r" "bench_rma_put" [ v "iters"; v "msglen"; v "rank"; v "size" ];
+                  assign "checksum" (v "checksum" +: v "r");
+                ]
+                [];
+              assign "e" (v "e" +: i 1);
+            ])
+        (* npmin sweep: re-run two collectives on shrinking process subsets *);
+        decl "active" (v "size");
+        while_
+          (v "active" >=: v "npmin")
+          [
+            decl "color" (i 0);
+            if_ (v "rank" <: v "active") [ assign "color" (i 1) ] [];
+            decl "subcomm" (i 0);
+            comm_split Ast.World ~color:(v "color") ~key:(v "rank") ~into:"subcomm";
+            if_ (v "color" =: i 1)
+              [
+                decl "subrank" (i 0);
+                decl "subsize" (i 0);
+                comm_rank (Ast.Comm_var "subcomm") "subrank";
+                comm_size (Ast.Comm_var "subcomm") "subsize";
+                decl "gsum" (i 0);
+                allreduce ~comm:(Ast.Comm_var "subcomm") ~op:Ast.Op_sum (v "subrank")
+                  ~into:(Ast.Lvar "gsum");
+                assign "checksum" (v "checksum" +: v "gsum");
+                if_ (v "subrank" =: i 0)
+                  [ if_ (v "subsize" %: i 2 =: i 1) [ decl "odd_subset" (i 1) ] [] ]
+                  [];
+              ]
+              [];
+            assign "active" ((v "active" +: i 1) /: i 2);
+            if_ (v "active" <=: i 1) [ assign "active" (v "npmin" -: i 1) ] [];
+          ];
+        (* bandwidth pair benchmarks when ping-pong was selected *)
+        if_ (v "run_pingpong" =: i 1)
+          [
+            call_assign "r" "bench_uniband" [ v "iters"; i 64; v "rank"; v "size" ];
+            assign "checksum" (v "checksum" +: v "r");
+            call_assign "r" "bench_biband" [ v "iters"; i 64; v "rank"; v "size" ];
+            assign "checksum" (v "checksum" +: v "r");
+          ]
+          [];
+        (* closing barrier benchmark, always run *)
+        call_assign "r" "bench_barrier" [ v "iters"; i 0; v "rank"; v "size" ];
+        assign "checksum" (v "checksum" +: v "r");
+        (* per-length latency classification *)
+        decl "lat" (i 0);
+        call_assign "lat" "latency_stats_0" [ v "checksum"; v "iters" ];
+        call_assign "lat" "latency_stats_1" [ v "checksum" +: v "lat"; v "iters" ];
+        call_assign "lat" "latency_stats_2" [ v "checksum" +: v "lat"; v "iters" ];
+        call_assign "lat" "latency_stats_3" [ v "checksum" +: v "lat"; v "iters" ];
+        if_ (v "lat" <: i 0) [ abort "negative latency" ] [];
+        if_ (v "checksum" <: i 0) [ abort "checksum underflow" ] [];
+      ])
+
+let target =
+  Registry.make ~name:"imb-mpi1"
+    ~description:
+      "Synthetic Intel MPI Benchmarks (MPI-1): 15 marked inputs, 12 benchmarks over real \
+       point-to-point and collective traffic, message-length and npmin sweeps"
+    ~tuning:
+      {
+        Registry.dfs_phase = 100;
+        depth_bound = 300;
+        key_input = "iters";
+        default_cap = 100;
+        initial_nprocs = 8;
+        step_limit = 4_000_000;
+      }
+    (program
+       [
+         main;
+         bench_pingpong;
+         bench_pingping;
+         bench_sendrecv;
+         bench_exchange;
+         bench_bcast;
+         bench_allreduce;
+         bench_reduce;
+         bench_reduce_scatter;
+         bench_allgather;
+         bench_gather;
+         bench_scatter;
+         bench_alltoall;
+         bench_barrier;
+         vcount_func;
+         bench_allgatherv;
+         bench_gatherv;
+         bench_scatterv;
+         bench_rma_put;
+         bench_uniband;
+         bench_biband;
+         latency_stats_func 0;
+         latency_stats_func 1;
+         latency_stats_func 2;
+         latency_stats_func 3;
+       ])

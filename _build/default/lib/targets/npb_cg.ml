@@ -1,0 +1,164 @@
+(* NPB CG-style target (beyond the paper): the NAS conjugate-gradient
+   benchmark's shape — generate a sparse symmetric matrix, run niter
+   outer iterations each containing an inner CG solve whose dot products
+   are global allreduces, update the zeta eigenvalue estimate, and check
+   it against the class reference when the problem matches a class size.
+
+   Clean by construction (no seeded bug): used as the well-behaved
+   coverage workload, and by the examples as a realistic solver. *)
+
+open Minic
+open Builder
+
+let makea =
+  func "makea"
+    [ ("na", Ast.Tint); ("nonzer", Ast.Tint); ("seed", Ast.Tint) ]
+    ([ decl "nnz" (i 0); decl "s" (v "seed") ]
+    @ for_ "row" (i 0) ((v "na" /: i 8) +: i 1)
+        ([
+           assign "s" (((v "s" *: i 1220703125) +: i 1) %: i 33554432);
+           if_ (v "s" <: i 0) [ assign "s" (i 0 -: v "s") ] [];
+         ]
+        @ for_ "e" (i 0) (v "nonzer")
+            [
+              if_ ((v "s" +: v "e") %: i 3 =: i 0)
+                [ assign "nnz" (v "nnz" +: i 2) ]
+                [ assign "nnz" (v "nnz" +: i 1) ];
+            ]
+        @ [
+            if_ (v "row" %: i 16 =: i 15) [ assign "nnz" (v "nnz" +: i 1) ] [];
+          ])
+    @ [
+        if_ (v "nnz" <=: i 0) [ ret (i 1) ] [];
+        ret (v "nnz");
+      ])
+
+let sparse_matvec =
+  func "sparse_matvec"
+    [ ("rows", Ast.Tint); ("nonzer", Ast.Tint); ("x", Ast.Tint) ]
+    ([ decl "y" (i 0) ]
+    @ for_ "r" (i 0) (v "rows")
+        [
+          if_ (v "r" %: i 2 =: i 0)
+            [ assign "y" (v "y" +: (v "x" %: i 97)) ]
+            [ assign "y" (v "y" +: (v "x" %: i 89) +: v "nonzer") ];
+        ]
+    @ [
+        if_ (v "y" <: i 0) [ ret (i 0) ] [];
+        ret (v "y");
+      ])
+
+let conj_grad =
+  func "conj_grad"
+    [ ("rows", Ast.Tint); ("nonzer", Ast.Tint); ("seed", Ast.Tint) ]
+    [
+      decl "rho" (v "seed" %: i 1000 +: i 1);
+      decl "p" (v "rho");
+      decl "iter" (i 0);
+      decl "rnorm" (v "rows" *: i 4);
+      while_
+        (v "iter" <: i 25)
+        [
+          decl "q" (i 0);
+          call_assign "q" "sparse_matvec" [ v "rows"; v "nonzer"; v "p" ];
+          (* global dot products: d = p.q and rho' = r.r *)
+          decl "d" (i 0);
+          allreduce ~op:Ast.Op_sum (v "q" %: i 1000) ~into:(Ast.Lvar "d");
+          if_ (v "d" =: i 0) [ assign "d" (i 1) ] [];
+          decl "alpha" (v "rho" /: v "d");
+          decl "rho_new" (i 0);
+          allreduce ~op:Ast.Op_sum ((v "rho" +: v "alpha") %: i 997) ~into:(Ast.Lvar "rho_new");
+          if_ (v "rho_new" =: i 0) [ assign "rho_new" (i 1) ] [];
+          decl "beta" (v "rho_new" /: v "rho");
+          assign "p" ((v "p" *: v "beta") %: i 10007 +: i 1);
+          assign "rho" (v "rho_new");
+          assign "rnorm" ((v "rnorm" *: i 7) /: i 8);
+          if_ (v "rnorm" <=: i 1) [ ret (v "iter" +: i 1) ] [];
+          assign "iter" (v "iter" +: i 1);
+        ];
+      ret (i 25);
+    ]
+
+let class_reference =
+  func "class_reference"
+    [ ("na", Ast.Tint) ]
+    [
+      (* NAS class table, scaled to the capped problem sizes *)
+      if_ (v "na" =: i 64) [ ret (i 865) ] [];  (* class S *)
+      if_ (v "na" =: i 128) [ ret (i 2510) ] [];  (* class W *)
+      if_ (v "na" =: i 256) [ ret (i 4426) ] [];  (* class A *)
+      ret (i 0);  (* no reference: verification skipped *)
+    ]
+
+let main =
+  func "main" []
+    [
+      input "na" ~lo:(-8) ~cap:256 ~default:64;
+      input "nonzer" ~lo:(-8) ~cap:8 ~default:3;
+      input "niter" ~lo:(-8) ~cap:10 ~default:3;
+      input "shift" ~lo:(-8) ~cap:50 ~default:10;
+      input "seed" ~lo:(-8) ~cap:9999 ~default:314;
+      decl "rank" (i 0);
+      decl "size" (i 0);
+      comm_rank Ast.World "rank";
+      comm_size Ast.World "size";
+      sanity (v "na" >=: i 16);
+      sanity (v "nonzer" >=: i 1);
+      sanity (v "niter" >=: i 1);
+      sanity (v "shift" >=: i 0);
+      sanity (v "seed" >: i 0);
+      sanity (v "na" >=: v "size");
+      (* row-block partition *)
+      decl "rows" (v "na" /: v "size");
+      if_ (v "rank" <: v "na" %: v "size") [ assign "rows" (v "rows" +: i 1) ] [];
+      if_ (v "rows" <: i 1) [ exit_ (i 1) ] [];
+      decl "nnz" (i 0);
+      call_assign "nnz" "makea" [ v "na"; v "nonzer"; v "seed" +: v "rank" ];
+      decl "zeta" (v "shift");
+      decl "cg_its" (i 0);
+      decl "it" (i 0);
+      while_
+        (v "it" <: v "niter")
+        [
+          call_assign "cg_its" "conj_grad" [ v "rows"; v "nonzer"; v "seed" +: v "it" ];
+          (* zeta = shift + 1/ (x.z): modelled on capped integers *)
+          decl "dot" (i 0);
+          allreduce ~op:Ast.Op_sum (v "cg_its" +: v "rank") ~into:(Ast.Lvar "dot");
+          if_ (v "dot" =: i 0) [ assign "dot" (i 1) ] [];
+          assign "zeta" (v "shift" +: ((v "nnz" %: i 1000) /: v "dot") +: v "it");
+          assign "it" (v "it" +: i 1);
+        ];
+      (* verification against the class table *)
+      decl "reference" (i 0);
+      call_assign "reference" "class_reference" [ v "na" ];
+      if_ (v "reference" >: i 0)
+        [
+          decl "err" (v "zeta" *: i 100 -: v "reference");
+          if_ (v "err" <: i 0) [ assign "err" (i 0 -: v "err") ] [];
+          if_ (v "err" <: v "reference")
+            [ decl "verified" (i 1) ]
+            [ decl "unverified" (i 1) ];
+        ]
+        [];
+      decl "gz" (i 0);
+      reduce ~op:Ast.Op_max ~root:(i 0) (v "zeta") ~into:(Ast.Lvar "gz");
+      if_ (v "rank" =: i 0)
+        [ if_ (v "gz" <: i 0) [ abort "negative eigenvalue estimate" ] [] ]
+        [];
+    ]
+
+let target =
+  Registry.make ~name:"npb-cg"
+    ~description:
+      "NAS CG-style conjugate-gradient benchmark (beyond the paper): sparse matvec, \
+       allreduce dot products, class-table verification; clean workload"
+    ~tuning:
+      {
+        Registry.dfs_phase = 40;
+        depth_bound = 300;
+        key_input = "na";
+        default_cap = 256;
+        initial_nprocs = 8;
+        step_limit = 4_000_000;
+      }
+    (program [ main; makea; sparse_matvec; conj_grad; class_reference ])

@@ -1,0 +1,22 @@
+type tuning = {
+  dfs_phase : int;
+  depth_bound : int;
+  key_input : string;
+  default_cap : int;
+  initial_nprocs : int;
+  step_limit : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  program : Minic.Ast.program;
+  tuning : tuning;
+}
+
+let make ~name ~description ~tuning program =
+  { name; description; program = Minic.Check.check_exn program; tuning }
+
+(* CIL-style pipeline: simplify (constant folding, dead branches), then
+   assign branch ids. *)
+let instrument t = Minic.Branchinfo.instrument (Minic.Opt.simplify_program t.program)

@@ -1,0 +1,30 @@
+(** The evaluation targets and their per-target tuning.
+
+    The tuning mirrors the paper's experiment setup (section VI): the
+    pure-DFS phase length, the BoundedDFS depth limit estimated from it,
+    the headline input [N] with its default cap, and the initial process
+    count. *)
+
+type tuning = {
+  dfs_phase : int;  (** x: pure-DFS iterations before BoundedDFS *)
+  depth_bound : int;  (** BoundedDFS depth limit *)
+  key_input : string;  (** the paper's N for this program *)
+  default_cap : int;  (** default cap NC for the key input *)
+  initial_nprocs : int;
+  step_limit : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  program : Minic.Ast.program;  (** validated, not yet instrumented *)
+  tuning : tuning;
+}
+
+val make : name:string -> description:string -> tuning:tuning -> Minic.Ast.program -> t
+(** Validates the program with {!Minic.Check} (raises on errors). *)
+
+val instrument : t -> Minic.Branchinfo.t
+
+(** The full catalogue lives in {!Catalog} (it must see every target
+    module, so it cannot be defined here). *)

@@ -1,0 +1,697 @@
+(* Synthetic SUSY-HMC: a lattice RHMC skeleton reproducing the
+   control-flow shape of SUSY LATTICE's susy_hmc application (Schaich &
+   DeGrand) as used in the paper's evaluation:
+
+   - 13 marked inputs (four lattice dimensions capped at NC = 5, solver
+     and trajectory parameters);
+   - a deep sanity check, including the gate [nt >= size] that is
+     unsatisfiable under a fixed 8-process launch with the dimension cap
+     at 5 — exactly why No_Fwk collapses to a few percent coverage on
+     this program (Table VI);
+   - communicator splits whose local ranks feed branches (rc variables);
+   - the paper's four seeded bugs:
+       bug 1-3: malloc under-allocation ("sizeof(**src)" pattern) in
+                setup_sources / setup_gauge / congrad_alloc, each behind
+                a different input guard, causing segfaults;
+       bug 4:   a division by zero in layout_timeslices that manifests
+                with 2 or 4 processes (given specific lattice inputs)
+                but never with 1 or 3;
+   - a loop-based RHMC solver phase whose per-dimension force, gather
+     and plaquette kernels are generated programmatically, providing the
+     loop-generated redundant constraints that constraint-set reduction
+     targets (Table V / Figure 9). *)
+
+open Minic
+open Builder
+
+let dims = [ "nx"; "ny"; "nz"; "nt" ]
+
+(* Per-dimension sanity: range checks plus parity/divisibility branches. *)
+let check_dim_func d =
+  func ("check_dim_" ^ d)
+    [ (d, Ast.Tint); ("size", Ast.Tint) ]
+    [
+      sanity (v d >=: i 1);
+      sanity (v d <=: i 6);
+      if_ (v d %: i 2 =: i 0) [ decl "even_layout" (i 1) ] [ decl "odd_layout" (i 1) ];
+      if_ (v d =: i 1) [ decl "degenerate" (i 1) ] [];
+      if_ (v d >=: v "size") [ decl "wide" (i 1) ] [ decl "narrow" (i 1) ];
+      if_ (v d %: i 3 =: i 0) [ decl "triple" (i 1) ] [];
+      ret (v d);
+    ]
+
+(* Per-dimension force kernel: boundary and parity branches in a loop. *)
+let force_func d =
+  let n = "n_" ^ d in
+  func ("force_" ^ d)
+    [ (n, Ast.Tint); ("parity", Ast.Tint) ]
+    ([ decl "acc" (i 0) ]
+    @ for_ "s" (i 0) (v n)
+        [
+          if_ (v "s" =: i 0)
+            [ assign "acc" (v "acc" +: i 3) ]
+            [
+              if_ (v "s" =: v n -: i 1)
+                [ assign "acc" (v "acc" +: i 2) ]
+                [ assign "acc" (v "acc" +: i 1) ];
+            ];
+          if_
+            ((v "s" +: v "parity") %: i 2 =: i 0)
+            [ assign "acc" (v "acc" *: i 1) ]
+            [];
+        ]
+    @ [
+        if_ (v "acc" >: i 12) [ ret (v "acc" -: i 12) ] [];
+        if_ (v "acc" =: i 0) [ ret (i 1) ] [];
+        ret (v "acc");
+      ])
+
+(* Per-direction gather kernel (forward/backward per dimension). *)
+let gather_func d fb =
+  let name = Printf.sprintf "gather_%s_%s" d fb in
+  func name
+    [ ("extent", Ast.Tint); ("stride", Ast.Tint) ]
+    [
+      if_ (v "extent" <=: i 1) [ ret (i 0) ] [];
+      decl "hops" (i 0);
+      if_ (v "stride" >: v "extent") [ assign "hops" (v "extent") ] [ assign "hops" (v "stride") ];
+      if_ (v "hops" %: i 2 =: i 1) [ assign "hops" (v "hops" +: i 1) ] [];
+      if_ (v "hops" >=: i 6) [ assign "hops" (i 6) ] [];
+      ret (v "hops");
+    ]
+
+(* Plaquette measurement per plane: nested loop with wrap-around
+   branches — a rich source of repeated constraints. *)
+let plaquette_func (d1, d2) =
+  let name = Printf.sprintf "plaquette_%s%s" d1 d2 in
+  func name
+    [ ("a", Ast.Tint); ("b", Ast.Tint) ]
+    ([ decl "sum" (i 0) ]
+    @ for_ "p" (i 0) (v "a")
+        ([
+           if_ (v "p" =: v "a" -: i 1)
+             [ decl "wrap_a" (i 1) ]
+             [ decl "inner_a" (i 1) ];
+         ]
+        @ for_ "q" (i 0) (v "b")
+            [
+              if_ (v "q" =: v "b" -: i 1)
+                [ assign "sum" (v "sum" +: i 2) ]
+                [ assign "sum" (v "sum" +: i 1) ];
+              if_ ((v "p" +: v "q") %: i 2 =: i 0) [ assign "sum" (v "sum" +: i 1) ] [];
+            ])
+    @ [
+        if_ (v "sum" >: v "a" *: v "b") [ ret (v "sum") ] [];
+        if_ (v "sum" =: i 0) [ ret (i 1) ] [];
+        ret (v "sum" +: i 1);
+      ])
+
+(* Observable moments, one small function per order. *)
+let moment_func k =
+  let name = Printf.sprintf "moment_%d" k in
+  func name
+    [ ("val", Ast.Tint) ]
+    [
+      if_ (v "val" <: i 0) [ ret (i 0) ] [];
+      if_ (v "val" %: i (k + 2) =: i 0) [ ret (v "val" /: i (k + 2)) ] [];
+      if_ (v "val" >: i (10 * (k + 1))) [ ret (i (10 * (k + 1))) ] [];
+      ret (v "val");
+    ]
+
+(* BUG 1 (segfault): the paper's "sizeof of a doubly-dereferenced
+   pointer" under-allocation — nroot cells allocated where 4*nroot are
+   written once nsrc > 2 selects the multi-source path. *)
+let setup_sources =
+  func "setup_sources"
+    [ ("nroot", Ast.Tint); ("nsrc", Ast.Tint) ]
+    ([
+       decl_arr "src" (v "nroot");  (* intended: nroot * 4 *)
+     ]
+    @ for_ "k" (i 0) (v "nroot") [ aset "src" (v "k") (v "k") ]
+    @ [
+        if_
+          (v "nsrc" >: i 2)
+          (for_ "k2" (i 0) (v "nroot" *: i 4) [ aset "src" (v "k2") (i 0) ])
+          [];
+        ret (i 0);
+      ])
+
+(* BUG 2 (segfault): plaquette buffer sized vol/4 instead of vol; the
+   long-measurement path (gauge_iter > 10) writes the full volume. *)
+let setup_gauge =
+  func "setup_gauge"
+    [ ("vol", Ast.Tint); ("gauge_iter", Ast.Tint) ]
+    ([
+       decl_arr "plaq" ((v "vol" /: i 4) +: i 1);  (* intended: vol *)
+     ]
+    @ for_ "k" (i 0) ((v "vol" /: i 4) +: i 1) [ aset "plaq" (v "k") (i 1) ]
+    @ [
+        if_
+          (v "gauge_iter" >: i 10)
+          (for_ "k2" (i 0) (v "vol") [ aset "plaq" (v "k2") (i 2) ])
+          [];
+        ret (i 0);
+      ])
+
+(* BUG 3 (segfault): multi-mass shift buffer sized nroot instead of
+   nroot * multi_mass. *)
+let congrad_alloc =
+  func "congrad_alloc"
+    [ ("nroot", Ast.Tint); ("multi_mass", Ast.Tint) ]
+    ([
+       decl_arr "shifts" (v "nroot");  (* intended: nroot * multi_mass *)
+     ]
+    @ for_ "k" (i 0) (v "nroot") [ aset "shifts" (v "k") (v "k" +: i 1) ]
+    @ [
+        if_
+          (v "multi_mass" >: i 1)
+          (for_ "k2" (i 0) (v "nroot" *: v "multi_mass") [ aset "shifts" (v "k2") (i 0) ])
+          [];
+        ret (i 0);
+      ])
+
+(* BUG 4 (floating point exception): manifests with 2 or 4 processes
+   given specific lattice dimensions, never with 1 or 3 — the paper's
+   process-count-dependent division by zero. *)
+let layout_timeslices =
+  func "layout_timeslices"
+    [ ("vol", Ast.Tint); ("nx", Ast.Tint); ("nz", Ast.Tint); ("size", Ast.Tint) ]
+    [
+      decl "slices" (v "vol");
+      if_ (v "size" =: i 2)
+        [
+          decl "rem2" (v "nx" -: v "nz");
+          assign "slices" (v "vol" /: v "rem2");  (* FPE when nx == nz *)
+        ]
+        [
+          if_ (v "size" =: i 4)
+            [
+              decl "rem4" (v "nz" -: v "nx" -: i 1);
+              assign "slices" (v "vol" /: v "rem4");  (* FPE when nz == nx+1 *)
+            ]
+            [];
+        ];
+      ret (v "slices");
+    ]
+
+(* Gauge-link update per dimension and parity: the leapfrog integrator's
+   inner kernel. *)
+let link_update_func d parity =
+  let name = Printf.sprintf "link_update_%s_%s" d (if parity = 0 then "even" else "odd") in
+  func name
+    [ ("extent", Ast.Tint); ("eps", Ast.Tint) ]
+    ([
+       if_ (v "extent" <=: i 0) [ ret (i 0) ] [];
+       decl "acc" (i 0);
+     ]
+    @ for_ "s" (i 0) (v "extent")
+        [
+          if_ ((v "s" +: i parity) %: i 2 =: i 0)
+            [ assign "acc" (v "acc" +: v "eps") ]
+            [];
+          if_ (v "acc" >: i 1000) [ assign "acc" (v "acc" -: i 1000) ] [];
+        ]
+    @ [
+        if_ (v "eps" >: v "extent") [ ret (v "acc" +: i 1) ] [];
+        ret (v "acc");
+      ])
+
+(* Gaussian momenta refresh, one kernel per pseudofermion field. *)
+let momenta_func k =
+  let name = Printf.sprintf "momenta_refresh_%d" k in
+  func name
+    [ ("seed", Ast.Tint) ]
+    [
+      decl "g" (((v "seed" *: i (31 + k)) +: i 17) %: i 1024);
+      if_ (v "g" <: i 0) [ assign "g" (i 0 -: v "g") ] [];
+      if_ (v "g" >: i 512) [ assign "g" (i 1024 -: v "g") ] [];
+      if_ (v "g" %: i (k + 2) =: i 0) [ ret (v "g" +: i k) ] [];
+      ret (v "g");
+    ]
+
+(* Stages of the twisted fermion operator applied during CG. *)
+let fermion_op_func stage bias =
+  let name = "fermion_op_" ^ stage in
+  func name
+    [ ("vol", Ast.Tint); ("vec", Ast.Tint) ]
+    ([
+       decl "norm" (i 0);
+       decl "x" (v "vec");
+       if_ (v "x" <: i 0) [ assign "x" (i 0 -: v "x") ] [];
+     ]
+    @ for_ "site" (i 0) ((v "vol" /: i 8) +: i 1)
+        [
+          assign "x" (((v "x" *: i 5) +: i bias) %: i 8192);
+          if_ (v "x" <: i 1024) [ assign "norm" (v "norm" +: i 1) ] [];
+          if_ (v "site" %: i 4 =: i 3) [ assign "norm" (v "norm" +: v "x" %: i 3) ] [];
+        ]
+    @ [
+        if_ (v "norm" =: i 0) [ ret (i 1) ] [];
+        if_ (v "norm" >: v "vol") [ ret (v "vol") ] [];
+        ret (v "norm");
+      ])
+
+(* Project links back onto the group after updates. *)
+let reunitarize =
+  func "reunitarize"
+    [ ("vol", Ast.Tint); ("drift", Ast.Tint) ]
+    ([ decl "fixed" (i 0); decl "d" (v "drift") ]
+    @ for_ "site" (i 0) ((v "vol" /: i 16) +: i 1)
+        [
+          assign "d" ((v "d" *: i 3) %: i 97);
+          if_ (v "d" >: i 48) [ assign "fixed" (v "fixed" +: i 1) ] [];
+        ]
+    @ [
+        if_ (v "fixed" >: v "vol" /: i 2) [ ret (i (-1)) ] [];
+        ret (v "fixed");
+      ])
+
+(* Landau gauge fixing sweep used by some measurements. *)
+let gauge_fix =
+  func "gauge_fix"
+    [ ("vol", Ast.Tint); ("max_sweeps", Ast.Tint) ]
+    [
+      decl "theta" (v "vol" *: i 4);
+      decl "sweep" (i 0);
+      while_
+        (v "theta" >: i 8)
+        [
+          assign "theta" ((v "theta" *: i 5) /: i 8);
+          assign "sweep" (v "sweep" +: i 1);
+          if_ (v "sweep" >=: v "max_sweeps") [ ret (v "sweep") ] [];
+          if_ (v "sweep" %: i 5 =: i 4) [ assign "theta" (v "theta" -: i 1) ] [];
+        ];
+      ret (v "sweep");
+    ]
+
+(* Rational-approximation CG solver: convergence loop with restart
+   branches; the dominant source of loop-repeated constraints. *)
+let congrad =
+  func "congrad"
+    [ ("vol", Ast.Tint); ("tol_exp", Ast.Tint); ("seed", Ast.Tint) ]
+    [
+      decl "resid" (v "vol" *: i 16);
+      decl "iter" (i 0);
+      decl "rstate" (v "seed");
+      decl "vec" (v "seed" +: i 1);
+      while_
+        (v "resid" >: v "tol_exp")
+        [
+          (* one application of the fermion operator chain *)
+          call_assign "vec" "fermion_op_dplus" [ v "vol"; v "vec" ];
+          call_assign "vec" "fermion_op_dminus" [ v "vol"; v "vec" ];
+          if_ (v "iter" %: i 4 =: i 0)
+            [ call_assign "vec" "fermion_op_dsq" [ v "vol"; v "vec" ] ]
+            [];
+          assign "rstate" (((v "rstate" *: i 1103) +: i 12345) %: i 1000);
+          if_ (v "rstate" <: i 200)
+            [ assign "resid" ((v "resid" *: i 2) /: i 3) ]
+            [ assign "resid" ((v "resid" *: i 3) /: i 4) ];
+          if_ (v "iter" %: i 8 =: i 7) [ assign "resid" (v "resid" -: i 1) ] [];
+          assign "iter" (v "iter" +: i 1);
+          if_ (v "iter" >=: i 60) [ ret (v "iter") ] [];
+        ];
+      if_ (v "iter" >: i 30)
+        [ decl "rres" (i 0); call_assign "rres" "fermion_op_rational" [ v "vol"; v "vec" ] ]
+        [];
+      ret (v "iter");
+    ]
+
+let accept_reject =
+  func "accept_reject"
+    [ ("rstate", Ast.Tint); ("step", Ast.Tint) ]
+    [
+      decl "metric" (((v "rstate" *: i 75) +: v "step") %: i 100);
+      if_ (v "metric" <: i 70) [ ret (i 1) ] [];
+      if_ (v "metric" >: i 95) [ ret (i (-1)) ] [];
+      ret (i 0);
+    ]
+
+let planes = [ ("x", "y"); ("x", "z"); ("x", "t"); ("y", "z"); ("y", "t"); ("z", "t") ]
+
+(* Wilson loops of increasing size: one kernel per loop extent. *)
+let wilson_loop_func k =
+  let name = Printf.sprintf "wilson_loop_%d" k in
+  func name
+    [ ("extent", Ast.Tint); ("vol", Ast.Tint) ]
+    ([
+       if_ (v "extent" <: i k) [ ret (i 0) ] [];
+       decl "acc" (i 0);
+     ]
+    @ for_ "step" (i 0) (v "extent" -: i (k - 1))
+        [
+          if_ (v "step" %: i 2 =: i 0)
+            [ assign "acc" (v "acc" +: i k) ]
+            [ assign "acc" (v "acc" +: i 1) ];
+        ]
+    @ [
+        if_ (v "acc" >: v "vol") [ ret (v "vol") ] [];
+        if_ (v "acc" =: i 0) [ ret (i 1) ] [];
+        ret (v "acc");
+      ])
+
+(* Fermion boundary exchange per direction: uses real point-to-point
+   traffic along a ring when more than one process is present. *)
+let fermion_exchange_func d =
+  let name = Printf.sprintf "fermion_exchange_%s" d in
+  func name
+    [ ("rank", Ast.Tint); ("size", Ast.Tint); ("payload", Ast.Tint) ]
+    [
+      if_ (v "size" <=: i 1) [ ret (v "payload") ] [];
+      decl "right" ((v "rank" +: i 1) %: v "size");
+      decl "left" ((v "rank" +: v "size" -: i 1) %: v "size");
+      decl "buf" (i 0);
+      send ~dest:(v "right") ~tag:(i 77) (v "payload");
+      recv ~src:(v "left") ~tag:(i 77) ~into:(Ast.Lvar "buf") ();
+      if_ (v "buf" <: i 0) [ ret (i 0) ] [];
+      if_ (v "buf" >: i 100000) [ ret (i 100000) ] [];
+      ret (v "buf");
+    ]
+
+(* Checkpointing: branch-rich serialization bookkeeping. *)
+let checkpoint_write =
+  func "checkpoint_write"
+    [ ("traj", Ast.Tint); ("vol", Ast.Tint); ("rank", Ast.Tint) ]
+    ([
+       decl "records" (i 0);
+       if_ (v "rank" <>: i 0) [ ret (i 0) ] [];
+       if_ (v "traj" =: i 0) [ decl "fresh_file" (i 1) ] [ decl "append_mode" (i 1) ];
+     ]
+    @ for_ "blk" (i 0) ((v "vol" /: i 16) +: i 1)
+        [
+          if_ (v "blk" %: i 4 =: i 3)
+            [ assign "records" (v "records" +: i 2) ]
+            [ assign "records" (v "records" +: i 1) ];
+        ]
+    @ [
+        if_ (v "records" =: i 0) [ abort "empty checkpoint" ] [];
+        ret (v "records");
+      ])
+
+let checkpoint_read =
+  func "checkpoint_read"
+    [ ("records", Ast.Tint); ("vol", Ast.Tint) ]
+    [
+      if_ (v "records" <=: i 0) [ ret (i (-1)) ] [];
+      decl "expected" ((v "vol" /: i 16) +: i 1);
+      if_ (v "records" <: v "expected") [ ret (i (-2)) ] [];
+      if_ (v "records" >: v "expected" *: i 2) [ ret (i (-3)) ] [];
+      ret (i 0);
+    ]
+
+(* Eigenvalue measurement: present in the build but only selected when
+   multi_mass exceeds its cap — statically counted, never reachable,
+   like the paper's configuration-dependent unreachable branches. *)
+let eig_measure =
+  func "eig_measure"
+    [ ("vol", Ast.Tint); ("nev", Ast.Tint) ]
+    ([ decl "converged" (i 0); decl "resid" (v "vol") ]
+    @ for_ "sweep" (i 0) (v "nev")
+        [
+          assign "resid" ((v "resid" *: i 7) /: i 8);
+          if_ (v "resid" <: v "nev") [ assign "converged" (v "converged" +: i 1) ] [];
+          if_ (v "converged" >: i 16) [ ret (v "converged") ] [];
+        ]
+    @ [
+        if_ (v "converged" =: i 0) [ ret (i (-1)) ] [];
+        ret (v "converged");
+      ])
+
+let dim_var d = v d
+
+let measure =
+  func "measure"
+    [ ("nx", Ast.Tint); ("ny", Ast.Tint); ("nz", Ast.Tint); ("nt", Ast.Tint); ("nsrc", Ast.Tint) ]
+    ([ decl "obs" (i 0); decl "tmp" (i 0) ]
+    @ List.concat_map
+        (fun (d1, d2) ->
+          [
+            call_assign "tmp"
+              (Printf.sprintf "plaquette_%s%s" d1 d2)
+              [ v ("n" ^ d1); v ("n" ^ d2) ];
+            assign "obs" (v "obs" +: v "tmp");
+          ])
+        planes
+    @ List.concat_map
+        (fun k ->
+          [
+            call_assign "tmp" (Printf.sprintf "moment_%d" k) [ v "obs" +: i k ];
+            assign "obs" (v "obs" +: (v "tmp" %: i 97));
+          ])
+        [ 0; 1; 2; 3; 4; 5 ]
+    @ List.concat_map
+        (fun k ->
+          [
+            call_assign "tmp"
+              (Printf.sprintf "wilson_loop_%d" k)
+              [ v "nx"; v "nx" *: v "ny" *: v "nz" *: v "nt" ];
+            assign "obs" (v "obs" +: v "tmp");
+          ])
+        [ 1; 2; 3; 4 ]
+    @ [
+        (* gauge-fixed measurements every fourth source *)
+        decl "vol4" (v "nx" *: v "ny" *: v "nz" *: v "nt");
+        if_ (v "nsrc" >=: i 2)
+          [
+            decl "gf" (i 0);
+            call_assign "gf" "gauge_fix" [ v "vol4"; v "nsrc" *: i 4 ];
+            assign "obs" (v "obs" +: v "gf");
+          ]
+          [];
+        decl "reu" (i 0);
+        call_assign "reu" "reunitarize" [ v "vol4"; v "obs" ];
+        if_ (v "reu" <: i 0) [ abort "reunitarization diverged" ] [];
+        if_ (v "nsrc" >=: i 4) [ assign "obs" (v "obs" *: i 2) ] [];
+        ret (v "obs");
+      ])
+
+let update_step =
+  func "update_step"
+    [
+      ("nx", Ast.Tint); ("ny", Ast.Tint); ("nz", Ast.Tint); ("nt", Ast.Tint);
+      ("nsteps", Ast.Tint); ("rstate0", Ast.Tint);
+    ]
+    ([ decl "f" (i 0); decl "g" (i 0); decl "action" (i 0); decl "mom" (i 0) ]
+    @ List.concat_map
+        (fun k ->
+          [
+            call_assign "mom" (Printf.sprintf "momenta_refresh_%d" k) [ v "rstate0" +: i k ];
+            assign "action" (v "action" +: v "mom");
+          ])
+        [ 0; 1; 2; 3 ]
+    @ for_ "step" (i 0) (v "nsteps")
+        (List.concat_map
+           (fun d ->
+             [
+               call_assign "f" ("force_" ^ d) [ dim_var ("n" ^ d); v "step" ];
+               assign "action" (v "action" +: v "f");
+               call_assign "f"
+                 (Printf.sprintf "link_update_%s_even" d)
+                 [ dim_var ("n" ^ d); v "step" +: i 1 ];
+               assign "action" (v "action" +: v "f");
+               call_assign "f"
+                 (Printf.sprintf "link_update_%s_odd" d)
+                 [ dim_var ("n" ^ d); v "step" +: i 2 ];
+               assign "action" (v "action" +: v "f");
+             ])
+           [ "x"; "y"; "z"; "t" ]
+        @ List.concat_map
+            (fun (d, fb) ->
+              [
+                call_assign "g"
+                  (Printf.sprintf "gather_%s_%s" d fb)
+                  [ v ("n" ^ d); v "step" +: i 1 ];
+                assign "action" (v "action" +: v "g");
+              ])
+            [ ("x", "fwd"); ("x", "bwd"); ("y", "fwd"); ("y", "bwd");
+              ("z", "fwd"); ("z", "bwd"); ("t", "fwd"); ("t", "bwd") ]
+        @ [
+            if_ (v "action" %: i 13 =: i 0) [ assign "action" (v "action" +: i 1) ] [];
+          ])
+    @ [ ret (v "action" +: v "rstate0") ])
+
+let main =
+  func "main" []
+    ([
+       (* 13 marked inputs; dimensions capped at NC = 5 by default *)
+       input "nx" ~lo:(-8) ~cap:5 ~default:4;
+       input "ny" ~lo:(-8) ~cap:5 ~default:4;
+       input "nz" ~lo:(-8) ~cap:5 ~default:4;
+       input "nt" ~lo:(-8) ~cap:5 ~default:4;
+       input "nroot" ~lo:(-8) ~cap:8 ~default:2;
+       input "warms" ~lo:(-8) ~cap:6 ~default:1;
+       input "trajecs" ~lo:(-8) ~cap:6 ~default:2;
+       input "nsteps" ~lo:(-8) ~cap:6 ~default:2;
+       input "nsrc" ~lo:(-8) ~cap:8 ~default:1;
+       input "seed" ~lo:(-64) ~cap:1024 ~default:17;
+       input "tol_exp" ~lo:(-8) ~cap:12 ~default:4;
+       input "gauge_iter" ~lo:(-8) ~cap:20 ~default:3;
+       input "multi_mass" ~lo:(-8) ~cap:4 ~default:1;
+       decl "rank" (i 0);
+       decl "size" (i 0);
+       comm_rank Ast.World "rank";
+       comm_size Ast.World "size";
+       decl "chk" (i 0);
+     ]
+    (* per-dimension sanity *)
+    @ List.concat_map
+        (fun d -> [ call_assign "chk" ("check_dim_" ^ d) [ v d; v "size" ] ])
+        dims
+    @ [
+        (* parameter sanity *)
+        sanity (v "nroot" >=: i 1);
+        sanity (v "warms" >=: i 0);
+        sanity (v "trajecs" >=: i 1);
+        sanity (v "nsteps" >=: i 1);
+        sanity (v "nsrc" >=: i 1);
+        sanity (v "seed" >: i 0);
+        sanity (v "tol_exp" >=: i 1);
+        sanity (v "tol_exp" <=: i 12);
+        sanity (v "gauge_iter" >=: i 1);
+        sanity (v "multi_mass" >=: i 1);
+        (* combination sanity *)
+        decl "vol" (v "nx" *: v "ny" *: v "nz" *: v "nt");
+        sanity (v "vol" >=: i 1);
+        sanity (v "vol" <=: i 2048);
+        (* THE framework gate: with the dimension cap at 5, nt >= size is
+           unsatisfiable under a fixed 8-process launch *)
+        sanity (v "nt" >=: v "size");
+        if_ (v "size" =: i 1)
+          [ decl "serial" (i 1) ]
+          [
+            (* concretized divisibility: small sizes make this easy *)
+            if_ (v "vol" %: v "size" <>: i 0) [ exit_ (i 1) ] [];
+          ];
+        (* communicator splits: rc variables and rank-dependent branches *)
+        decl "pcomm" (i 0);
+        comm_split Ast.World ~color:(v "rank" %: i 2) ~key:(v "rank") ~into:"pcomm";
+        decl "prank" (i 0);
+        decl "psize" (i 0);
+        comm_rank (Ast.Comm_var "pcomm") "prank";
+        comm_size (Ast.Comm_var "pcomm") "psize";
+        if_ (v "prank" =: i 1) [ decl "parity_leader" (i 1) ] [];
+        decl "tcomm" (i 0);
+        comm_split Ast.World ~color:(v "rank" /: i 2) ~key:(i 0 -: v "rank") ~into:"tcomm";
+        decl "trank" (i 0);
+        comm_rank (Ast.Comm_var "tcomm") "trank";
+        if_ (v "trank" >: i 0) [ decl "slice_worker" (i 1) ] [];
+        (* layout: contains the process-count-dependent FPE (bug 4) *)
+        decl "slices" (i 0);
+        call_assign "slices" "layout_timeslices" [ v "vol"; v "nx"; v "nz"; v "size" ];
+        (* setup: contains the three malloc bugs *)
+        call "setup_sources" [ v "nroot"; v "nsrc" ];
+        call "setup_gauge" [ v "vol"; v "gauge_iter" ];
+        call "congrad_alloc" [ v "nroot"; v "multi_mass" ];
+        (* warmup *)
+        decl "cg_iters" (i 0);
+        decl "rstate" (v "seed");
+      ]
+    @ for_ "w" (i 0) (v "warms")
+        [
+          call_assign "cg_iters" "congrad" [ v "vol"; v "tol_exp"; v "rstate" ];
+          assign "rstate" ((v "rstate" +: v "cg_iters") %: i 100000 +: i 1);
+        ]
+    @ [ decl "accepted" (i 0); decl "action" (i 0); decl "verdict" (i 0); decl "obs" (i 0) ]
+    @ for_ "traj" (i 0) (v "trajecs")
+        [
+          call_assign "action" "update_step"
+            [ v "nx"; v "ny"; v "nz"; v "nt"; v "nsteps"; v "rstate" ];
+          call_assign "cg_iters" "congrad" [ v "vol"; v "tol_exp"; v "rstate" +: v "traj" ];
+          call_assign "verdict" "accept_reject" [ v "rstate"; v "traj" ];
+          if_ (v "verdict" =: i 1) [ assign "accepted" (v "accepted" +: i 1) ] [];
+          if_ (v "verdict" =: i (-1)) [ assign "rstate" (v "rstate" +: i 7) ] [];
+          if_
+            (v "traj" %: i 2 =: i 0)
+            [ call_assign "obs" "measure" [ v "nx"; v "ny"; v "nz"; v "nt"; v "nsrc" ] ]
+            [];
+          (* boundary exchange along each lattice direction *)
+          decl "halo" (v "action");
+          call_assign "halo" "fermion_exchange_x" [ v "rank"; v "size"; v "halo" ];
+          call_assign "halo" "fermion_exchange_y" [ v "rank"; v "size"; v "halo" ];
+          call_assign "halo" "fermion_exchange_z" [ v "rank"; v "size"; v "halo" ];
+          call_assign "halo" "fermion_exchange_t" [ v "rank"; v "size"; v "halo" ];
+          (* periodic checkpoint *)
+          decl "ckpt" (i 0);
+          if_
+            (v "traj" %: i 3 =: i 2)
+            [
+              call_assign "ckpt" "checkpoint_write" [ v "traj"; v "vol"; v "rank" ];
+              if_ (v "rank" =: i 0)
+                [
+                  decl "ok" (i 0);
+                  call_assign "ok" "checkpoint_read" [ v "ckpt"; v "vol" ];
+                  if_ (v "ok" <>: i 0) [ abort "checkpoint verification failed" ] [];
+                ]
+                [];
+            ]
+            [];
+          (* eigenvalue measurement: requires multi_mass > 4, which input
+             capping forbids — statically present, dynamically dead *)
+          if_
+            (v "multi_mass" >: i 4)
+            [ call_assign "obs" "eig_measure" [ v "vol"; v "multi_mass" ] ]
+            [];
+          assign "rstate" ((v "rstate" *: i 31 +: v "action") %: i 100000 +: i 1);
+        ]
+    @ [
+        (* global observable reduction *)
+        decl "gobs" (i 0);
+        allreduce ~op:Ast.Op_sum (v "obs" +: v "accepted") ~into:(Ast.Lvar "gobs");
+        if_ (v "gobs" <: i 0) [ abort "negative global observable" ] [];
+        decl "maxiters" (i 0);
+        reduce ~op:Ast.Op_max ~root:(i 0) (v "cg_iters") ~into:(Ast.Lvar "maxiters");
+        if_ (v "rank" =: i 0)
+          [ if_ (v "maxiters" >=: i 60) [ decl "slow_converge" (i 1) ] [] ]
+          [];
+      ])
+
+let target =
+  Registry.make ~name:"susy-hmc"
+    ~description:
+      "Synthetic SUSY LATTICE RHMC component: 13 marked inputs, deep sanity check, \
+       communicator splits, 4 seeded bugs (3 malloc segfaults, 1 process-count-dependent FPE)"
+    ~tuning:
+      {
+        Registry.dfs_phase = 50;
+        depth_bound = 500;
+        key_input = "nx";
+        default_cap = 5;
+        initial_nprocs = 8;
+        step_limit = 2_000_000;
+      }
+    (program
+       ([ main ]
+       @ List.map check_dim_func dims
+       @ List.map force_func [ "x"; "y"; "z"; "t" ]
+       @ List.map (fun (d, fb) -> gather_func d fb)
+           [ ("x", "fwd"); ("x", "bwd"); ("y", "fwd"); ("y", "bwd");
+             ("z", "fwd"); ("z", "bwd"); ("t", "fwd"); ("t", "bwd") ]
+       @ List.map plaquette_func planes
+       @ List.map moment_func [ 0; 1; 2; 3; 4; 5 ]
+       @ List.map wilson_loop_func [ 1; 2; 3; 4 ]
+       @ List.map fermion_exchange_func [ "x"; "y"; "z"; "t" ]
+       @ List.concat_map
+           (fun d -> [ link_update_func d 0; link_update_func d 1 ])
+           [ "x"; "y"; "z"; "t" ]
+       @ List.map momenta_func [ 0; 1; 2; 3 ]
+       @ [
+           fermion_op_func "dplus" 11;
+           fermion_op_func "dminus" 29;
+           fermion_op_func "dsq" 43;
+           fermion_op_func "rational" 71;
+           reunitarize;
+           gauge_fix;
+         ]
+       @ [
+           setup_sources;
+           setup_gauge;
+           congrad_alloc;
+           layout_timeslices;
+           congrad;
+           accept_reject;
+           measure;
+           update_step;
+           checkpoint_write;
+           checkpoint_read;
+           eig_measure;
+         ]))

@@ -1,0 +1,95 @@
+(* The two illustrative programs of the paper.
+
+   [fig1] is the sequential example of Figure 1: two marked inputs, a
+   bug hidden behind [x == 100], and a second branch on x/2 + y
+   (linearized as x + 2y so the constraint stays symbolic).
+
+   [fig2] is the MPI skeleton of Figure 2: read inputs, sanity-check
+   them (including a combination x*y), distribute work by rank, and run
+   a loop-based solver. Branch 4F of the paper — reachable only when a
+   non-zero rank sees y >= 100 — is the one standard concolic testing
+   misses and COMPI's focus shifting finds. *)
+
+open Minic
+open Builder
+
+let fig1 =
+  Registry.make ~name:"toy-fig1"
+    ~description:"Figure 1: sequential concolic example with a hidden bug"
+    ~tuning:
+      {
+        Registry.dfs_phase = 4;
+        depth_bound = 50;
+        key_input = "x";
+        default_cap = 500;
+        initial_nprocs = 1;
+        step_limit = 100_000;
+      }
+    (program
+       [
+         func "main" []
+           [
+             input "x" ~lo:(-1000) ~cap:500 ~default:10;
+             input "y" ~lo:(-1000) ~cap:500 ~default:50;
+             if_ (v "x" =: i 100)
+               [ abort "BUG: reached the x == 100 cell" ]  (* 0F *)
+               [];
+             if_
+               (v "x" +: (i 2 *: v "y") >: i 400)  (* 1T *)
+               [ decl "w" (v "x" +: v "y") ]
+               [ decl "w" (v "x" -: v "y") ];
+           ];
+       ])
+
+let fig2 =
+  Registry.make ~name:"toy-fig2"
+    ~description:"Figure 2: SPMD skeleton with rank-dependent branches"
+    ~tuning:
+      {
+        Registry.dfs_phase = 8;
+        depth_bound = 100;
+        key_input = "x";
+        default_cap = 200;
+        initial_nprocs = 4;
+        step_limit = 200_000;
+      }
+    (program
+       [
+         func "solve_step" [ ("x", Ast.Tint); ("k", Ast.Tint) ]
+           [
+             if_ (v "k" %: i 2 =: i 0) [ ret (v "x" -: i 1) ] [];
+             ret (v "x" -: i 2);
+           ];
+         func "main" []
+           [
+             input "x" ~lo:0 ~cap:200 ~default:10;
+             input "y" ~lo:0 ~cap:200 ~default:50;
+             (* sanity check: x, y and their combination *)
+             sanity (v "x" >: i 0);  (* 0 *)
+             sanity (v "y" >: i 0);  (* 1 *)
+             sanity (v "x" *: v "y" <: i 30000);  (* 2 *)
+             decl "rank" (i 0);
+             decl "size" (i 0);
+             comm_rank Ast.World "rank";
+             comm_size Ast.World "size";
+             if_
+               (v "rank" =: i 0)  (* 3 *)
+               [ decl "role" (i 1) ]
+               [
+                 (* 4: only non-zero ranks can see both sides of this *)
+                 if_ (v "y" <: i 100) [ decl "light_work" (i 1) ] [ decl "heavy_work" (i 1) ];
+               ];
+             (* loop-based solver *)
+             decl "w" (v "x");
+             decl "k" (i 0);
+             while_
+               (v "w" >: i 0)  (* 5 *)
+               [
+                 call_assign "w" "solve_step" [ v "w"; v "k" ];
+                 assign "k" (v "k" +: i 1);
+               ];
+             decl "total" (i 0);
+             allreduce ~op:Ast.Op_sum (v "k") ~into:(Ast.Lvar "total");
+             if_ (v "total" >: i 0) [] [];  (* 6 *)
+           ];
+       ])

@@ -1,0 +1,1 @@
+test/test_compi.ml: Alcotest Ast Branchinfo Builder Check Compi Concolic Coverage Execution Filename Int Lazy List Minic Smt String Symtab Sys Targets Unix

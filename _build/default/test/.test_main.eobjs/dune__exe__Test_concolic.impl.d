@@ -1,0 +1,1 @@
+test/test_concolic.ml: Alcotest Array Branchinfo Builder Cfg Check Concolic Coverage Execution Gen Hashtbl List Minic Pathlog QCheck QCheck_alcotest Smt Strategy String Symtab

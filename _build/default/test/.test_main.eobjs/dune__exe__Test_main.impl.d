@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_compi Test_concolic Test_minic Test_mpisim Test_parse Test_smt Test_targets

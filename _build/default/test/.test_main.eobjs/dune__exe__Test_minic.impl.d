@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Ast Branchinfo Builder Cfg Check Fault Format Gen Hashtbl Interp List Minic Opt Pretty Printf QCheck QCheck_alcotest Smt String

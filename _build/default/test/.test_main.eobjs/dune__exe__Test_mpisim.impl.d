@@ -1,0 +1,1 @@
+test/test_mpisim.ml: Alcotest Array Ast Branchinfo Builder Check Collectives Fault Gen Int Interp List Minic Mpi_iface Mpisim QCheck QCheck_alcotest Rankmap Scheduler String Trace Value

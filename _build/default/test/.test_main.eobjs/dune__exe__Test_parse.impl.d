@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Ast Branchinfo Check Compi Concolic Fault Filename Format In_channel Interp List Minic Mpisim Parse Pretty Sys Targets

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Constr Domain Fmt Linexp List Model Option QCheck QCheck_alcotest Smt Solver Varid

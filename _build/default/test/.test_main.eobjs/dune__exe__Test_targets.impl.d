@@ -1,0 +1,1 @@
+test/test_targets.ml: Alcotest Branchinfo Check Compi Concolic Fault List Minic Pretty Printf Targets

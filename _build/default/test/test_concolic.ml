@@ -1,0 +1,498 @@
+(* Tests for the concolic engine: coverage store, symbol table, path log
+   with constraint-set reduction, execution records, search strategies. *)
+
+open Concolic
+
+let mk_constr ?(rel = Smt.Constr.Lt) var k =
+  Smt.Constr.cmp (Smt.Linexp.var var) rel (Smt.Linexp.const k)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_coverage_basics () =
+  let c = Coverage.create () in
+  Coverage.add_branch c 4;
+  Coverage.add_branch c 4;
+  Coverage.add_branch c 5;
+  Coverage.add_func c "main";
+  Alcotest.(check int) "distinct branches" 2 (Coverage.covered_branches c);
+  Alcotest.(check bool) "mem" true (Coverage.mem_branch c 4);
+  Alcotest.(check bool) "not mem" false (Coverage.mem_branch c 9);
+  Alcotest.(check bool) "func" true (Coverage.encountered c "main")
+
+let test_coverage_absorb () =
+  let a = Coverage.create () and b = Coverage.create () in
+  Coverage.add_branch a 1;
+  Coverage.add_branch b 2;
+  Coverage.add_func b "f";
+  Coverage.absorb ~into:a b;
+  Alcotest.(check int) "union" 2 (Coverage.covered_branches a);
+  Alcotest.(check bool) "func carried" true (Coverage.encountered a "f");
+  (* absorb must not mutate the source *)
+  Alcotest.(check int) "source untouched" 1 (Coverage.covered_branches b)
+
+(* ------------------------------------------------------------------ *)
+(* Symtab                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_symtab_input_reuse () =
+  let tab = Symtab.create () in
+  let v1 = Symtab.fresh_input tab ~name:"n" ~hi:100 ~concrete:5 () in
+  let v2 = Symtab.fresh_input tab ~name:"n" ~hi:100 ~concrete:5 () in
+  let v3 = Symtab.fresh_input tab ~name:"m" ~concrete:7 () in
+  Alcotest.(check int) "same var" v1 v2;
+  Alcotest.(check bool) "distinct inputs distinct vars" true (v1 <> v3);
+  Alcotest.(check int) "two entries" 2 (List.length (Symtab.entries tab))
+
+let test_symtab_sem_fresh_per_invocation () =
+  let tab = Symtab.create () in
+  let r1 = Symtab.fresh_sem tab ~kind:Symtab.Rank_world ~concrete:0 () in
+  let r2 = Symtab.fresh_sem tab ~kind:Symtab.Rank_world ~concrete:0 () in
+  Alcotest.(check bool) "each invocation a fresh rw" true (r1 <> r2)
+
+let test_symtab_model_and_domains () =
+  let tab = Symtab.create () in
+  let vn = Symtab.fresh_input tab ~name:"n" ~lo:0 ~hi:300 ~concrete:42 () in
+  let vs = Symtab.fresh_sem tab ~kind:Symtab.Size_world ~concrete:8 () in
+  let model = Symtab.model tab in
+  Alcotest.(check (option int)) "n concrete" (Some 42) (Smt.Model.find vn model);
+  Alcotest.(check (option int)) "sw concrete" (Some 8) (Smt.Model.find vs model);
+  let doms = Symtab.domains tab in
+  (match Smt.Varid.Map.find_opt vn doms with
+  | Some d ->
+    Alcotest.(check int) "cap hi" 300 d.Smt.Domain.hi;
+    Alcotest.(check int) "cap lo" 0 d.Smt.Domain.lo
+  | None -> Alcotest.fail "missing domain");
+  match Smt.Varid.Map.find_opt vs doms with
+  | Some d -> Alcotest.(check int) "sw lo 1" 1 d.Smt.Domain.lo
+  | None -> Alcotest.fail "missing sw domain"
+
+let test_symtab_input_projection () =
+  let tab = Symtab.create () in
+  let vn = Symtab.fresh_input tab ~name:"n" ~concrete:1 () in
+  let _ = Symtab.fresh_sem tab ~kind:Symtab.Rank_world ~concrete:0 () in
+  let solved = Smt.Model.of_bindings [ (vn, 99) ] in
+  Alcotest.(check (list (pair string int))) "projection" [ ("n", 99) ]
+    (Symtab.input_values tab solved)
+
+(* ------------------------------------------------------------------ *)
+(* Pathlog & constraint-set reduction                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pathlog_no_reduction () =
+  let log = Pathlog.create ~reduce:false in
+  for _ = 1 to 100 do
+    Pathlog.record log ~cond_id:3 ~taken:true ~constr:(Some (mk_constr 0 100))
+  done;
+  Pathlog.record log ~cond_id:3 ~taken:false ~constr:(Some (mk_constr ~rel:Smt.Constr.Ge 0 100));
+  Alcotest.(check int) "all kept" 101 (Pathlog.constraint_count log);
+  Alcotest.(check int) "all events" 101 (Pathlog.branch_events log)
+
+let test_pathlog_reduction_loop () =
+  (* The paper's Figure 7: a loop produces 100 same-direction constraints
+     and one final flip; reduction keeps the first and the flip. *)
+  let log = Pathlog.create ~reduce:true in
+  for _ = 1 to 100 do
+    Pathlog.record log ~cond_id:3 ~taken:true ~constr:(Some (mk_constr 0 100))
+  done;
+  Pathlog.record log ~cond_id:3 ~taken:false ~constr:(Some (mk_constr ~rel:Smt.Constr.Ge 0 100));
+  Alcotest.(check int) "first + flip" 2 (Pathlog.constraint_count log);
+  Alcotest.(check int) "coverage events all kept" 101 (Pathlog.branch_events log)
+
+let test_pathlog_reduction_alternating () =
+  (* Alternating outcomes always flip, so nothing is dropped. *)
+  let log = Pathlog.create ~reduce:true in
+  for k = 0 to 9 do
+    Pathlog.record log ~cond_id:1 ~taken:(k mod 2 = 0) ~constr:(Some (mk_constr 0 k))
+  done;
+  Alcotest.(check int) "no drops when flipping" 10 (Pathlog.constraint_count log)
+
+let test_pathlog_reduction_per_conditional () =
+  (* Reduction state is per conditional statement. *)
+  let log = Pathlog.create ~reduce:true in
+  Pathlog.record log ~cond_id:1 ~taken:true ~constr:(Some (mk_constr 0 1));
+  Pathlog.record log ~cond_id:2 ~taken:true ~constr:(Some (mk_constr 0 2));
+  Pathlog.record log ~cond_id:1 ~taken:true ~constr:(Some (mk_constr 0 3));
+  Pathlog.record log ~cond_id:2 ~taken:true ~constr:(Some (mk_constr 0 4));
+  Alcotest.(check int) "one per conditional" 2 (Pathlog.constraint_count log)
+
+let test_pathlog_concrete_branches () =
+  let log = Pathlog.create ~reduce:true in
+  Pathlog.record log ~cond_id:5 ~taken:true ~constr:None;
+  Pathlog.record log ~cond_id:5 ~taken:false ~constr:None;
+  Alcotest.(check int) "no constraints" 0 (Pathlog.constraint_count log);
+  Alcotest.(check int) "events recorded" 2 (Pathlog.branch_events log)
+
+let test_pathlog_constraints_order () =
+  let log = Pathlog.create ~reduce:false in
+  Pathlog.record log ~cond_id:0 ~taken:true ~constr:(Some (mk_constr 0 10));
+  Pathlog.record log ~cond_id:1 ~taken:false ~constr:(Some (mk_constr 0 20));
+  let arr = Pathlog.constraints log in
+  Alcotest.(check int) "two" 2 (Array.length arr);
+  Alcotest.(check int) "first branch id" (Minic.Branchinfo.branch_of_cond 0 true) (fst arr.(0));
+  Alcotest.(check int) "second branch id" (Minic.Branchinfo.branch_of_cond 1 false) (fst arr.(1))
+
+let test_pathlog_serialize_roundtrip () =
+  let log = Pathlog.create ~reduce:false in
+  Pathlog.record log ~cond_id:0 ~taken:true ~constr:(Some (mk_constr 3 10));
+  Pathlog.record log ~cond_id:1 ~taken:false ~constr:None;
+  Pathlog.record log ~cond_id:2 ~taken:true ~constr:(Some (mk_constr ~rel:Smt.Constr.Ge 4 7));
+  let text = Pathlog.serialize log in
+  Alcotest.(check int) "one record per event" (Pathlog.branch_events log)
+    (Pathlog.parse_count text);
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go k = k + nn <= nh && (String.sub text k nn = needle || go (k + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions var x3" true (contains "1*3");
+  Alcotest.(check bool) "mentions relation" true (contains "<");
+  Alcotest.(check bool) "grows with events" true
+    (String.length text > 3 * String.length "1\n")
+
+let test_pathlog_serialize_reduction_smaller () =
+  let fill log =
+    for _ = 1 to 500 do
+      Pathlog.record log ~cond_id:9 ~taken:true ~constr:(Some (mk_constr 0 100))
+    done
+  in
+  let with_r = Pathlog.create ~reduce:true in
+  let without = Pathlog.create ~reduce:false in
+  fill with_r;
+  fill without;
+  Alcotest.(check bool) "reduced log much smaller" true
+    (String.length (Pathlog.serialize without)
+    > 3 * String.length (Pathlog.serialize with_r))
+
+let test_pathlog_bytes () =
+  let log = Pathlog.create ~reduce:false in
+  for k = 0 to 99 do
+    Pathlog.record log ~cond_id:k ~taken:true ~constr:(Some (mk_constr 0 k))
+  done;
+  Alcotest.(check bool) "heavy >> light" true
+    (Pathlog.heavy_bytes log > 2 * Pathlog.light_bytes log)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mk_record ?(extra = []) constrs model =
+  {
+    Execution.constraints = Array.of_list (List.mapi (fun k c -> (k, c)) constrs);
+    symtab = Symtab.create ();
+    model;
+    domains = Smt.Varid.Map.empty;
+    extra;
+    nprocs = 4;
+    focus = 0;
+    mapping = [];
+  }
+
+let test_execution_prefix () =
+  let r = mk_record [ mk_constr 0 1; mk_constr 0 2; mk_constr 0 3 ] Smt.Model.empty in
+  Alcotest.(check int) "len" 3 (Execution.length r);
+  Alcotest.(check int) "prefix 0" 0 (List.length (Execution.prefix r 0));
+  Alcotest.(check int) "prefix 2" 2 (List.length (Execution.prefix r 2))
+
+let test_execution_solve_negation () =
+  (* path: x < 10 (x was 5); negating yields x >= 10 *)
+  let model = Smt.Model.of_bindings [ (0, 5) ] in
+  let r = mk_record [ mk_constr 0 10 ] model in
+  match Execution.solve_negation r 0 with
+  | Ok res ->
+    let x = Smt.Model.get 0 ~default:(-1) res.Smt.Solver.model in
+    Alcotest.(check bool) "x >= 10" true (x >= 10)
+  | Error _ -> Alcotest.fail "should be solvable"
+
+let test_execution_negation_respects_prefix () =
+  (* path: x >= 0, x < 10. Negating index 1 must keep x >= 0. *)
+  let model = Smt.Model.of_bindings [ (0, 5) ] in
+  let r =
+    mk_record [ mk_constr ~rel:Smt.Constr.Ge 0 0; mk_constr 0 10 ] model
+  in
+  match Execution.solve_negation r 1 with
+  | Ok res ->
+    let x = Smt.Model.get 0 ~default:(-1) res.Smt.Solver.model in
+    Alcotest.(check bool) "x >= 10 and x >= 0" true (x >= 10)
+  | Error _ -> Alcotest.fail "should be solvable"
+
+let test_execution_negation_unsat () =
+  (* path: x >= 10, x >= 0. Negating index 1 (x < 0) conflicts with the
+     prefix. *)
+  let model = Smt.Model.of_bindings [ (0, 15) ] in
+  let r =
+    mk_record [ mk_constr ~rel:Smt.Constr.Ge 0 10; mk_constr ~rel:Smt.Constr.Ge 0 0 ] model
+  in
+  match Execution.solve_negation r 1 with
+  | Error `Unsat -> ()
+  | Ok _ -> Alcotest.fail "should be unsat"
+  | Error `Unknown -> Alcotest.fail "should be unsat, not unknown"
+
+let test_execution_extra_constraints () =
+  (* extra: x <= 20 always holds; negating x < 10 must respect it *)
+  let model = Smt.Model.of_bindings [ (0, 5) ] in
+  let extra = [ mk_constr ~rel:Smt.Constr.Le 0 20 ] in
+  let r = mk_record ~extra [ mk_constr 0 10 ] model in
+  match Execution.solve_negation r 0 with
+  | Ok res ->
+    let x = Smt.Model.get 0 ~default:(-1) res.Smt.Solver.model in
+    Alcotest.(check bool) "10 <= x <= 20" true (x >= 10 && x <= 20)
+  | Error _ -> Alcotest.fail "should be solvable"
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_dfs_order () =
+  (* CREST order: shallowest position of the newest path first, and a
+     new execution's candidates take priority over its parent's. *)
+  let s = Strategy.create (Strategy.Bounded_dfs 1000) in
+  let r = mk_record [ mk_constr 0 1; mk_constr 0 2; mk_constr 0 3 ] Smt.Model.empty in
+  Strategy.observe s ~depth:0 r;
+  let cov = Coverage.create () in
+  (match Strategy.next s ~coverage:cov with
+  | Some c -> Alcotest.(check int) "shallowest first" 0 c.Strategy.index
+  | None -> Alcotest.fail "expected candidate");
+  (* a new execution derived from negating position 0 *)
+  let r2 = mk_record [ mk_constr 0 9; mk_constr 0 8; mk_constr 0 7 ] Smt.Model.empty in
+  Strategy.observe s ~depth:1 r2;
+  (match Strategy.next s ~coverage:cov with
+  | Some c ->
+    Alcotest.(check bool) "descends into the new execution" true
+      (c.Strategy.record == r2 && c.Strategy.index = 1)
+  | None -> Alcotest.fail "expected candidate");
+  match Strategy.next s ~coverage:cov with
+  | Some c ->
+    Alcotest.(check bool) "continues in the new execution" true
+      (c.Strategy.record == r2 && c.Strategy.index = 2)
+  | None -> Alcotest.fail "expected candidate"
+
+let test_dfs_depth_resume () =
+  let s = Strategy.create (Strategy.Bounded_dfs 1000) in
+  let r = mk_record [ mk_constr 0 1; mk_constr 0 2; mk_constr 0 3 ] Smt.Model.empty in
+  (* observed from depth 2: only index 2 is new *)
+  Strategy.observe s ~depth:2 r;
+  Alcotest.(check int) "one pending" 1 (Strategy.stack_size s)
+
+let test_dfs_bound_skips_deep () =
+  let s = Strategy.create (Strategy.Bounded_dfs 2) in
+  let r =
+    mk_record [ mk_constr 0 1; mk_constr 0 2; mk_constr 0 3; mk_constr 0 4 ] Smt.Model.empty
+  in
+  Strategy.observe s ~depth:0 r;
+  Alcotest.(check int) "bound caps stack" 2 (Strategy.stack_size s)
+
+let test_dfs_exhaustion () =
+  let s = Strategy.create (Strategy.Bounded_dfs 10) in
+  let cov = Coverage.create () in
+  Alcotest.(check bool) "empty at start" true (Strategy.next s ~coverage:cov = None)
+
+let test_random_strategies_in_range () =
+  let cov = Coverage.create () in
+  let r = mk_record [ mk_constr 0 1; mk_constr 0 2; mk_constr 0 3 ] Smt.Model.empty in
+  List.iter
+    (fun kind ->
+      let s = Strategy.create kind in
+      Strategy.observe s ~depth:0 r;
+      for _ = 1 to 20 do
+        match Strategy.next s ~coverage:cov with
+        | Some c ->
+          Alcotest.(check bool) "index in range" true
+            (c.Strategy.index >= 0 && c.Strategy.index < 3)
+        | None -> Alcotest.fail "stateless strategy should always produce"
+      done)
+    [ Strategy.Random_branch; Strategy.Uniform_random ]
+
+let test_random_branch_picks_last_occurrence () =
+  (* Path with one conditional appearing 3 times: random-branch must
+     always negate the last occurrence. *)
+  let c = mk_constr 0 5 in
+  let r =
+    {
+      (mk_record [ c; c; c ] Smt.Model.empty) with
+      Execution.constraints =
+        [| (Minic.Branchinfo.branch_of_cond 7 true, c);
+           (Minic.Branchinfo.branch_of_cond 7 true, c);
+           (Minic.Branchinfo.branch_of_cond 7 false, c) |];
+    }
+  in
+  let s = Strategy.create Strategy.Random_branch in
+  Strategy.observe s ~depth:0 r;
+  let cov = Coverage.create () in
+  for _ = 1 to 10 do
+    match Strategy.next s ~coverage:cov with
+    | Some cand -> Alcotest.(check int) "last occurrence" 2 cand.Strategy.index
+    | None -> Alcotest.fail "expected candidate"
+  done
+
+let test_generational_prefers_uncovered_flips () =
+  let s = Strategy.create (Strategy.Generational 100) in
+  let c = mk_constr 0 5 in
+  let r =
+    {
+      (mk_record [ c; c; c ] Smt.Model.empty) with
+      Execution.constraints =
+        [| (Minic.Branchinfo.branch_of_cond 0 true, c);
+           (Minic.Branchinfo.branch_of_cond 1 true, c);
+           (Minic.Branchinfo.branch_of_cond 2 true, c) |];
+    }
+  in
+  Strategy.observe s ~depth:0 r;
+  let cov = Coverage.create () in
+  (* both sides of conds 0 and 2 covered; flipping cond 1 is the only
+     promising candidate *)
+  List.iter
+    (fun b -> Coverage.add_branch cov b)
+    [ 0; 1; 4; 5; Minic.Branchinfo.branch_of_cond 1 true ];
+  (match Strategy.next s ~coverage:cov with
+  | Some cand -> Alcotest.(check int) "promising first" 1 cand.Strategy.index
+  | None -> Alcotest.fail "expected candidate");
+  (* exhausted promising: falls back to remaining candidates *)
+  Alcotest.(check bool) "pool not empty" true (Strategy.stack_size s > 0)
+
+let test_generational_bound_limits_pool () =
+  let s = Strategy.create (Strategy.Generational 2) in
+  let r =
+    mk_record [ mk_constr 0 1; mk_constr 0 2; mk_constr 0 3; mk_constr 0 4 ] Smt.Model.empty
+  in
+  Strategy.observe s ~depth:0 r;
+  Alcotest.(check int) "pool capped at bound" 2 (Strategy.stack_size s)
+
+let test_cfg_strategy_prefers_uncovered () =
+  (* Program: if(a){ if(b){} } — covering everything except cond 1's
+     branches should make the CFG strategy pick cond 0 or 1 positions
+     leading toward them. *)
+  let open Minic in
+  let open Builder in
+  let p =
+    program
+      [
+        func "main" []
+          [
+            decl "a" (i 1);
+            decl "b" (i 0);
+            if_ (v "a" >: i 0) [ if_ (v "b" >: i 0) [] [] ] [];
+          ];
+      ]
+  in
+  let info = Branchinfo.instrument (Check.check_exn p) in
+  let g = Cfg.build info in
+  let s = Strategy.create (Strategy.Cfg_directed g) in
+  let c0 = mk_constr 0 5 in
+  let r =
+    {
+      (mk_record [ c0; c0 ] Smt.Model.empty) with
+      Execution.constraints =
+        [| (Branchinfo.branch_of_cond 0 true, c0); (Branchinfo.branch_of_cond 1 false, c0) |];
+    }
+  in
+  Strategy.observe s ~depth:0 r;
+  let cov = Coverage.create () in
+  Coverage.add_branch cov (Branchinfo.branch_of_cond 0 true);
+  Coverage.add_branch cov (Branchinfo.branch_of_cond 0 false);
+  Coverage.add_branch cov (Branchinfo.branch_of_cond 1 false);
+  (* only 1T uncovered; flipping position 1 reaches it directly *)
+  match Strategy.next s ~coverage:cov with
+  | Some cand -> Alcotest.(check int) "flip toward uncovered" 1 cand.Strategy.index
+  | None -> Alcotest.fail "expected candidate"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_reduction_never_more =
+  QCheck.Test.make ~name:"pathlog: reduction keeps a subset" ~count:200
+    QCheck.(make Gen.(list_size (int_range 1 60) (pair (int_range 0 5) bool)))
+    (fun events ->
+      let with_r = Pathlog.create ~reduce:true in
+      let without = Pathlog.create ~reduce:false in
+      List.iter
+        (fun (cond_id, taken) ->
+          let constr = Some (mk_constr 0 cond_id) in
+          Pathlog.record with_r ~cond_id ~taken ~constr;
+          Pathlog.record without ~cond_id ~taken ~constr)
+        events;
+      Pathlog.constraint_count with_r <= Pathlog.constraint_count without
+      && Pathlog.branch_events with_r = Pathlog.branch_events without)
+
+let prop_reduction_keeps_flips =
+  (* Every boolean flip of a conditional is preserved by reduction. *)
+  QCheck.Test.make ~name:"pathlog: reduction keeps every flip" ~count:200
+    QCheck.(make Gen.(list_size (int_range 1 60) bool))
+    (fun outcomes ->
+      let log = Pathlog.create ~reduce:true in
+      List.iter
+        (fun taken -> Pathlog.record log ~cond_id:0 ~taken ~constr:(Some (mk_constr 0 1)))
+        outcomes;
+      let flips =
+        fst
+          (List.fold_left
+             (fun (n, prev) cur ->
+               match prev with
+               | None -> (n + 1, Some cur)  (* first counts *)
+               | Some p when p <> cur -> (n + 1, Some cur)
+               | Some _ -> (n, Some cur))
+             (0, None) outcomes)
+      in
+      Pathlog.constraint_count log = flips)
+
+let prop_dfs_indices_unique_per_record =
+  QCheck.Test.make ~name:"strategy: DFS pops each index once" ~count:100
+    QCheck.(make Gen.(int_range 1 30))
+    (fun n ->
+      let s = Strategy.create (Strategy.Bounded_dfs 1000) in
+      let r = mk_record (List.init n (fun k -> mk_constr 0 k)) Smt.Model.empty in
+      Strategy.observe s ~depth:0 r;
+      let cov = Coverage.create () in
+      let seen = Hashtbl.create 16 in
+      let rec drain () =
+        match Strategy.next s ~coverage:cov with
+        | None -> true
+        | Some c ->
+          if Hashtbl.mem seen c.Strategy.index then false
+          else begin
+            Hashtbl.replace seen c.Strategy.index ();
+            drain ()
+          end
+      in
+      drain () && Hashtbl.length seen = n)
+
+let unit_tests =
+  [
+    ("coverage basics", `Quick, test_coverage_basics);
+    ("coverage absorb", `Quick, test_coverage_absorb);
+    ("symtab input reuse", `Quick, test_symtab_input_reuse);
+    ("symtab sem fresh", `Quick, test_symtab_sem_fresh_per_invocation);
+    ("symtab model/domains", `Quick, test_symtab_model_and_domains);
+    ("symtab projection", `Quick, test_symtab_input_projection);
+    ("pathlog no reduction", `Quick, test_pathlog_no_reduction);
+    ("pathlog reduction loop (fig 7)", `Quick, test_pathlog_reduction_loop);
+    ("pathlog reduction alternating", `Quick, test_pathlog_reduction_alternating);
+    ("pathlog reduction per conditional", `Quick, test_pathlog_reduction_per_conditional);
+    ("pathlog concrete branches", `Quick, test_pathlog_concrete_branches);
+    ("pathlog order", `Quick, test_pathlog_constraints_order);
+    ("pathlog serialize roundtrip", `Quick, test_pathlog_serialize_roundtrip);
+    ("pathlog serialize reduction", `Quick, test_pathlog_serialize_reduction_smaller);
+    ("pathlog bytes", `Quick, test_pathlog_bytes);
+    ("execution prefix", `Quick, test_execution_prefix);
+    ("execution negation", `Quick, test_execution_solve_negation);
+    ("execution prefix respected", `Quick, test_execution_negation_respects_prefix);
+    ("execution negation unsat", `Quick, test_execution_negation_unsat);
+    ("execution extra constraints", `Quick, test_execution_extra_constraints);
+    ("dfs order (CREST)", `Quick, test_dfs_order);
+    ("dfs depth resume", `Quick, test_dfs_depth_resume);
+    ("dfs bound", `Quick, test_dfs_bound_skips_deep);
+    ("dfs exhaustion", `Quick, test_dfs_exhaustion);
+    ("random strategies range", `Quick, test_random_strategies_in_range);
+    ("random-branch last occurrence", `Quick, test_random_branch_picks_last_occurrence);
+    ("generational prefers uncovered", `Quick, test_generational_prefers_uncovered_flips);
+    ("generational bound", `Quick, test_generational_bound_limits_pool);
+    ("cfg prefers uncovered", `Quick, test_cfg_strategy_prefers_uncovered);
+  ]
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_reduction_never_more; prop_reduction_keeps_flips; prop_dfs_indices_unique_per_record ]
+
+let suite = [ ("concolic:unit", unit_tests); ("concolic:property", property_tests) ]

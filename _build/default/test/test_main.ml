@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "compi-repro"
+    (List.concat
+       [
+         Test_smt.suite;
+         Test_minic.suite;
+         Test_mpisim.suite;
+         Test_concolic.suite;
+         Test_compi.suite;
+         Test_targets.suite;
+         Test_parse.suite;
+       ])

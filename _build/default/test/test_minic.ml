@@ -1,0 +1,818 @@
+(* Tests for the Mini-C substrate: builder, instrumentation pass,
+   checker, interpreter semantics (including fault classes and the
+   heavy/light symbolic shadow), pretty-printer, and static CFG. *)
+
+open Minic
+open Builder
+
+let instrument program = (Branchinfo.instrument (Check.check_exn program)).Branchinfo.program
+
+let run_light ?(inputs = []) program =
+  let hooks = Interp.plain_hooks () in
+  let hooks =
+    {
+      hooks with
+      Interp.input_value =
+        (fun d ->
+          match List.assoc_opt d.Ast.iname inputs with
+          | Some v -> v
+          | None -> d.Ast.default);
+    }
+  in
+  Interp.run hooks (instrument program)
+
+let check_ok name result =
+  match result with
+  | Ok () -> ()
+  | Error fault -> Alcotest.failf "%s: unexpected fault %s" name (Fault.to_string fault)
+
+let check_fault name expected_kind result =
+  match result with
+  | Ok () -> Alcotest.failf "%s: expected %s, got success" name expected_kind
+  | Error fault ->
+    Alcotest.(check string) name expected_kind (Fault.kind_name fault)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter semantics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_arith () =
+  (* (3 + 4) * 2 - 5 = 9; 9 / 2 = 4; 9 mod 2 = 1 *)
+  let p =
+    program
+      [
+        func "main" []
+          [
+            decl "a" ((i 3 +: i 4) *: i 2 -: i 5);
+            assert_ (v "a" =: i 9) "a";
+            decl "q" (v "a" /: i 2);
+            assert_ (v "q" =: i 4) "q";
+            decl "r" (v "a" %: i 2);
+            assert_ (v "r" =: i 1) "r";
+          ];
+      ]
+  in
+  check_ok "arith" (run_light p)
+
+let test_float_arith () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            declf "x" (f 1.5 +: f 2.5);
+            assert_ (v "x" =: f 4.0) "float add";
+            declf "y" (v "x" /: f 0.0);
+            (* IEEE: no fault, infinity *)
+            assert_ (v "y" >: f 1000000.0) "inf";
+          ];
+      ]
+  in
+  check_ok "float" (run_light p)
+
+let test_control_flow () =
+  let p =
+    program
+      [
+        func "main" []
+          ([
+             decl "sum" (i 0);
+           ]
+          @ for_ "k" (i 0) (i 10) [ assign "sum" (v "sum" +: v "k") ]
+          @ [ assert_ (v "sum" =: i 45) "sum 0..9" ]);
+      ]
+  in
+  check_ok "loop" (run_light p)
+
+let test_functions () =
+  let p =
+    program
+      [
+        func "add" [ ("a", Ast.Tint); ("b", Ast.Tint) ] [ ret (v "a" +: v "b") ];
+        func "main" []
+          [
+            decl "r" (i 0);
+            call_assign "r" "add" [ i 20; i 22 ];
+            assert_ (v "r" =: i 42) "call result";
+          ];
+      ]
+  in
+  check_ok "functions" (run_light p)
+
+let test_recursion () =
+  let p =
+    program
+      [
+        func "fact" [ ("n", Ast.Tint) ]
+          [
+            if_ (v "n" <=: i 1) [ ret (i 1) ] [];
+            decl "r" (i 0);
+            call_assign "r" "fact" [ v "n" -: i 1 ];
+            ret (v "n" *: v "r");
+          ];
+        func "main" []
+          [
+            decl "r" (i 0);
+            call_assign "r" "fact" [ i 6 ];
+            assert_ (v "r" =: i 720) "6!";
+          ];
+      ]
+  in
+  check_ok "recursion" (run_light p)
+
+let test_arrays_by_reference () =
+  let p =
+    program
+      [
+        func "fill" [ ("a", Ast.Tint) ]
+          (for_ "k" (i 0) (len "a") [ aset "a" (v "k") (v "k" *: v "k") ]);
+        func "main" []
+          [
+            decl_arr "a" (i 5);
+            call "fill" [ v "a" ];
+            assert_ (idx "a" (i 4) =: i 16) "shared mutation";
+          ];
+      ]
+  in
+  check_ok "array ref" (run_light p)
+
+let test_segfault_read () =
+  let p =
+    program [ func "main" [] [ decl_arr "a" (i 3); decl "x" (idx "a" (i 3)) ] ]
+  in
+  check_fault "oob read" "segfault" (run_light p)
+
+let test_segfault_write () =
+  let p = program [ func "main" [] [ decl_arr "a" (i 3); aset "a" (i (-1)) (i 0) ] ] in
+  check_fault "oob write" "segfault" (run_light p)
+
+let test_malloc_bug_shape () =
+  (* The SUSY-HMC bug shape: allocate nroot elements where nroot*4 are
+     needed, then write through the full intended range. *)
+  let p =
+    program
+      [
+        func "main" []
+          ([ decl "nroot" (i 3); decl_arr "src" (v "nroot") ]
+          @ for_ "k" (i 0) (v "nroot" *: i 4) [ aset "src" (v "k") (i 7) ]);
+      ]
+  in
+  check_fault "malloc bug" "segfault" (run_light p)
+
+let test_fpe () =
+  let p =
+    program
+      [ func "main" [] [ decl "d" (i 0); decl "x" (i 10 /: v "d") ] ]
+  in
+  check_fault "div by zero" "floating-point-exception" (run_light p)
+
+let test_mod_zero () =
+  let p = program [ func "main" [] [ decl "d" (i 0); decl "x" (i 10 %: v "d") ] ] in
+  check_fault "mod by zero" "floating-point-exception" (run_light p)
+
+let test_assert_fail () =
+  let p = program [ func "main" [] [ assert_ (i 1 =: i 2) "nope" ] ] in
+  check_fault "assert" "abort" (run_light p)
+
+let test_infinite_loop_detected () =
+  let p = program [ func "main" [] [ while_ (i 1) [ Ast.Nop ] ] ] in
+  let hooks = Interp.plain_hooks ~step_limit:10_000 () in
+  match Interp.run hooks (instrument p) with
+  | Error (Fault.Step_limit_exceeded _) -> ()
+  | Error fault -> Alcotest.failf "wrong fault: %s" (Fault.to_string fault)
+  | Ok () -> Alcotest.fail "expected timeout"
+
+let test_logical_and_bitwise () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            decl "a" ((i 3 &&: i 0) +: (i 2 ||: i 0));  (* 0 + 1 *)
+            assert_ (v "a" =: i 1) "logical";
+            decl "b" (Ast.Binop (Ast.Bitand, i 12, i 10));
+            assert_ (v "b" =: i 8) "bitand";
+            decl "c" (Ast.Binop (Ast.Bitxor, i 12, i 10));
+            assert_ (v "c" =: i 6) "bitxor";
+            decl "d" (Ast.Binop (Ast.Shl, i 3, i 4));
+            assert_ (v "d" =: i 48) "shl";
+            decl "e" (Ast.Binop (Ast.Shr, i (-16), i 2));
+            assert_ (v "e" =: i (-4)) "arithmetic shr";
+          ];
+      ]
+  in
+  check_ok "bitwise" (run_light p)
+
+let test_scalar_params_by_value () =
+  (* integer parameters are copies: callee mutation is invisible *)
+  let p =
+    program
+      [
+        func "mutate" [ ("a", Ast.Tint) ] [ assign "a" (i 999); ret (v "a") ];
+        func "main" []
+          [
+            decl "x" (i 5);
+            decl "r" (i 0);
+            call_assign "r" "mutate" [ v "x" ];
+            assert_ (v "x" =: i 5) "caller unchanged";
+            assert_ (v "r" =: i 999) "callee saw the copy";
+          ];
+      ]
+  in
+  check_ok "by value" (run_light p)
+
+let test_function_locals_do_not_leak () =
+  let p =
+    program
+      [
+        func "helper" [] [ decl "secret" (i 42); ret (i 0) ];
+        func "main" []
+          [
+            decl "r" (i 0);
+            call_assign "r" "helper" [];
+            decl "x" (v "secret");  (* undefined here *)
+          ];
+      ]
+  in
+  (* the checker flags it statically ... *)
+  Alcotest.(check bool) "checker catches leak" true (Check.check p <> []);
+  (* ... and the interpreter faults dynamically *)
+  let info = Branchinfo.instrument p in
+  match Interp.run (Interp.plain_hooks ()) info.Branchinfo.program with
+  | Error (Fault.Runtime_type_error _) -> ()
+  | Error f -> Alcotest.failf "wrong fault %s" (Fault.to_string f)
+  | Ok () -> Alcotest.fail "expected undefined-variable fault"
+
+let test_float_array_coercion () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            decl_arrf "a" (i 3);
+            aset "a" (i 0) (i 7);  (* int stored into float array *)
+            declf "x" (idx "a" (i 0) +: f 0.5);
+            assert_ (v "x" >: f 7.4) "coerced";
+            assert_ (v "x" <: f 7.6) "coerced upper";
+          ];
+      ]
+  in
+  check_ok "float arrays" (run_light p)
+
+let test_exit_is_clean () =
+  let p =
+    program
+      [ func "main" [] [ exit_ (i 1); abort "never reached" ] ]
+  in
+  check_ok "exit is not a fault" (run_light p)
+
+let test_len_expression () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            decl "n" (i 7);
+            decl_arr "a" (v "n" +: i 3);
+            assert_ (len "a" =: i 10) "len";
+          ];
+      ]
+  in
+  check_ok "len" (run_light p)
+
+let test_inputs () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            input "n" ~cap:100 ~default:7;
+            assert_ (v "n" =: i 33) "driver value used";
+          ];
+      ]
+  in
+  check_ok "inputs" (run_light ~inputs:[ ("n", 33) ] p)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation pass                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_branch_ids () =
+  let p =
+    program
+      [
+        func "helper" [ ("x", Ast.Tint) ] [ if_ (v "x" >: i 0) [] []; ret (i 0) ];
+        func "main" [] [ decl "y" (i 1); if_ (v "y" =: i 1) [ while_ (i 0) [] ] [] ];
+      ]
+  in
+  let info = Branchinfo.instrument p in
+  Alcotest.(check int) "conditionals" 3 info.Branchinfo.total_conditionals;
+  Alcotest.(check int) "branches" 6 info.Branchinfo.total_branches;
+  Alcotest.(check string) "owner of 0" "helper" info.Branchinfo.func_of_cond.(0);
+  Alcotest.(check string) "owner of 1" "main" info.Branchinfo.func_of_cond.(1);
+  Alcotest.(check int) "helper branches" 2 (Branchinfo.branches_of_func info "helper");
+  Alcotest.(check int) "reachable main only" 4
+    (Branchinfo.reachable_branches info ~encountered:(String.equal "main"))
+
+let test_branch_of_cond_roundtrip () =
+  for c = 0 to 20 do
+    List.iter
+      (fun taken ->
+        let b = Branchinfo.branch_of_cond c taken in
+        Alcotest.(check (pair int bool)) "roundtrip" (c, taken) (Branchinfo.cond_of_branch b))
+      [ true; false ]
+  done
+
+let test_branch_hook_sees_all () =
+  let p =
+    program
+      [
+        func "main" []
+          ([ decl "hits" (i 0) ]
+          @ for_ "k" (i 0) (i 3) [ if_ (v "k" =: i 1) [ assign "hits" (v "hits" +: i 1) ] [] ]
+          );
+      ]
+  in
+  let seen = ref [] in
+  let hooks = Interp.plain_hooks () in
+  let hooks =
+    {
+      hooks with
+      Interp.on_branch = (fun ~id ~taken ~constr:_ -> seen := (id, taken) :: !seen);
+    }
+  in
+  check_ok "run" (Interp.run hooks (instrument p));
+  (* loop cond: T,T,T,F = 4 events; inner if: F,T,F = 3 events *)
+  Alcotest.(check int) "branch events" 7 (List.length !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Checker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_catches_undefined_var () =
+  let p = program [ func "main" [] [ decl "x" (v "nope") ] ] in
+  Alcotest.(check bool) "error found" true (Check.check p <> [])
+
+let test_check_catches_bad_call () =
+  let p = program [ func "main" [] [ call "ghost" [] ] ] in
+  Alcotest.(check bool) "error found" true (Check.check p <> []);
+  let p2 =
+    program
+      [ func "f" [ ("a", Ast.Tint) ] []; func "main" [] [ call "f" [ i 1; i 2 ] ] ]
+  in
+  Alcotest.(check bool) "arity error" true (Check.check p2 <> [])
+
+let test_check_missing_entry () =
+  let p = program ~entry:"main" [ func "other" [] [] ] in
+  Alcotest.(check bool) "no entry" true (Check.check p <> [])
+
+let test_check_accepts_valid () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            input "n" ~default:1;
+            decl "r" (i 0);
+            comm_rank Ast.World "r";
+            if_ (v "r" =: i 0) [ decl "x" (v "n" +: i 1) ] [];
+          ];
+      ]
+  in
+  Alcotest.(check (list string)) "clean" [] (Check.check p)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic shadow (heavy mode)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Heavy hooks with one symbolic variable per input, recording branch
+   constraints. *)
+let heavy_run ?(inputs = []) program =
+  let gen = Smt.Varid.make_gen () in
+  let vars = Hashtbl.create 8 in
+  let constraints = ref [] in
+  let hooks = Interp.plain_hooks () in
+  let hooks =
+    {
+      hooks with
+      Interp.mode = Interp.Heavy;
+      input_value =
+        (fun d ->
+          match List.assoc_opt d.Ast.iname inputs with
+          | Some value -> value
+          | None -> d.Ast.default);
+      on_input =
+        (fun d _ ->
+          let id = Smt.Varid.fresh gen in
+          Hashtbl.replace vars d.Ast.iname id;
+          Some (Smt.Linexp.var id));
+      on_branch =
+        (fun ~id:_ ~taken:_ ~constr ->
+          match constr with Some c -> constraints := c :: !constraints | None -> ());
+    }
+  in
+  let result = Interp.run hooks (instrument program) in
+  (result, vars, List.rev !constraints)
+
+let test_shadow_linear_propagation () =
+  (* y = 2*n + 3; branch y > 10 with n = 7 must produce the constraint
+     2n + 3 > 10 in terms of the symbolic var. *)
+  let p =
+    program
+      [
+        func "main" []
+          [
+            input "n" ~default:7;
+            decl "y" ((i 2 *: v "n") +: i 3);
+            if_ (v "y" >: i 10) [] [];
+          ];
+      ]
+  in
+  let result, vars, constraints = heavy_run p in
+  check_ok "run" result;
+  let n_id = Hashtbl.find vars "n" in
+  (match constraints with
+  | [ c ] ->
+    (* taken direction: 2n + 3 > 10, i.e. 2n - 7 > 0 *)
+    Alcotest.(check int) "coeff" 2 (Smt.Linexp.coeff n_id c.Smt.Constr.exp);
+    Alcotest.(check int) "const" (-7) (Smt.Linexp.constant c.Smt.Constr.exp);
+    Alcotest.(check string) "rel" ">" (Smt.Constr.rel_to_string c.Smt.Constr.rel);
+    Alcotest.(check bool) "holds at n=7" true
+      (Smt.Constr.holds (fun _ -> 7) c)
+  | cs -> Alcotest.failf "expected 1 constraint, got %d" (List.length cs))
+
+let test_shadow_taken_direction () =
+  (* With n = 3, branch n > 10 is not taken: constraint must be the
+     negation and must hold for n = 3. *)
+  let p =
+    program
+      [ func "main" [] [ input "n" ~default:3; if_ (v "n" >: i 10) [] [] ] ]
+  in
+  let result, _, constraints = heavy_run p in
+  check_ok "run" result;
+  match constraints with
+  | [ c ] -> Alcotest.(check bool) "holds at 3" true (Smt.Constr.holds (fun _ -> 3) c)
+  | cs -> Alcotest.failf "expected 1 constraint, got %d" (List.length cs)
+
+let test_shadow_nonlinear_concretizes () =
+  (* n*n is non-linear: the branch must report no constraint. *)
+  let p =
+    program
+      [
+        func "main" []
+          [ input "n" ~default:4; decl "sq" (v "n" *: v "n"); if_ (v "sq" >: i 10) [] [] ];
+      ]
+  in
+  let result, _, constraints = heavy_run p in
+  check_ok "run" result;
+  (* CREST-style: one side concretized, so a constraint IS produced but
+     linear (coeff = concrete n). *)
+  match constraints with
+  | [ c ] ->
+    Alcotest.(check bool) "linear" true
+      (Smt.Varid.Set.cardinal (Smt.Constr.vars c) <= 1)
+  | cs -> Alcotest.failf "expected 1 constraint, got %d" (List.length cs)
+
+let test_shadow_through_call () =
+  (* symbolic value flows through a function parameter and return *)
+  let p =
+    program
+      [
+        func "twice" [ ("a", Ast.Tint) ] [ ret (v "a" +: v "a") ];
+        func "main" []
+          [
+            input "n" ~default:5;
+            decl "d" (i 0);
+            call_assign "d" "twice" [ v "n" ];
+            if_ (v "d" =: i 10) [] [];
+          ];
+      ]
+  in
+  let result, vars, constraints = heavy_run p in
+  check_ok "run" result;
+  let n_id = Hashtbl.find vars "n" in
+  match constraints with
+  | [ c ] -> Alcotest.(check int) "coeff 2n" 2 (Smt.Linexp.coeff n_id c.Smt.Constr.exp)
+  | cs -> Alcotest.failf "expected 1 constraint, got %d" (List.length cs)
+
+let test_light_mode_no_constraints () =
+  let p =
+    program [ func "main" [] [ input "n" ~default:3; if_ (v "n" >: i 1) [] [] ] ]
+  in
+  let got_constr = ref false in
+  let hooks = Interp.plain_hooks () in
+  let hooks =
+    {
+      hooks with
+      Interp.on_branch =
+        (fun ~id:_ ~taken:_ ~constr -> if constr <> None then got_constr := true);
+    }
+  in
+  check_ok "run" (Interp.run hooks (instrument p));
+  Alcotest.(check bool) "light mode emits no constraints" false !got_constr
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printer and CFG                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pretty_roundtrip_smoke () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            input "n" ~cap:10 ~default:1;
+            decl_arr "a" (v "n");
+            if_ (v "n" >: i 0) [ aset "a" (i 0) (i 1) ] [ abort "bad n" ];
+          ];
+      ]
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go k = k + nn <= nh && (String.sub hay k nn = needle || go (k + 1)) in
+    go 0
+  in
+  let text = Pretty.program_to_string (instrument p) in
+  Alcotest.(check bool) "mentions malloc" true (contains text "malloc");
+  Alcotest.(check bool) "some lines" true (Pretty.source_lines p > 3)
+
+let test_pretty_constructs () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go k = k + nn <= nh && (String.sub hay k nn = needle || go (k + 1)) in
+    go 0
+  in
+  let render stmt = Format.asprintf "%a" Pretty.pp_stmt stmt in
+  List.iter
+    (fun (stmt, needle) ->
+      Alcotest.(check bool) needle true (contains (render stmt) needle))
+    [
+      (decl "x" (i 1), "int x = 1;");
+      (declf "y" (f 2.5), "double y = 2.5;");
+      (assign "x" (v "x" +: i 1), "x = (x + 1);");
+      (aset "a" (i 0) (i 9), "a[0] = 9;");
+      (exit_ (i 1), "exit(1);");
+      (abort "boom", "abort()");
+      (input "n" ~cap:50, "COMPI_int_with_limit(&n, 50);");
+      (comm_rank Ast.World "r", "MPI_Comm_rank(MPI_COMM_WORLD, &r);");
+      (barrier Ast.World, "MPI_Barrier(MPI_COMM_WORLD);");
+      (send ~dest:(i 1) ~tag:(i 0) (v "x"), "MPI_Send");
+      (recv ~src:(i 0) ~into:(Ast.Lvar "b") (), "MPI_Recv");
+      (isend ~dest:(i 1) ~tag:(i 0) ~req:"rq" (v "x"), "MPI_Isend");
+      (irecv ~req:"rq" (), "MPI_Irecv");
+      (wait (v "rq"), "MPI_Wait");
+      (allreduce ~op:Ast.Op_sum (v "x") ~into:(Ast.Lvar "t"), "MPI_Allreduce");
+      (scatter ~root:(i 0) "sb" ~into:(Ast.Lvar "b"), "MPI_Scatter");
+    ]
+
+let test_builder_operator_precedence () =
+  (* `%:` binds like `*`, `+:` like `+` *)
+  (match v "a" %: i 10 +: i 1 with
+  | Ast.Binop (Ast.Add, Ast.Binop (Ast.Mod, _, _), Ast.Int 1) -> ()
+  | _ -> Alcotest.fail "mod must bind tighter than add");
+  match v "a" +: v "b" *: i 2 with
+  | Ast.Binop (Ast.Add, Ast.Var "a", Ast.Binop (Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "mul must bind tighter than add"
+
+let test_cfg_distances () =
+  (* if (a) { if (b) {} } — cond 1 is inside cond 0's true arm. *)
+  let p =
+    program
+      [
+        func "main" []
+          [
+            decl "a" (i 1);
+            decl "b" (i 1);
+            if_ (v "a" >: i 0) [ if_ (v "b" >: i 0) [] [] ] [];
+          ];
+      ]
+  in
+  let info = Branchinfo.instrument (Check.check_exn p) in
+  let g = Cfg.build info in
+  Alcotest.(check (list int)) "succ true of 0" [ 1 ] (Cfg.successors g ~cond:0 ~taken:true);
+  Alcotest.(check (list int)) "succ false of 0" [] (Cfg.successors g ~cond:0 ~taken:false);
+  (* only branch 2 (cond 1 true) uncovered *)
+  let dist = Cfg.distances g ~uncovered:(fun b -> b = 2) in
+  Alcotest.(check int) "uncovered itself" 0 dist.(2);
+  Alcotest.(check int) "one hop" 1 dist.(0);
+  Alcotest.(check bool) "false side blocked" true (dist.(1) = max_int)
+
+let test_cfg_loop_edge () =
+  let p =
+    program
+      [ func "main" [] ([ decl "s" (i 0) ] @ for_ "k" (i 0) (i 3) [ if_ (v "s" =: i 0) [] [] ]) ]
+  in
+  let info = Branchinfo.instrument (Check.check_exn p) in
+  let g = Cfg.build info in
+  (* cond 0 = while, cond 1 = if; if's successors loop back to while *)
+  Alcotest.(check (list int)) "while true enters if" [ 1 ]
+    (Cfg.successors g ~cond:0 ~taken:true);
+  Alcotest.(check (list int)) "if loops back" [ 0 ] (Cfg.successors g ~cond:1 ~taken:true)
+
+(* ------------------------------------------------------------------ *)
+(* Optimization pass                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_opt_folds_literals () =
+  let e = (i 3 +: i 4) *: i 2 -: i 5 in
+  Alcotest.(check bool) "folded" true (Opt.fold_expr e = i 9);
+  Alcotest.(check bool) "comparison folds" true (Opt.fold_expr (i 3 <: i 4) = i 1);
+  Alcotest.(check bool) "lognot folds" true (Opt.fold_expr (lognot (i 0)) = i 1)
+
+let test_opt_preserves_trapping_division () =
+  let e = i 1 /: i 0 in
+  (match Opt.fold_expr e with
+  | Ast.Binop (Ast.Div, Ast.Int 1, Ast.Int 0) -> ()
+  | _ -> Alcotest.fail "division by literal zero must survive folding");
+  let e2 = i 1 %: i 0 in
+  match Opt.fold_expr e2 with
+  | Ast.Binop (Ast.Mod, Ast.Int 1, Ast.Int 0) -> ()
+  | _ -> Alcotest.fail "mod by literal zero must survive folding"
+
+let test_opt_does_not_fold_variables () =
+  let e = v "x" *: i 0 in
+  (* x * 0 is NOT folded: minic folding is literal-only *)
+  match Opt.fold_expr e with
+  | Ast.Binop (Ast.Mul, Ast.Var "x", Ast.Int 0) -> ()
+  | _ -> Alcotest.fail "variable expressions must not fold"
+
+let test_opt_removes_dead_branches () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            if_ (i 1) [ decl "alive" (i 1) ] [ decl "dead" (i 0) ];
+            if_ (i 0) [ decl "dead2" (i 0) ] [ decl "alive2" (i 1) ];
+            while_ (i 0) [ decl "dead3" (i 0) ];
+          ];
+      ]
+  in
+  let simplified = Opt.simplify_program p in
+  Alcotest.(check int) "no conditionals left" 0 (Ast.conditionals_in_program simplified);
+  (* the surviving declarations are the live ones *)
+  let names =
+    Ast.fold_program
+      (fun acc stmt -> match stmt with Ast.Decl (n, _, _) -> n :: acc | _ -> acc)
+      [] simplified
+  in
+  Alcotest.(check (list string)) "live decls" [ "alive2"; "alive" ] names
+
+let test_opt_keeps_infinite_loop () =
+  let p = program [ func "main" [] [ while_ (i 1) [ Ast.Nop ] ] ] in
+  Alcotest.(check int) "loop kept" 1
+    (Ast.conditionals_in_program (Opt.simplify_program p))
+
+let prop_opt_preserves_outcome =
+  (* simplification must not change the run's outcome *)
+  QCheck.Test.make ~name:"opt: simplify preserves program outcome" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let* a = int_range (-20) 20 in
+          let* b = int_range (-20) 20 in
+          let* c = int_range 0 3 in
+          return (a, b, c)))
+    (fun (a, b, c) ->
+      let p =
+        program
+          [
+            func "main" []
+              [
+                input "n" ~default:a;
+                decl "x" (i a +: (i b *: i 2));
+                if_ (i b >: i 0) [ assign "x" (v "x" +: v "n") ] [ assign "x" (v "x" -: v "n") ];
+                if_ (v "x" %: i (c + 1) =: i 0) [ decl "d" (i 1) ] [];
+                decl_arr "arr" (i 3);
+                aset "arr" (i (abs b mod 3)) (v "x");
+              ];
+          ]
+      in
+      let outcome prog =
+        match run_light ~inputs:[ ("n", a) ] prog with
+        | Ok () -> "ok"
+        | Error f -> Fault.kind_name f
+      in
+      outcome p = outcome (Opt.simplify_program p))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"interp: deterministic across runs" ~count:50
+    QCheck.(make Gen.(list_size (int_range 1 6) (int_range (-50) 50)))
+    (fun xs ->
+      let body =
+        List.concat
+          (List.mapi
+             (fun k x ->
+               [ decl (Printf.sprintf "v%d" k) (i x) ]
+               @ for_
+                   (Printf.sprintf "k%d" k)
+                   (i 0) (i (abs x mod 7))
+                   [
+                     assign (Printf.sprintf "v%d" k) (v (Printf.sprintf "v%d" k) +: i 1);
+                   ])
+             xs)
+      in
+      let p = program [ func "main" [] body ] in
+      let events run_id =
+        ignore run_id;
+        let seen = ref [] in
+        let hooks = Interp.plain_hooks () in
+        let hooks =
+          { hooks with Interp.on_branch = (fun ~id ~taken ~constr:_ -> seen := (id, taken) :: !seen) }
+        in
+        (match Interp.run hooks (instrument p) with
+        | Ok () -> ()
+        | Error _ -> ());
+        !seen
+      in
+      events 0 = events 1)
+
+let prop_shadow_matches_concrete =
+  (* For straight-line integer programs over one input, the symbolic
+     shadow evaluated at the input value equals the concrete result. *)
+  QCheck.Test.make ~name:"interp: shadow evaluates to concrete value" ~count:200
+    QCheck.(make Gen.(pair (int_range (-20) 20) (list_size (int_range 1 5) (pair (int_range 0 2) (int_range (-9) 9)))))
+    (fun (n0, ops) ->
+      (* y starts as the input; apply ops: 0: y+c, 1: y-c, 2: y*c *)
+      let apply e (kind, c) =
+        match kind with
+        | 0 -> e +: i c
+        | 1 -> e -: i c
+        | _ -> e *: i c
+      in
+      let expr = List.fold_left apply (v "n") ops in
+      let p =
+        program
+          [
+            func "main" []
+              [ input "n" ~default:n0; decl "y" expr; if_ (v "y" >=: i 0) [] [] ];
+          ]
+      in
+      let result, vars, constraints = heavy_run ~inputs:[ ("n", n0) ] p in
+      match (result, constraints) with
+      | Ok (), [ c ] ->
+        let n_id = Hashtbl.find vars "n" in
+        let lookup var = if var = n_id then n0 else 0 in
+        Smt.Constr.holds lookup c
+      | Ok (), [] ->
+        (* a multiplication by zero can collapse the shadow to a
+           constant, in which case the branch is concrete: legitimate *)
+        List.exists (fun (kind, c) -> kind = 2 && c = 0) ops
+      | Ok (), _ :: _ :: _ -> false
+      | Error _, _ -> false)
+
+let unit_tests =
+  [
+    ("arith", `Quick, test_arith);
+    ("float arith", `Quick, test_float_arith);
+    ("control flow", `Quick, test_control_flow);
+    ("functions", `Quick, test_functions);
+    ("recursion", `Quick, test_recursion);
+    ("arrays by reference", `Quick, test_arrays_by_reference);
+    ("segfault read", `Quick, test_segfault_read);
+    ("segfault write", `Quick, test_segfault_write);
+    ("malloc-bug shape", `Quick, test_malloc_bug_shape);
+    ("fpe div", `Quick, test_fpe);
+    ("fpe mod", `Quick, test_mod_zero);
+    ("assert fail", `Quick, test_assert_fail);
+    ("infinite loop timeout", `Quick, test_infinite_loop_detected);
+    ("logical and bitwise ops", `Quick, test_logical_and_bitwise);
+    ("scalar params by value", `Quick, test_scalar_params_by_value);
+    ("locals do not leak", `Quick, test_function_locals_do_not_leak);
+    ("float array coercion", `Quick, test_float_array_coercion);
+    ("exit is clean", `Quick, test_exit_is_clean);
+    ("len expression", `Quick, test_len_expression);
+    ("inputs from driver", `Quick, test_inputs);
+    ("branch ids", `Quick, test_branch_ids);
+    ("branch id roundtrip", `Quick, test_branch_of_cond_roundtrip);
+    ("branch hook count", `Quick, test_branch_hook_sees_all);
+    ("check undefined var", `Quick, test_check_catches_undefined_var);
+    ("check bad call", `Quick, test_check_catches_bad_call);
+    ("check missing entry", `Quick, test_check_missing_entry);
+    ("check valid program", `Quick, test_check_accepts_valid);
+    ("shadow linear", `Quick, test_shadow_linear_propagation);
+    ("shadow taken direction", `Quick, test_shadow_taken_direction);
+    ("shadow nonlinear", `Quick, test_shadow_nonlinear_concretizes);
+    ("shadow through call", `Quick, test_shadow_through_call);
+    ("light mode", `Quick, test_light_mode_no_constraints);
+    ("pretty smoke", `Quick, test_pretty_roundtrip_smoke);
+    ("cfg distances", `Quick, test_cfg_distances);
+    ("cfg loop edge", `Quick, test_cfg_loop_edge);
+    ("pretty constructs", `Quick, test_pretty_constructs);
+    ("builder precedence", `Quick, test_builder_operator_precedence);
+    ("opt folds literals", `Quick, test_opt_folds_literals);
+    ("opt keeps trapping div", `Quick, test_opt_preserves_trapping_division);
+    ("opt literal-only", `Quick, test_opt_does_not_fold_variables);
+    ("opt dead branches", `Quick, test_opt_removes_dead_branches);
+    ("opt keeps infinite loop", `Quick, test_opt_keeps_infinite_loop);
+  ]
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_interp_deterministic; prop_shadow_matches_concrete; prop_opt_preserves_outcome ]
+
+let suite = [ ("minic:unit", unit_tests); ("minic:property", property_tests) ]
