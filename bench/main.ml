@@ -53,5 +53,8 @@ let () =
   Printf.printf "COMPI reproduction benchmark harness (scale %.2g, %d reps)\n"
     !scale.Util.time !scale.Util.reps;
   List.iter (fun (name, _, f) -> if wanted name then f !scale) experiments;
-  if wanted "micro" then Microbench.run ();
+  if wanted "micro" then begin
+    Microbench.run ();
+    Util.write_metrics_json "BENCH_microbench.json"
+  end;
   Printf.printf "\nDone.\n"

@@ -62,6 +62,19 @@ let tests =
       pathlog_test ~name:"pathlog: 1000 events, no reduction" ~reduce:false;
     ]
 
+(* "compi/solver: 4-constraint incremental set" -> a metric-safe name *)
+let gauge_name name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> Buffer.add_char b c
+      | '/' | ':' -> Buffer.add_char b '.'
+      | ' ' -> Buffer.add_char b '_'
+      | _ -> ())
+    name;
+  "bench." ^ Buffer.contents b ^ ".ns_per_run"
+
 let run () =
   Util.print_header "Micro-benchmarks (Bechamel, ns/run)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
@@ -74,6 +87,8 @@ let run () =
   List.iter
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n%!" name est
+      | Some [ est ] ->
+        Obs.Metrics.set (Obs.Metrics.gauge (gauge_name name)) est;
+        Printf.printf "  %-45s %12.0f ns/run\n%!" name est
       | Some _ | None -> Printf.printf "  %-45s %12s\n%!" name "n/a")
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

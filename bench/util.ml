@@ -72,3 +72,13 @@ let repeat reps f = List.init reps f
 (* Paper-vs-measured one-liner used throughout EXPERIMENTS.md *)
 let compare_line ~label ~paper ~measured =
   Printf.printf "  %-40s paper: %-18s measured: %s\n%!" label paper measured
+
+(* Persist the whole metrics registry (bench gauges plus whatever the
+   engine accumulated while benchmarks ran: solver latency histograms,
+   interpreter step counts, phase totals) — the BENCH_*.json perf
+   trajectory the roadmap tracks across PRs. *)
+let write_metrics_json path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string (Obs.Metrics.snapshot_json ()));
+      Out_channel.output_char oc '\n');
+  Printf.printf "metrics snapshot written to %s\n%!" path

@@ -182,6 +182,50 @@ let report (r : Compi.Driver.result) =
                 b.Compi.Driver.bug_context)))
     bugs
 
+(* ------------------------------------------------------------------ *)
+(* telemetry plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let trace_events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-events" ] ~docv:"FILE.jsonl"
+        ~doc:"Stream structured telemetry events to $(docv) as JSON Lines")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE.json"
+        ~doc:"Write the metrics registry snapshot (counters, histograms, phase totals) \
+              to $(docv) when the campaign ends")
+
+(* Install a JSONL sink for the duration of [f]; afterwards dump the
+   metrics snapshot. Both files are optional and independent. *)
+let with_telemetry ~trace_events ~metrics f =
+  let oc = Option.map open_out trace_events in
+  (match oc with
+  | Some oc -> Obs.Sink.install (Obs.Sink.Channel_sink oc)
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (match oc with
+      | Some chan ->
+        Obs.Sink.uninstall ();
+        close_out chan;
+        Printf.printf "events written to %s\n"
+          (Option.get trace_events)
+      | None -> ());
+      match metrics with
+      | Some path ->
+        Out_channel.with_open_text path (fun mc ->
+            Out_channel.output_string mc (Obs.Json.to_string (Obs.Metrics.snapshot_json ()));
+            Out_channel.output_char mc '\n');
+        Printf.printf "metrics snapshot written to %s\n" path
+      | None -> ())
+    f
+
 let save_arg =
   Arg.(
     value
@@ -210,11 +254,14 @@ let annotate_arg =
 
 let test_cmd =
   let run t iterations time seed nprocs caps no_reduce one_way no_fwk strategy save_bugs
-      csv curve uncovered_n annotate =
+      csv curve uncovered_n annotate trace_events metrics =
     let info, settings =
       settings_of t iterations time seed nprocs caps no_reduce one_way no_fwk strategy
     in
-    let result = Compi.Driver.run ~settings info in
+    let result =
+      with_telemetry ~trace_events ~metrics (fun () ->
+          Compi.Driver.run ~settings ~label:t.Targets.Registry.name info)
+    in
     report result;
     if curve then print_string (Compi.Report.ascii_curve result);
     (match uncovered_n with
@@ -251,11 +298,194 @@ let test_cmd =
     Term.(
       const run $ target_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg $ cap_arg
       $ no_reduce_arg $ one_way_arg $ no_fwk_arg $ strategy_arg $ save_arg $ csv_arg
-      $ curve_arg $ uncovered_arg $ annotate_arg)
+      $ curve_arg $ uncovered_arg $ annotate_arg $ trace_events_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run: a campaign with telemetry-first ergonomics                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let target_opt_arg =
+    Arg.(
+      required
+      & opt (some target_conv) None
+      & info [ "target" ] ~docv:"TARGET" ~doc:"Target program (see $(b,compi-cli list))")
+  in
+  let run t iterations time seed nprocs caps strategy trace_events metrics =
+    let info, settings =
+      settings_of t iterations time seed nprocs caps false false false strategy
+    in
+    let result =
+      with_telemetry ~trace_events ~metrics (fun () ->
+          Compi.Driver.run ~settings ~label:t.Targets.Registry.name info)
+    in
+    report result
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a COMPI campaign with structured telemetry \
+          ($(b,--trace-events)/$(b,--metrics)); like $(b,test) but the target is \
+          named with $(b,--target)")
+    Term.(
+      const run $ target_opt_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg
+      $ cap_arg $ strategy_arg $ trace_events_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay: saved test cases, or a JSONL telemetry trace                *)
+(* ------------------------------------------------------------------ *)
+
+(* Render (x, y) points as a small terminal plot (same look as
+   Report.ascii_curve, but sourced from a trace instead of a result). *)
+let ascii_curve_of_points ?(width = 60) ?(height = 12) points =
+  match points with
+  | [] -> "(no iterations in trace)\n"
+  | points ->
+    let points = Array.of_list points in
+    let n = Array.length points in
+    let max_y = Array.fold_left (fun acc (_, y) -> max acc y) 1 points in
+    let grid = Array.make_matrix height width ' ' in
+    for col = 0 to width - 1 do
+      let idx = min (n - 1) (col * n / width) in
+      let _, y = points.(idx) in
+      let row = y * (height - 1) / max_y in
+      for fill = 0 to row do
+        grid.(height - 1 - fill).(col) <- (if fill = row then '*' else '.')
+      done
+    done;
+    let buf = Buffer.create ((width + 8) * height) in
+    Array.iteri
+      (fun i row ->
+        Buffer.add_string buf
+          (if i = 0 then Printf.sprintf "%5d |" max_y else "      |");
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("      +" ^ String.make width '-' ^ "\n");
+    let last_x, _ = points.(n - 1) in
+    Buffer.add_string buf (Printf.sprintf "       0 .. iteration %d\n" last_x);
+    Buffer.contents buf
+
+let replay_trace path =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let events =
+    List.filteri (fun _ l -> String.trim l <> "") lines
+    |> List.mapi (fun k line ->
+           match Obs.Json.parse line with
+           | Error e -> Error (Printf.sprintf "line %d: bad JSON: %s" (k + 1) e)
+           | Ok j -> (
+             match Obs.Event.of_json j with
+             | Error e -> Error (Printf.sprintf "line %d: %s" (k + 1) e)
+             | Ok ev -> Ok ev))
+  in
+  let bad = List.filter_map (function Error e -> Some e | Ok _ -> None) events in
+  List.iter (fun e -> Printf.eprintf "warning: %s\n" e) bad;
+  let events = List.filter_map Result.to_option events in
+  if events = [] then begin
+    Printf.eprintf "%s: no parseable telemetry events\n" path;
+    exit 1
+  end;
+  (* event census *)
+  let census = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let k = Obs.Event.kind_name ev in
+      Hashtbl.replace census k (1 + Option.value (Hashtbl.find_opt census k) ~default:0))
+    events;
+  Printf.printf "trace %s: %d events\n" path (List.length events);
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) census []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (k, n) -> Printf.printf "  %-16s %d\n" k n);
+  (* campaign identity *)
+  List.iter
+    (function
+      | Obs.Event.Campaign_start { target; iterations; seed; nprocs } ->
+        Printf.printf "\ncampaign: target=%s budget=%d seed=%d initial nprocs=%d\n"
+          (if target = "" then "?" else target)
+          iterations seed nprocs
+      | _ -> ())
+    events;
+  (* coverage curve from iteration ends *)
+  let curve =
+    List.filter_map
+      (function
+        | Obs.Event.Iter_end { iteration; covered; _ } -> Some (iteration, covered)
+        | _ -> None)
+      events
+  in
+  Printf.printf "\ncoverage curve (%d iterations):\n%s" (List.length curve)
+    (ascii_curve_of_points curve);
+  (* phase breakdown *)
+  let exec_s, solve_s =
+    List.fold_left
+      (fun (e, s) ev ->
+        match ev with
+        | Obs.Event.Iter_end { exec_s; solve_s; _ } -> (e +. exec_s, s +. solve_s)
+        | _ -> (e, s))
+      (0.0, 0.0) events
+  in
+  let wall =
+    List.fold_left
+      (fun acc ev ->
+        match ev with Obs.Event.Campaign_end { wall_s; _ } -> Some wall_s | _ -> acc)
+      None events
+  in
+  Printf.printf "\nphase breakdown:\n";
+  Printf.printf "  exec   %8.3fs\n" exec_s;
+  Printf.printf "  solve  %8.3fs\n" solve_s;
+  (match wall with
+  | Some w ->
+    Printf.printf "  other  %8.3fs\n" (Float.max 0.0 (w -. exec_s -. solve_s));
+    Printf.printf "  wall   %8.3fs\n" w
+  | None -> ());
+  (* solver accounting *)
+  let calls, sat, time_s, nodes =
+    List.fold_left
+      (fun (c, st, t, nd) ev ->
+        match ev with
+        | Obs.Event.Solver_call { outcome; time_s; nodes; _ } ->
+          (c + 1, (if outcome = Obs.Event.Sat then st + 1 else st), t +. time_s, nd + nodes)
+        | _ -> (c, st, t, nd))
+      (0, 0, 0.0, 0) events
+  in
+  if calls > 0 then
+    Printf.printf
+      "\nsolver: %d calls (%d sat), %.3fs total, %.1f nodes/call mean\n" calls sat time_s
+      (float_of_int nodes /. float_of_int calls);
+  (* incidents *)
+  let faults =
+    List.filter_map
+      (function
+        | Obs.Event.Fault { iteration; rank; kind; detail } ->
+          Some (Printf.sprintf "  [iter %d, rank %d] %s: %s" iteration rank kind detail)
+        | _ -> None)
+      events
+  in
+  if faults <> [] then begin
+    Printf.printf "\nfaults (%d):\n" (List.length faults);
+    List.iter print_endline faults
+  end;
+  let deadlocks =
+    List.length
+      (List.filter (function Obs.Event.Sched_deadlock _ -> true | _ -> false) events)
+  in
+  if deadlocks > 0 then Printf.printf "\ndeadlocks observed: %d\n" deadlocks
+
+(* A telemetry trace is a JSONL stream of {"ev":…} objects; saved test
+   cases use a different format. Sniff the first non-blank line. *)
+let is_trace_file path =
+  match In_channel.with_open_text path In_channel.input_line with
+  | Some line -> (
+    match Obs.Json.parse (String.trim line) with
+    | Ok j -> Obs.Json.member "ev" j <> None
+    | Error _ -> false)
+  | None | (exception Sys_error _) -> false
 
 let replay_cmd =
   let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
   let run path =
+    if is_trace_file path then replay_trace path
+    else
     match Compi.Testcase.load ~path with
     | Error e ->
       Printf.eprintf "cannot load %s: %s\n" path e;
@@ -280,7 +510,10 @@ let replay_cmd =
         cases
   in
   Cmd.v
-    (Cmd.info "replay" ~doc:"Replay saved test cases (bug reproduction)")
+    (Cmd.info "replay"
+       ~doc:
+         "Replay saved test cases (bug reproduction), or reconstruct the coverage \
+          curve and phase breakdown from a $(b,--trace-events) JSONL file")
     Term.(const run $ path_arg)
 
 let random_cmd =
@@ -307,17 +540,25 @@ let exec_inputs_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the communication timeline")
 
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE.jsonl"
+        ~doc:"Write the communication trace as JSON Lines")
+
 let exec_cmd =
-  let run (t : Targets.Registry.t) nprocs inputs trace =
+  let run (t : Targets.Registry.t) nprocs inputs trace trace_jsonl =
     let info = Targets.Registry.instrument t in
     let tracer = Mpisim.Trace.create () in
+    let tracing = trace || trace_jsonl <> None in
     let config =
       {
         (Compi.Runner.default_config ~info) with
         Compi.Runner.nprocs = Option.value nprocs ~default:4;
         inputs;
         step_limit = t.Targets.Registry.tuning.Targets.Registry.step_limit;
-        on_event = (if trace then Mpisim.Trace.collector tracer else fun _ -> ());
+        on_event = (if tracing then Mpisim.Trace.collector tracer else fun _ -> ());
       }
     in
     match Compi.Runner.run config with
@@ -343,11 +584,18 @@ let exec_cmd =
           (fun (kind, n) -> Printf.printf "  %-12s %d\n" kind n)
           (Mpisim.Trace.summary tracer);
         print_string (Mpisim.Trace.timeline ~limit:60 tracer)
-      end
+      end;
+      match trace_jsonl with
+      | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Mpisim.Trace.to_jsonl tracer));
+        Printf.printf "communication trace written to %s\n" path
+      | None -> ()
   in
   Cmd.v
     (Cmd.info "exec" ~doc:"Execute a target once with concrete inputs")
-    Term.(const run $ target_arg $ nprocs_arg $ exec_inputs_arg $ trace_arg)
+    Term.(
+      const run $ target_arg $ nprocs_arg $ exec_inputs_arg $ trace_arg $ trace_jsonl_arg)
 
 (* ------------------------------------------------------------------ *)
 (* test-file: campaigns on Mini-C source files                          *)
@@ -399,4 +647,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ list_cmd; show_cmd; test_cmd; random_cmd; exec_cmd; replay_cmd; test_file_cmd ]))
+          [
+            list_cmd; show_cmd; test_cmd; run_cmd; random_cmd; exec_cmd; replay_cmd;
+            test_file_cmd;
+          ]))

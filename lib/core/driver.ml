@@ -149,7 +149,21 @@ let make_strategy settings (info : Branchinfo.t) =
   | Cfg_strategy ->
     Strategy.create ~seed:settings.seed (Strategy.Cfg_directed (Cfg.build info))
 
-let run ?(settings = default_settings) (info : Branchinfo.t) =
+(* --- telemetry ---------------------------------------------------- *)
+
+let m_iterations = Obs.Metrics.counter "driver.iterations"
+let m_restarts = Obs.Metrics.counter "driver.restarts"
+let m_faults = Obs.Metrics.counter "driver.faults"
+let m_solve_attempts = Obs.Metrics.histogram "driver.solve_attempts"
+let m_cs_size = Obs.Metrics.histogram "driver.constraint_set"
+let g_covered = Obs.Metrics.gauge "driver.covered"
+let g_reachable = Obs.Metrics.gauge "driver.reachable"
+
+let emit_restart ~iteration reason =
+  Obs.Metrics.incr m_restarts;
+  Obs.Sink.emit (Obs.Event.Restart { iteration; reason })
+
+let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
   let rng = Random.State.make [| settings.seed |] in
   let program = info.Branchinfo.program in
   let coverage = Coverage.create () in
@@ -167,6 +181,14 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
       max_procs = settings.max_procs;
     }
   in
+  Obs.Sink.emit
+    (Obs.Event.Campaign_start
+       {
+         target = label;
+         iterations = settings.iterations;
+         seed = settings.seed;
+         nprocs = settings.initial_nprocs;
+       });
   let t_start = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t_start in
   let time_ok () =
@@ -207,9 +229,18 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
         focus = min p.p_focus (min p.p_nprocs settings.max_procs - 1);
       }
     in
+    if Obs.Sink.active () then
+      Obs.Sink.emit
+        (Obs.Event.Iter_start
+           {
+             iteration = !iter;
+             nprocs = config.Runner.nprocs;
+             focus = config.Runner.focus;
+           });
     match Runner.run config with
     | Error (`Platform_limit _) ->
       (* should be prevented by the sw cap; recover with a fresh test *)
+      emit_restart ~iteration:!iter "platform-limit";
       pending :=
         {
           p_inputs = random_inputs rng settings program;
@@ -221,9 +252,20 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
     | Ok res ->
       Coverage.absorb ~into:coverage res.Runner.coverage;
       max_cs := max !max_cs res.Runner.constraint_set_size;
+      Obs.Metrics.observe_int m_cs_size res.Runner.constraint_set_size;
       let faults = Runner.faults res in
       List.iter
         (fun (rank, fault) ->
+          Obs.Metrics.incr m_faults;
+          if Obs.Sink.active () then
+            Obs.Sink.emit
+              (Obs.Event.Fault
+                 {
+                   iteration = !iter;
+                   rank;
+                   kind = Fault.kind_name fault;
+                   detail = Fault.to_string fault;
+                 });
           bugs :=
             {
               bug_iteration = !iter;
@@ -236,7 +278,8 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
             }
             :: !bugs)
         faults;
-      Strategy.observe !strategy ~depth:p.p_depth res.Runner.execution;
+      Obs.Prof.time "strategy" (fun () ->
+          Strategy.observe !strategy ~depth:p.p_depth res.Runner.execution);
       (* two-phase bound derivation *)
       (match settings.strategy with
       | Two_phase_dfs when !iter + 1 = settings.dfs_phase_iters ->
@@ -253,6 +296,14 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
       (* stagnation restart: redo the testing with a fresh tree *)
       let covered_now = Coverage.covered_branches coverage in
       if covered_now > !best_covered then begin
+        if Obs.Sink.active () then
+          Obs.Sink.emit
+            (Obs.Event.Coverage_delta
+               {
+                 iteration = !iter;
+                 covered_before = !best_covered;
+                 covered_after = covered_now;
+               });
         best_covered := covered_now;
         last_improvement := !iter
       end;
@@ -262,6 +313,7 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
         | None -> false
       in
       if stagnated then begin
+        emit_restart ~iteration:!iter "stagnation";
         last_improvement := !iter;
         strategy := fresh_strategy ()
       end;
@@ -270,8 +322,9 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
       let next = ref None in
       let attempts = ref 0 in
       let exhausted = ref stagnated in
+      Obs.Prof.time "solve" (fun () ->
       while !next = None && (not !exhausted) && !attempts < settings.max_solve_attempts do
-        match Strategy.next !strategy ~coverage with
+        match Obs.Prof.time "strategy" (fun () -> Strategy.next !strategy ~coverage) with
         | None -> exhausted := true
         | Some cand -> (
           incr attempts;
@@ -282,12 +335,21 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
               (Execution.length cand.Strategy.record)
               (Format.asprintf "%a" Smt.Constr.pp
                  (Execution.constr_at cand.Strategy.record cand.Strategy.index));
+          let emit_negation sat =
+            if Obs.Sink.active () then
+              Obs.Sink.emit
+                (Obs.Event.Negation
+                   { iteration = !iter; index = cand.Strategy.index; sat })
+          in
           match
             Execution.solve_negation ~budget:settings.solver_budget cand.Strategy.record
               cand.Strategy.index
           with
-          | Error (`Unsat | `Unknown) -> if debug then Printf.eprintf "unsat\n%!"
+          | Error (`Unsat | `Unknown) ->
+            emit_negation false;
+            if debug then Printf.eprintf "unsat\n%!"
           | Ok solver_result ->
+            emit_negation true;
             if debug then Printf.eprintf "sat\n%!";
             let record = cand.Strategy.record in
             let decision =
@@ -315,9 +377,11 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
                   p_focus = focus;
                   p_depth = cand.Strategy.index + 1;
                 })
-      done;
+      done);
       let solve_time = Unix.gettimeofday () -. t_solve in
       let restarted = !next = None in
+      Obs.Metrics.observe_int m_solve_attempts !attempts;
+      if restarted && not stagnated then emit_restart ~iteration:!iter "exhausted";
       (pending :=
          match !next with
          | Some nx -> nx
@@ -331,6 +395,22 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
       let reachable =
         Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)
       in
+      Obs.Metrics.incr m_iterations;
+      Obs.Metrics.set g_covered (float_of_int (Coverage.covered_branches coverage));
+      Obs.Metrics.set g_reachable (float_of_int reachable);
+      if Obs.Sink.active () then
+        Obs.Sink.emit
+          (Obs.Event.Iter_end
+             {
+               iteration = !iter;
+               covered = Coverage.covered_branches coverage;
+               reachable;
+               cs_size = res.Runner.constraint_set_size;
+               faults = List.length faults;
+               restarted;
+               exec_s = res.Runner.wall_time;
+               solve_s = solve_time;
+             });
       stats :=
         {
           iteration = !iter;
@@ -348,9 +428,19 @@ let run ?(settings = default_settings) (info : Branchinfo.t) =
       incr iter
   done;
   let reachable =
-    Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)
+    Obs.Prof.time "report" (fun () ->
+        Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage))
   in
   let covered = Coverage.covered_branches coverage in
+  Obs.Sink.emit
+    (Obs.Event.Campaign_end
+       {
+         iterations_run = !iter;
+         covered;
+         reachable;
+         bugs = List.length !bugs;
+         wall_s = elapsed ();
+       });
   {
     coverage;
     stats = List.rev !stats;

@@ -97,7 +97,13 @@ type result = {
 val distinct_bugs : result -> bug list
 (** First occurrence of each {!bug_key}. *)
 
-val run : ?settings:settings -> Minic.Branchinfo.t -> result
+val run : ?settings:settings -> ?label:string -> Minic.Branchinfo.t -> result
+(** [label] names the target in the telemetry stream (the
+    [campaign_start] event); it does not affect the campaign. When an
+    {!Obs.Sink} is installed the driver emits the full event vocabulary
+    (campaign/iteration boundaries, negation attempts, restarts, faults,
+    coverage deltas) and always feeds the [driver.*] metrics and the
+    [exec]/[solve]/[strategy]/[report] phase timers. *)
 
 val random_inputs :
   Random.State.t -> settings -> Minic.Ast.program -> (string * int) list

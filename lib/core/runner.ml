@@ -130,7 +130,11 @@ let light_hooks config ~mpi ~cover =
     step_limit = config.step_limit;
   }
 
-let run config =
+let m_runs = Obs.Metrics.counter "runner.runs"
+let m_cs_size = Obs.Metrics.histogram "runner.constraint_set"
+let m_log_bytes = Obs.Metrics.histogram "runner.focus_log_bytes"
+
+let run_raw config =
   let program = config.info.Branchinfo.program in
   let focus = config.focus in
   let symtab = Symtab.create () in
@@ -211,6 +215,8 @@ let run config =
         !total / (config.nprocs - 1)
       end
     in
+    Obs.Metrics.observe_int m_cs_size (Pathlog.constraint_count focus_log);
+    Obs.Metrics.observe_int m_log_bytes (String.length focus_serialized);
     Ok
       {
         execution;
@@ -225,3 +231,7 @@ let run config =
         constraint_set_size = Pathlog.constraint_count focus_log;
         wall_time;
       }
+
+let run config =
+  Obs.Metrics.incr m_runs;
+  Obs.Prof.time "exec" (fun () -> run_raw config)

@@ -627,17 +627,27 @@ and expr_of_lval _st = function
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let m_runs = Obs.Metrics.counter "interp.runs"
+let m_faults = Obs.Metrics.counter "interp.faults"
+let m_steps = Obs.Metrics.histogram "interp.steps_per_run"
+
 let run hooks (program : Ast.program) =
   let st = { hooks; program; steps = 0; func = program.Ast.entry } in
-  match
-    match Ast.find_func program program.Ast.entry with
-    | None -> type_error st (Printf.sprintf "no entry function %s" program.Ast.entry)
-    | Some fn ->
-      if fn.Ast.params <> [] then type_error st "entry function takes no parameters";
-      st.hooks.on_func_enter fn.Ast.fname;
-      (try exec_block st (Hashtbl.create 16) fn.Ast.body with
-      | Return_exn _ -> ()
-      | Exit_exn _ -> ())
-  with
-  | () -> Ok ()
-  | exception Fault.Fault f -> Error f
+  let result =
+    match
+      match Ast.find_func program program.Ast.entry with
+      | None -> type_error st (Printf.sprintf "no entry function %s" program.Ast.entry)
+      | Some fn ->
+        if fn.Ast.params <> [] then type_error st "entry function takes no parameters";
+        st.hooks.on_func_enter fn.Ast.fname;
+        (try exec_block st (Hashtbl.create 16) fn.Ast.body with
+        | Return_exn _ -> ()
+        | Exit_exn _ -> ())
+    with
+    | () -> Ok ()
+    | exception Fault.Fault f -> Error f
+  in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.observe_int m_steps st.steps;
+  if Result.is_error result then Obs.Metrics.incr m_faults;
+  result

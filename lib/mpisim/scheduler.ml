@@ -106,6 +106,25 @@ let coll_signature (req : Mpi_iface.request) =
 
 let mpi_fault message = Fault.Fault (Fault.Mpi_error { message; func = "<mpi>" })
 
+(* --- telemetry ---------------------------------------------------- *)
+
+let m_runs = Obs.Metrics.counter "sched.runs"
+let m_messages = Obs.Metrics.counter "sched.messages"
+let m_collectives = Obs.Metrics.counter "sched.collectives"
+let m_deadlocks = Obs.Metrics.counter "sched.deadlocks"
+let m_msgs_per_run = Obs.Metrics.histogram "sched.messages_per_run"
+
+let emit_recv_step ~rank ~src_local ~tag ~comm =
+  if Obs.Sink.active () then
+    Obs.Sink.emit
+      (Obs.Event.Sched_step
+         {
+           kind = "recv";
+           rank;
+           comm;
+           detail = Printf.sprintf "src=%d tag=%d" src_local tag;
+         })
+
 type sched = {
   nprocs : int;
   registry : Rankmap.t;
@@ -118,6 +137,7 @@ type sched = {
   pending_waits : (int, pending_wait) Hashtbl.t;  (* per waiting rank *)
   on_event : Trace.event -> unit;
   mutable deadlocked : int list;
+  mutable msg_count : int;
 }
 
 let resume s rank k reply = Queue.push (rank, fun () -> Effect.Deep.continue k reply) s.runq
@@ -180,9 +200,21 @@ let crash_all s arrivals message =
   List.iter (fun a -> crash s a.arr_rank a.arr_k message) arrivals
 
 let complete_collective s comm (site : site) =
+  Obs.Metrics.incr m_collectives;
   s.on_event
     (Trace.Collective
        { comm; signature = site.signature; participants = List.length site.arrivals });
+  if Obs.Sink.active () then
+    Obs.Sink.emit
+      (Obs.Event.Sched_step
+         {
+           kind = "collective";
+           rank = -1;
+           comm;
+           detail =
+             Printf.sprintf "%s participants=%d" site.signature
+               (List.length site.arrivals);
+         });
   let arrivals = List.sort (fun a b -> Int.compare a.arr_local b.arr_local) site.arrivals in
   let payloads () = List.map (fun a -> Option.get (payload_of_arrival a)) arrivals in
   let reply_each f = List.iter (fun a -> resume s a.arr_rank a.arr_k (f a)) arrivals in
@@ -343,7 +375,18 @@ let handle_request s rank req k =
         crash s rank k (Printf.sprintf "send to invalid rank %d (size %d)" dest size)
       else begin
         let msg = { src_local = my_local; tag; data } in
+        s.msg_count <- s.msg_count + 1;
+        Obs.Metrics.incr m_messages;
         s.on_event (Trace.Send { from_rank = rank; to_local = dest; comm; tag });
+        if Obs.Sink.active () then
+          Obs.Sink.emit
+            (Obs.Event.Sched_step
+               {
+                 kind = "send";
+                 rank;
+                 comm;
+                 detail = Printf.sprintf "dest=%d tag=%d" dest tag;
+               });
         (* matching priority: a blocked Recv first, then posted Irecvs in
            post order, then the mailbox. (Strict MPI interleaves blocked
            and posted receives by posting time; a blocked receive and an
@@ -355,6 +398,7 @@ let handle_request s rank req k =
           Hashtbl.remove s.pending_recvs (comm, dest);
           s.on_event
             (Trace.Recv_matched { rank = pr.recv_rank; src_local = my_local; tag; comm });
+          emit_recv_step ~rank:pr.recv_rank ~src_local:my_local ~tag ~comm;
           resume s pr.recv_rank pr.recv_k (Mpi_iface.Rvalue data)
         | Some _ | None -> (
           let dest_rank = Option.get (Rankmap.global_of_local s.registry ~comm ~local:dest) in
@@ -405,6 +449,7 @@ let handle_request s rank req k =
       match take_matching (mailbox s (comm, my_local)) ~src_filter:src ~tag_filter:tag with
       | Some m ->
         s.on_event (Trace.Recv_matched { rank; src_local = m.src_local; tag = m.tag; comm });
+        emit_recv_step ~rank ~src_local:m.src_local ~tag:m.tag ~comm;
         resume s rank k (Mpi_iface.Rvalue m.data)
       | None ->
         if Hashtbl.mem s.pending_recvs (comm, my_local) then
@@ -444,6 +489,15 @@ let drain s =
     match thunk () with
     | Done r ->
       s.on_event (Trace.Finished { rank; ok = Result.is_ok r });
+      if Obs.Sink.active () then
+        Obs.Sink.emit
+          (Obs.Event.Sched_step
+             {
+               kind = "finished";
+               rank;
+               comm = 0;
+               detail = (if Result.is_ok r then "ok" else "fault");
+             });
       s.results.(rank) <- Some r
     | Paused (req, k) -> handle_request s rank req k
   done
@@ -460,8 +514,11 @@ let break_deadlock s =
       List.iter (fun a -> blocked := (a.arr_rank, a.arr_k) :: !blocked) site.arrivals)
     s.sites;
   Hashtbl.reset s.sites;
-  if !blocked <> [] then
+  if !blocked <> [] then begin
+    Obs.Metrics.incr m_deadlocks;
     s.on_event (Trace.Deadlock { ranks = List.map fst !blocked });
+    Obs.Sink.emit (Obs.Event.Sched_deadlock { ranks = List.map fst !blocked })
+  end;
   List.iter
     (fun (rank, k) ->
       s.deadlocked <- rank :: s.deadlocked;
@@ -485,8 +542,10 @@ let run ?(max_procs = default_max_procs) ?(on_event = fun (_ : Trace.event) -> (
         Array.init nprocs (fun _ -> { next_handle = 1; statuses = Hashtbl.create 8 });
       pending_waits = Hashtbl.create 8;
       deadlocked = [];
+      msg_count = 0;
     }
   in
+  Obs.Metrics.incr m_runs;
   for rank = 0 to nprocs - 1 do
     Queue.push (rank, fun () -> start_fiber (fun () -> body ~rank ~mpi:mpi_handler)) s.runq
   done;
@@ -501,7 +560,8 @@ let run ?(max_procs = default_max_procs) ?(on_event = fun (_ : Trace.event) -> (
       else settle ()
     end
   in
-  settle ();
+  Obs.Prof.time "schedule" settle;
+  Obs.Metrics.observe_int m_msgs_per_run s.msg_count;
   let leaked =
     Hashtbl.fold
       (fun (comm, dest) q acc ->

@@ -56,5 +56,51 @@ let timeline ?(limit = 200) t =
         Buffer.add_string buf (Format.asprintf "%4d  %a\n" k pp_event ev))
     (events t);
   if length t > limit then
-    Buffer.add_string buf (Printf.sprintf "... (%d more events)\n" (length t - limit));
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d of %d events elided by limit %d)\n" (length t - limit)
+         (length t) limit);
+  Buffer.contents buf
+
+(* JSONL rendering on the shared telemetry JSON emitter: the same shape
+   as the scheduler's live [sched_step]/[sched_deadlock] stream, plus a
+   [seq] field giving the emission index within this trace. *)
+let event_to_json k ev =
+  let obj kind fields = Obs.Json.Obj (("ev", Obs.Json.Str kind) :: ("seq", Obs.Json.Int k) :: fields) in
+  match ev with
+  | Send { from_rank; to_local; comm; tag } ->
+    obj "send"
+      [
+        ("from_rank", Obs.Json.Int from_rank);
+        ("to_local", Obs.Json.Int to_local);
+        ("comm", Obs.Json.Int comm);
+        ("tag", Obs.Json.Int tag);
+      ]
+  | Recv_matched { rank; src_local; tag; comm } ->
+    obj "recv"
+      [
+        ("rank", Obs.Json.Int rank);
+        ("src_local", Obs.Json.Int src_local);
+        ("tag", Obs.Json.Int tag);
+        ("comm", Obs.Json.Int comm);
+      ]
+  | Collective { comm; signature; participants } ->
+    obj "collective"
+      [
+        ("comm", Obs.Json.Int comm);
+        ("signature", Obs.Json.Str signature);
+        ("participants", Obs.Json.Int participants);
+      ]
+  | Finished { rank; ok } ->
+    obj "finished" [ ("rank", Obs.Json.Int rank); ("ok", Obs.Json.Bool ok) ]
+  | Deadlock { ranks } ->
+    obj "deadlock"
+      [ ("ranks", Obs.Json.List (List.map (fun r -> Obs.Json.Int r) ranks)) ]
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun k ev ->
+      Buffer.add_string buf (Obs.Json.to_string (event_to_json k ev));
+      Buffer.add_char buf '\n')
+    (events t);
   Buffer.contents buf

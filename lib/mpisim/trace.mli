@@ -27,4 +27,10 @@ val summary : t -> (string * int) list
 (** Event counts by kind, alphabetical. *)
 
 val timeline : ?limit:int -> t -> string
-(** One line per event, capped at [limit] (default 200). *)
+(** One line per event, capped at [limit] (default 200). When the cap
+    truncates, the last line states how many events were elided and the
+    full count. *)
+
+val to_jsonl : t -> string
+(** One JSON object per line ([{"ev":…,"seq":…,…}]), built on the
+    {!Obs.Json} emitter — machine-readable counterpart of {!timeline}. *)

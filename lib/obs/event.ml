@@ -1,0 +1,233 @@
+type solver_outcome = Sat | Unsat | Unknown
+
+let outcome_name = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown"
+
+let outcome_of_name = function
+  | "sat" -> Some Sat
+  | "unsat" -> Some Unsat
+  | "unknown" -> Some Unknown
+  | _ -> None
+
+type t =
+  | Campaign_start of { target : string; iterations : int; seed : int; nprocs : int }
+  | Campaign_end of {
+      iterations_run : int;
+      covered : int;
+      reachable : int;
+      bugs : int;
+      wall_s : float;
+    }
+  | Iter_start of { iteration : int; nprocs : int; focus : int }
+  | Iter_end of {
+      iteration : int;
+      covered : int;
+      reachable : int;
+      cs_size : int;
+      faults : int;
+      restarted : bool;
+      exec_s : float;
+      solve_s : float;
+    }
+  | Solver_call of {
+      incremental : bool;
+      outcome : solver_outcome;
+      nodes : int;
+      vars : int;
+      constraints : int;
+      time_s : float;
+    }
+  | Negation of { iteration : int; index : int; sat : bool }
+  | Restart of { iteration : int; reason : string }
+  | Sched_step of { kind : string; rank : int; comm : int; detail : string }
+  | Sched_deadlock of { ranks : int list }
+  | Fault of { iteration : int; rank : int; kind : string; detail : string }
+  | Coverage_delta of { iteration : int; covered_before : int; covered_after : int }
+
+let kind_name = function
+  | Campaign_start _ -> "campaign_start"
+  | Campaign_end _ -> "campaign_end"
+  | Iter_start _ -> "iter_start"
+  | Iter_end _ -> "iter_end"
+  | Solver_call _ -> "solver_call"
+  | Negation _ -> "negation"
+  | Restart _ -> "restart"
+  | Sched_step _ -> "sched_step"
+  | Sched_deadlock _ -> "sched_deadlock"
+  | Fault _ -> "fault"
+  | Coverage_delta _ -> "coverage_delta"
+
+let fields = function
+  | Campaign_start { target; iterations; seed; nprocs } ->
+    [
+      ("target", Json.Str target);
+      ("iterations", Json.Int iterations);
+      ("seed", Json.Int seed);
+      ("nprocs", Json.Int nprocs);
+    ]
+  | Campaign_end { iterations_run; covered; reachable; bugs; wall_s } ->
+    [
+      ("iterations_run", Json.Int iterations_run);
+      ("covered", Json.Int covered);
+      ("reachable", Json.Int reachable);
+      ("bugs", Json.Int bugs);
+      ("wall_s", Json.Float wall_s);
+    ]
+  | Iter_start { iteration; nprocs; focus } ->
+    [
+      ("iteration", Json.Int iteration);
+      ("nprocs", Json.Int nprocs);
+      ("focus", Json.Int focus);
+    ]
+  | Iter_end { iteration; covered; reachable; cs_size; faults; restarted; exec_s; solve_s }
+    ->
+    [
+      ("iteration", Json.Int iteration);
+      ("covered", Json.Int covered);
+      ("reachable", Json.Int reachable);
+      ("cs_size", Json.Int cs_size);
+      ("faults", Json.Int faults);
+      ("restarted", Json.Bool restarted);
+      ("exec_s", Json.Float exec_s);
+      ("solve_s", Json.Float solve_s);
+    ]
+  | Solver_call { incremental; outcome; nodes; vars; constraints; time_s } ->
+    [
+      ("incremental", Json.Bool incremental);
+      ("outcome", Json.Str (outcome_name outcome));
+      ("nodes", Json.Int nodes);
+      ("vars", Json.Int vars);
+      ("constraints", Json.Int constraints);
+      ("time_s", Json.Float time_s);
+    ]
+  | Negation { iteration; index; sat } ->
+    [ ("iteration", Json.Int iteration); ("index", Json.Int index); ("sat", Json.Bool sat) ]
+  | Restart { iteration; reason } ->
+    [ ("iteration", Json.Int iteration); ("reason", Json.Str reason) ]
+  | Sched_step { kind; rank; comm; detail } ->
+    [
+      ("kind", Json.Str kind);
+      ("rank", Json.Int rank);
+      ("comm", Json.Int comm);
+      ("detail", Json.Str detail);
+    ]
+  | Sched_deadlock { ranks } ->
+    [ ("ranks", Json.List (List.map (fun r -> Json.Int r) ranks)) ]
+  | Fault { iteration; rank; kind; detail } ->
+    [
+      ("iteration", Json.Int iteration);
+      ("rank", Json.Int rank);
+      ("kind", Json.Str kind);
+      ("detail", Json.Str detail);
+    ]
+  | Coverage_delta { iteration; covered_before; covered_after } ->
+    [
+      ("iteration", Json.Int iteration);
+      ("covered_before", Json.Int covered_before);
+      ("covered_after", Json.Int covered_after);
+    ]
+
+let to_json ?t ev =
+  let time_field = match t with Some x -> [ ("t", Json.Float x) ] | None -> [] in
+  Json.Obj ((("ev", Json.Str (kind_name ev)) :: time_field) @ fields ev)
+
+(* Field accessors that fail with a descriptive message: of_json is used
+   by `compi-cli replay` on user-supplied files. *)
+let of_json j =
+  let str name =
+    match Option.bind (Json.member name j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %s" name)
+  in
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "missing int field %s" name)
+  in
+  let flt name =
+    match Option.bind (Json.member name j) Json.to_float with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "missing float field %s" name)
+  in
+  let bool name =
+    match Option.bind (Json.member name j) Json.to_bool with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "missing bool field %s" name)
+  in
+  let ( let* ) = Result.bind in
+  let* ev = str "ev" in
+  match ev with
+  | "campaign_start" ->
+    let* target = str "target" in
+    let* iterations = int "iterations" in
+    let* seed = int "seed" in
+    let* nprocs = int "nprocs" in
+    Ok (Campaign_start { target; iterations; seed; nprocs })
+  | "campaign_end" ->
+    let* iterations_run = int "iterations_run" in
+    let* covered = int "covered" in
+    let* reachable = int "reachable" in
+    let* bugs = int "bugs" in
+    let* wall_s = flt "wall_s" in
+    Ok (Campaign_end { iterations_run; covered; reachable; bugs; wall_s })
+  | "iter_start" ->
+    let* iteration = int "iteration" in
+    let* nprocs = int "nprocs" in
+    let* focus = int "focus" in
+    Ok (Iter_start { iteration; nprocs; focus })
+  | "iter_end" ->
+    let* iteration = int "iteration" in
+    let* covered = int "covered" in
+    let* reachable = int "reachable" in
+    let* cs_size = int "cs_size" in
+    let* faults = int "faults" in
+    let* restarted = bool "restarted" in
+    let* exec_s = flt "exec_s" in
+    let* solve_s = flt "solve_s" in
+    Ok (Iter_end { iteration; covered; reachable; cs_size; faults; restarted; exec_s; solve_s })
+  | "solver_call" ->
+    let* incremental = bool "incremental" in
+    let* outcome_s = str "outcome" in
+    let* outcome =
+      match outcome_of_name outcome_s with
+      | Some o -> Ok o
+      | None -> Error (Printf.sprintf "bad solver outcome %s" outcome_s)
+    in
+    let* nodes = int "nodes" in
+    let* vars = int "vars" in
+    let* constraints = int "constraints" in
+    let* time_s = flt "time_s" in
+    Ok (Solver_call { incremental; outcome; nodes; vars; constraints; time_s })
+  | "negation" ->
+    let* iteration = int "iteration" in
+    let* index = int "index" in
+    let* sat = bool "sat" in
+    Ok (Negation { iteration; index; sat })
+  | "restart" ->
+    let* iteration = int "iteration" in
+    let* reason = str "reason" in
+    Ok (Restart { iteration; reason })
+  | "sched_step" ->
+    let* kind = str "kind" in
+    let* rank = int "rank" in
+    let* comm = int "comm" in
+    let* detail = str "detail" in
+    Ok (Sched_step { kind; rank; comm; detail })
+  | "sched_deadlock" -> (
+    match Option.bind (Json.member "ranks" j) Json.to_list with
+    | None -> Error "missing list field ranks"
+    | Some xs -> (
+      let ranks = List.filter_map Json.to_int xs in
+      if List.length ranks = List.length xs then Ok (Sched_deadlock { ranks })
+      else Error "non-integer rank in ranks"))
+  | "fault" ->
+    let* iteration = int "iteration" in
+    let* rank = int "rank" in
+    let* kind = str "kind" in
+    let* detail = str "detail" in
+    Ok (Fault { iteration; rank; kind; detail })
+  | "coverage_delta" ->
+    let* iteration = int "iteration" in
+    let* covered_before = int "covered_before" in
+    let* covered_after = int "covered_after" in
+    Ok (Coverage_delta { iteration; covered_before; covered_after })
+  | other -> Error (Printf.sprintf "unknown event kind %s" other)

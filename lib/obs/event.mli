@@ -1,0 +1,61 @@
+(** The structured telemetry vocabulary: everything a campaign does that
+    is worth a line in a trace.
+
+    One constructor per occurrence kind, carrying only scalars — every
+    layer of the engine (solver, scheduler, interpreter, driver) can
+    build these without new dependencies, and a JSONL consumer gets flat
+    objects. [to_json]/[of_json] round-trip exactly (see test_obs). *)
+
+type solver_outcome = Sat | Unsat | Unknown
+
+val outcome_name : solver_outcome -> string
+
+type t =
+  | Campaign_start of { target : string; iterations : int; seed : int; nprocs : int }
+  | Campaign_end of {
+      iterations_run : int;
+      covered : int;
+      reachable : int;
+      bugs : int;
+      wall_s : float;
+    }
+  | Iter_start of { iteration : int; nprocs : int; focus : int }
+  | Iter_end of {
+      iteration : int;
+      covered : int;
+      reachable : int;
+      cs_size : int;
+      faults : int;
+      restarted : bool;
+      exec_s : float;
+      solve_s : float;
+    }
+  | Solver_call of {
+      incremental : bool;
+      outcome : solver_outcome;
+      nodes : int;  (** search nodes expended (bounded by the budget) *)
+      vars : int;  (** variables in the (closure of the) solved set *)
+      constraints : int;
+      time_s : float;
+    }
+  | Negation of { iteration : int; index : int; sat : bool }
+      (** one attempt to negate the focus path constraint at [index] *)
+  | Restart of { iteration : int; reason : string }
+      (** [reason] is one of ["stagnation"], ["exhausted"],
+          ["platform-limit"] *)
+  | Sched_step of { kind : string; rank : int; comm : int; detail : string }
+      (** scheduler progress: [kind] is ["send"], ["recv"],
+          ["collective"], or ["finished"] *)
+  | Sched_deadlock of { ranks : int list }
+  | Fault of { iteration : int; rank : int; kind : string; detail : string }
+  | Coverage_delta of { iteration : int; covered_before : int; covered_after : int }
+
+val kind_name : t -> string
+(** The wire name, i.e. the ["ev"] field of the JSON encoding. *)
+
+val to_json : ?t:float -> t -> Json.t
+(** Flat object [{"ev": kind, ("t": seconds)?, field…}]. [t] is the
+    emission timestamp relative to sink installation. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of [to_json] (the ["t"] field is ignored). *)

@@ -1,0 +1,49 @@
+(** Process-wide metrics registry: named counters, gauges, and log-scale
+    histograms, exported as one JSON snapshot (with the {!Prof} phase
+    totals attached).
+
+    Instrument creation is idempotent and cheap; observation is a couple
+    of mutable-field updates, safe on hot paths whether or not any
+    telemetry sink is installed. [reset] zeroes values in place, so
+    instrument handles bound at module-init time survive it. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find-or-create. Raises [Invalid_argument] if [name] is already
+    registered as a different kind. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Values [<= 0] (and [0] itself) land in a dedicated underflow bucket;
+    positive values go to power-of-two buckets spanning [2^-30] to
+    [2^63], so nanosecond latencies and [max_int]-sized step counts both
+    bucket without configuration. *)
+
+val observe_int : histogram -> int -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val bucket_index : float -> int
+(** Exposed for tests: which bucket a value lands in. *)
+
+val bucket_bounds : int -> float * float
+(** [(lo, hi)] of a bucket; bucket 0 is [(-inf, 0]]. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (and nothing else: registration and
+    cached handles survive). Does not touch {!Prof}. *)
+
+val snapshot_json : unit -> Json.t
+(** [{"metrics": {name: value|histogram, …}, "phases": {…}}] with names
+    sorted; histograms export count/sum/mean/min/max plus the non-empty
+    buckets. *)

@@ -1,0 +1,22 @@
+(** Nestable wall-time phase timers: the per-phase breakdown
+    ([exec] / [solve] / [schedule] / [strategy] / [report]) behind the
+    metrics snapshot.
+
+    Process-wide, single-threaded. Timers nest: a phase entered inside
+    another contributes to both phases' [total_s], while [self_s]
+    excludes time spent in nested phases. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time phase f] runs [f] and charges its wall time to [phase].
+    Exception-safe; re-entrant (recursive phases accumulate). *)
+
+val totals : unit -> (string * float * float * int) list
+(** [(phase, total_s, self_s, count)] sorted by phase name. *)
+
+val total : string -> float
+(** Accumulated total seconds for one phase (0 if never entered). *)
+
+val reset : unit -> unit
+
+val snapshot_json : unit -> Json.t
+(** [{"phase": {"total_s":…,"self_s":…,"count":…}, …}] *)

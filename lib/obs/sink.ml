@@ -1,0 +1,54 @@
+(* Globally-installable JSONL event sink. The no-sink fast path is a
+   single ref read, so emitting layers may call [emit] (or guard event
+   construction with [active ()]) unconditionally on hot paths. *)
+
+type target = Null_sink | Buffer_sink of Buffer.t | Channel_sink of out_channel
+
+type installed = { target : target; t0 : float }
+
+let current : installed option ref = ref None
+let is_active = ref false
+
+let install target =
+  (match !current with
+  | Some { target = Channel_sink oc; _ } -> flush oc
+  | Some _ | None -> ());
+  current := Some { target; t0 = Unix.gettimeofday () };
+  is_active := (match target with Null_sink -> false | Buffer_sink _ | Channel_sink _ -> true)
+
+let uninstall () =
+  (match !current with
+  | Some { target = Channel_sink oc; _ } -> flush oc
+  | Some _ | None -> ());
+  current := None;
+  is_active := false
+
+let active () = !is_active
+
+let installed () = Option.is_some !current
+
+let emit ev =
+  if !is_active then
+    match !current with
+    | None -> ()
+    | Some { target; t0 } -> (
+      let line = Json.to_string (Event.to_json ~t:(Unix.gettimeofday () -. t0) ev) in
+      match target with
+      | Null_sink -> ()
+      | Buffer_sink buf ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n'
+      | Channel_sink oc ->
+        output_string oc line;
+        output_char oc '\n')
+
+let with_sink target f =
+  let saved = !current in
+  install target;
+  Fun.protect
+    ~finally:(fun () ->
+      uninstall ();
+      match saved with
+      | Some { target; _ } -> install target
+      | None -> ())
+    f

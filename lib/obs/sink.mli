@@ -1,0 +1,35 @@
+(** Globally-installable JSONL sink for {!Event} emission.
+
+    Exactly one sink is installed at a time (the engine is a single
+    process; per-campaign scoping is the caller's job via
+    [install]/[uninstall] or [with_sink]). With no sink — or the
+    [Null_sink] — installed, [emit] is one ref read; emitting sites that
+    build large events should guard with [active ()]. *)
+
+type target =
+  | Null_sink  (** counts as installed but drops everything *)
+  | Buffer_sink of Buffer.t
+  | Channel_sink of out_channel
+
+val install : target -> unit
+(** Replaces any previous sink (flushing it if it was a channel) and
+    restarts the relative-timestamp clock. *)
+
+val uninstall : unit -> unit
+(** Flushes a channel sink. Does not close the channel — the opener
+    owns it. *)
+
+val active : unit -> bool
+(** [true] iff events are currently being written ([Null_sink] and
+    no-sink both answer [false]). *)
+
+val installed : unit -> bool
+(** [true] iff any sink, including [Null_sink], is installed. *)
+
+val emit : Event.t -> unit
+(** Append one JSONL line [{"ev":…,"t":…,…}] to the active sink;
+    no-op otherwise. [t] is seconds since the sink was installed. *)
+
+val with_sink : target -> (unit -> 'a) -> 'a
+(** Scoped install; restores the previously-installed sink (if any)
+    afterwards. *)

@@ -98,8 +98,9 @@ let holds_all m cs =
 
 (* Complete search: try preferred value and both endpoints of the chosen
    variable, then split the remaining interval. Each step strictly
-   shrinks a domain, so the search terminates; [budget] bounds it. *)
-let search ~budget ~prefer cs doms0 active =
+   shrinks a domain, so the search terminates; [budget] bounds it.
+   [nodes] reports the nodes actually expended to the telemetry layer. *)
+let search ~budget ~nodes ~prefer cs doms0 active =
   let remaining = ref budget in
   let pick st =
     let best = ref None in
@@ -117,6 +118,7 @@ let search ~budget ~prefer cs doms0 active =
   in
   let rec go st =
     decr remaining;
+    incr nodes;
     if !remaining < 0 then raise Exhausted;
     match propagate st cs with
     | exception Contradiction -> None
@@ -177,7 +179,7 @@ let search ~budget ~prefer cs doms0 active =
   in
   go { doms = doms0; dirty = false }
 
-let solve ?(budget = default_budget) ?(domains = Varid.Map.empty) ?(prefer = Model.empty) cs =
+let solve_raw ~budget ~domains ~prefer ~nodes cs =
   (* Normalize: drop trivially-true constraints, fail fast on trivially
      false ones, and divide every remaining constraint by its coefficient
      gcd (tightening integer bounds and deciding divisibility). *)
@@ -198,10 +200,62 @@ let solve ?(budget = default_budget) ?(domains = Varid.Map.empty) ?(prefer = Mod
     in
     if Varid.Set.is_empty active then Sat Model.empty
     else
-      match search ~budget ~prefer cs domains active with
+      match search ~budget ~nodes ~prefer cs domains active with
       | Some m -> Sat m
       | None -> Unsat
       | exception Exhausted -> Unknown)
+
+(* --- telemetry ---------------------------------------------------- *)
+
+let m_calls = Obs.Metrics.counter "solver.calls"
+let m_sat = Obs.Metrics.counter "solver.sat"
+let m_unsat = Obs.Metrics.counter "solver.unsat"
+let m_unknown = Obs.Metrics.counter "solver.unknown"
+let m_latency = Obs.Metrics.histogram "solver.latency_s"
+let m_nodes = Obs.Metrics.histogram "solver.nodes"
+
+let count_vars cs =
+  Varid.Set.cardinal
+    (List.fold_left (fun acc c -> Varid.Set.union acc (Constr.vars c)) Varid.Set.empty cs)
+
+(* Wrap one solver entry with latency/outcome accounting and, when a
+   trace sink is live, a [Solver_call] event. *)
+let instrumented ~incremental cs f =
+  let t0 = Unix.gettimeofday () in
+  let nodes = ref 0 in
+  let outcome = f nodes in
+  let dt = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.incr m_calls;
+  Obs.Metrics.observe m_latency dt;
+  Obs.Metrics.observe_int m_nodes !nodes;
+  let obs_outcome =
+    match outcome with
+    | Sat _ ->
+      Obs.Metrics.incr m_sat;
+      Obs.Event.Sat
+    | Unsat ->
+      Obs.Metrics.incr m_unsat;
+      Obs.Event.Unsat
+    | Unknown ->
+      Obs.Metrics.incr m_unknown;
+      Obs.Event.Unknown
+  in
+  if Obs.Sink.active () then
+    Obs.Sink.emit
+      (Obs.Event.Solver_call
+         {
+           incremental;
+           outcome = obs_outcome;
+           nodes = !nodes;
+           vars = count_vars cs;
+           constraints = List.length cs;
+           time_s = dt;
+         });
+  outcome
+
+let solve ?(budget = default_budget) ?(domains = Varid.Map.empty) ?(prefer = Model.empty) cs =
+  instrumented ~incremental:false cs (fun nodes ->
+      solve_raw ~budget ~domains ~prefer ~nodes cs)
 
 type incremental_result = {
   model : Model.t;
@@ -211,7 +265,10 @@ type incremental_result = {
 
 let solve_incremental ?(budget = default_budget) ?(domains = Varid.Map.empty) ~prev ~target cs =
   let closure, vars = Constr.dependency_closure ~seed:(Constr.vars target) cs in
-  match solve ~budget ~domains ~prefer:prev closure with
+  match
+    instrumented ~incremental:true closure (fun nodes ->
+        solve_raw ~budget ~domains ~prefer:prev ~nodes closure)
+  with
   | Unsat -> Error `Unsat
   | Unknown -> Error `Unknown
   | Sat m ->

@@ -3,7 +3,12 @@ let all () =
     Toy.fig1; Toy.fig2; Susy_hmc.target; Hpl.target; Imb_mpi1.target; Heat2d.target;
     Npb_cg.target;
   ]
-let find name = List.find_opt (fun (t : Registry.t) -> t.Registry.name = name) (all ())
+(* Short names accepted anywhere a target is named on the CLI. *)
+let aliases = [ ("toy", "toy-fig2") ]
+
+let find name =
+  let name = match List.assoc_opt name aliases with Some n -> n | None -> name in
+  List.find_opt (fun (t : Registry.t) -> t.Registry.name = name) (all ())
 
 let find_exn name =
   match find name with

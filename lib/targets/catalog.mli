@@ -3,6 +3,8 @@
 val all : unit -> Registry.t list
 (** toy-fig1, toy-fig2, susy-hmc, hpl, imb-mpi1, heat2d, npb-cg. *)
 
+(** [find name] also accepts a few short aliases (e.g. ["toy"] for
+    ["toy-fig2"]). *)
 val find : string -> Registry.t option
 val find_exn : string -> Registry.t
 val names : unit -> string list

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "compi-repro"
     (List.concat
        [
+         Test_obs.suite;
          Test_smt.suite;
          Test_minic.suite;
          Test_mpisim.suite;

@@ -1,0 +1,291 @@
+(* Tests for the telemetry layer: the JSON emitter/parser round-trip,
+   the event vocabulary encoding, histogram bucketing edge cases, and
+   the guarantee that telemetry (null sink, metrics) never perturbs a
+   campaign's results. *)
+
+(* ------------------------------------------------------------------ *)
+(* Json: escaping and round-trips                                      *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip j =
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.failf "re-parse failed: %s on %s" e (Obs.Json.to_string j)
+
+let test_json_escaping () =
+  let check_str s =
+    match roundtrip (Obs.Json.Str s) with
+    | Obs.Json.Str s' -> Alcotest.(check string) "string round-trip" s s'
+    | _ -> Alcotest.fail "not a string"
+  in
+  check_str "";
+  check_str "plain";
+  check_str "quote \" backslash \\ slash /";
+  check_str "newline \n tab \t return \r";
+  check_str "\x00\x01\x1f control bytes";
+  check_str "utf-8 passthrough: \xc3\xa9\xe2\x86\x92";
+  (* control characters must appear escaped on the wire *)
+  let wire = Obs.Json.to_string (Obs.Json.Str "\x07") in
+  Alcotest.(check string) "control char escaped" "\"\\u0007\"" wire;
+  Alcotest.(check string) "newline escaped" "\"\\n\""
+    (Obs.Json.to_string (Obs.Json.Str "\n"))
+
+let test_json_floats () =
+  let check_float x =
+    match Obs.Json.to_float (roundtrip (Obs.Json.Float x)) with
+    | Some x' ->
+      Alcotest.(check bool) (Printf.sprintf "float %h round-trips" x) true (x = x')
+    | None -> Alcotest.fail "not a number"
+  in
+  List.iter check_float
+    [ 0.0; 1.0; -1.5; 0.1; 1e-9; 1.7976931348623157e308; 4.9e-324; 3.141592653589793 ];
+  (* integer-valued floats must stay floats on the wire *)
+  let wire = Obs.Json.to_string (Obs.Json.Float 2.0) in
+  Alcotest.(check bool) "2.0 renders with a point" true (String.contains wire '.');
+  Alcotest.(check string) "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+let test_json_structures () =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("a", Obs.Json.Int (-42));
+        ("b", Obs.Json.List [ Obs.Json.Bool true; Obs.Json.Null; Obs.Json.Str "x" ]);
+        ("max", Obs.Json.Int max_int);
+        ("min", Obs.Json.Int min_int);
+        ("nested", Obs.Json.Obj [ ("empty", Obs.Json.List []) ]);
+      ]
+  in
+  Alcotest.(check bool) "structure round-trips" true (roundtrip doc = doc);
+  (match Obs.Json.parse "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Obs.Json.parse " [1, 2.5, \"\\u0041\\n\", {}] " with
+  | Ok (Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float 2.5; Obs.Json.Str "A\n"; Obs.Json.Obj [] ])
+    -> ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Obs.Json.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Event: every constructor encodes and decodes exactly                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_events : Obs.Event.t list =
+  [
+    Campaign_start { target = "toy \"quoted\""; iterations = 200; seed = 42; nprocs = 4 };
+    Campaign_end
+      { iterations_run = 200; covered = 17; reachable = 20; bugs = 1; wall_s = 0.125 };
+    Iter_start { iteration = 3; nprocs = 8; focus = 2 };
+    Iter_end
+      {
+        iteration = 3;
+        covered = 12;
+        reachable = 20;
+        cs_size = 9;
+        faults = 0;
+        restarted = true;
+        exec_s = 0.01;
+        solve_s = 0.002;
+      };
+    Solver_call
+      {
+        incremental = true;
+        outcome = Obs.Event.Sat;
+        nodes = 128;
+        vars = 6;
+        constraints = 11;
+        time_s = 3.5e-05;
+      };
+    Solver_call
+      {
+        incremental = false;
+        outcome = Obs.Event.Unsat;
+        nodes = 0;
+        vars = 0;
+        constraints = 0;
+        time_s = 0.0;
+      };
+    Solver_call
+      {
+        incremental = false;
+        outcome = Obs.Event.Unknown;
+        nodes = max_int;
+        vars = 1;
+        constraints = 1;
+        time_s = 1.0;
+      };
+    Negation { iteration = 7; index = 4; sat = false };
+    Restart { iteration = 50; reason = "stagnation" };
+    Sched_step { kind = "send"; rank = 1; comm = 0; detail = "dest=2 tag=0" };
+    Sched_deadlock { ranks = [ 0; 1; 3 ] };
+    Fault { iteration = 9; rank = 2; kind = "assert"; detail = "x > 0\nline 3" };
+    Coverage_delta { iteration = 9; covered_before = 10; covered_after = 12 };
+  ]
+
+let test_event_roundtrip () =
+  (* every constructor appears in the sample set *)
+  let kinds =
+    List.sort_uniq String.compare (List.map Obs.Event.kind_name sample_events)
+  in
+  Alcotest.(check int) "all 11 event kinds sampled" 11 (List.length kinds);
+  List.iter
+    (fun ev ->
+      let wire = Obs.Json.to_string (Obs.Event.to_json ~t:1.25 ev) in
+      match Obs.Json.parse wire with
+      | Error e -> Alcotest.failf "%s: unparseable wire %s (%s)" (Obs.Event.kind_name ev) wire e
+      | Ok j -> (
+        match Obs.Event.of_json j with
+        | Ok ev' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s round-trips" (Obs.Event.kind_name ev))
+            true (ev = ev')
+        | Error e -> Alcotest.failf "%s: decode failed: %s" (Obs.Event.kind_name ev) e))
+    sample_events
+
+let test_event_of_json_rejects () =
+  let reject s =
+    match Obs.Json.parse s with
+    | Error _ -> ()
+    | Ok j -> (
+      match Obs.Event.of_json j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad event %s" s)
+  in
+  reject "{\"no_ev\": 1}";
+  reject "{\"ev\": \"not_a_kind\"}";
+  reject "{\"ev\": \"negation\", \"iteration\": 1}";
+  reject "[1,2,3]"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: histogram bucketing edge cases                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  (* non-positive values land in the underflow bucket *)
+  Alcotest.(check int) "0 -> bucket 0" 0 (Obs.Metrics.bucket_index 0.0);
+  Alcotest.(check int) "-1 -> bucket 0" 0 (Obs.Metrics.bucket_index (-1.0));
+  Alcotest.(check int) "-inf -> bucket 0" 0 (Obs.Metrics.bucket_index Float.neg_infinity);
+  (* buckets are monotone in the value *)
+  let idx = List.map Obs.Metrics.bucket_index [ 1e-9; 1e-3; 1.0; 2.0; 1e6; 1e18 ] in
+  Alcotest.(check (list int)) "monotone" (List.sort_uniq compare idx) idx;
+  (* every probed value lies inside its bucket's bounds: bucket 0 is
+     (-inf, 0], positive buckets are [lo, hi) *)
+  List.iter
+    (fun v ->
+      let i = Obs.Metrics.bucket_index v in
+      let lo, hi = Obs.Metrics.bucket_bounds i in
+      Alcotest.(check bool)
+        (Printf.sprintf "%h in bucket %d [%h, %h)" v i lo hi)
+        true
+        (if i = 0 then v <= 0.0 else v >= lo && v < hi))
+    [ 1e-9; 0.5; 1.0; 1.5; 2.0; 1024.0; float_of_int max_int ];
+  (* max_int observes without escaping the bucket range *)
+  let h = Obs.Metrics.histogram "test.buckets" in
+  Obs.Metrics.observe_int h max_int;
+  Obs.Metrics.observe_int h 0;
+  Obs.Metrics.observe h 1e300;
+  Alcotest.(check int) "3 observations" 3 (Obs.Metrics.histogram_count h);
+  Alcotest.(check (float 1e280)) "sum tracks" (float_of_int max_int +. 1e300)
+    (Obs.Metrics.histogram_sum h)
+
+let test_metrics_registry () =
+  let c = Obs.Metrics.counter "test.reg.c" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter accumulates" 5 (Obs.Metrics.value c);
+  (* find-or-create returns the same instrument *)
+  Obs.Metrics.incr (Obs.Metrics.counter "test.reg.c");
+  Alcotest.(check int) "idempotent creation" 6 (Obs.Metrics.value c);
+  (* kind mismatch is a programming error *)
+  (match Obs.Metrics.gauge "test.reg.c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted");
+  (* reset zeroes in place: the cached handle stays valid *)
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes counter" 0 (Obs.Metrics.value c);
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "handle survives reset" 1 (Obs.Metrics.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Sink: emission shape, and the null sink changes nothing             *)
+(* ------------------------------------------------------------------ *)
+
+let test_buffer_sink () =
+  let buf = Buffer.create 256 in
+  Obs.Sink.with_sink (Obs.Sink.Buffer_sink buf) (fun () ->
+      Alcotest.(check bool) "buffer sink active" true (Obs.Sink.active ());
+      Obs.Sink.emit (Obs.Event.Restart { iteration = 1; reason = "stagnation" });
+      Obs.Sink.emit (Obs.Event.Sched_deadlock { ranks = [ 2 ] }));
+  Alcotest.(check bool) "restored to inactive" false (Obs.Sink.active ());
+  let lines =
+    Buffer.contents buf |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Json.parse line with
+      | Ok j ->
+        Alcotest.(check bool) "has ev" true (Obs.Json.member "ev" j <> None);
+        Alcotest.(check bool) "has t" true (Obs.Json.member "t" j <> None)
+      | Error e -> Alcotest.failf "bad JSONL line %s: %s" line e)
+    lines
+
+let toy_result () =
+  let t = Targets.Catalog.find_exn "toy-fig2" in
+  let info = Targets.Registry.instrument t in
+  let settings =
+    { Compi.Driver.default_settings with Compi.Driver.iterations = 30; seed = 7 }
+  in
+  Compi.Driver.run ~settings info
+
+(* Everything observable about a result except wall-clock times. *)
+let fingerprint (r : Compi.Driver.result) =
+  ( ( r.Compi.Driver.covered_branches,
+      r.Compi.Driver.reachable_branches,
+      r.Compi.Driver.total_branches,
+      r.Compi.Driver.iterations_run,
+      r.Compi.Driver.max_constraint_set,
+      r.Compi.Driver.derived_bound ),
+    List.map
+      (fun (s : Compi.Driver.iter_stat) ->
+        ( s.Compi.Driver.iteration,
+          s.Compi.Driver.nprocs,
+          s.Compi.Driver.focus,
+          s.Compi.Driver.constraint_set_size,
+          s.Compi.Driver.covered_after,
+          s.Compi.Driver.faults_seen,
+          s.Compi.Driver.restarted ))
+      r.Compi.Driver.stats,
+    List.map Compi.Driver.bug_key r.Compi.Driver.bugs )
+
+let test_null_sink_transparent () =
+  let bare = fingerprint (toy_result ()) in
+  let nulled =
+    Obs.Sink.with_sink Obs.Sink.Null_sink (fun () -> fingerprint (toy_result ()))
+  in
+  Alcotest.(check bool) "null sink leaves results identical" true (bare = nulled);
+  let buf = Buffer.create 4096 in
+  let buffered =
+    Obs.Sink.with_sink (Obs.Sink.Buffer_sink buf) (fun () -> fingerprint (toy_result ()))
+  in
+  Alcotest.(check bool) "buffer sink leaves results identical" true (bare = buffered);
+  Alcotest.(check bool) "buffer sink captured events" true (Buffer.length buf > 0)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "json string escaping" `Quick test_json_escaping;
+        Alcotest.test_case "json float round-trip" `Quick test_json_floats;
+        Alcotest.test_case "json structures" `Quick test_json_structures;
+        Alcotest.test_case "event round-trip (all kinds)" `Quick test_event_roundtrip;
+        Alcotest.test_case "event decode rejects junk" `Quick test_event_of_json_rejects;
+        Alcotest.test_case "histogram bucket edges" `Quick test_histogram_buckets;
+        Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+        Alcotest.test_case "buffer sink JSONL shape" `Quick test_buffer_sink;
+        Alcotest.test_case "sinks do not perturb campaigns" `Quick
+          test_null_sink_transparent;
+      ] );
+  ]
