@@ -1,0 +1,124 @@
+(* Parallel campaign engine: wall time vs worker count, solver-cache
+   effect, and the determinism guarantee checked end to end.
+
+   Runs the same campaign at --jobs 1/2/4 (cache on), plus a jobs=1
+   cache-off baseline, and writes BENCH_parallel.json. Speedups are
+   whatever the machine gives: on a single-core container the parallel
+   runs only add coordination overhead, so the JSON records the core
+   count ([cores]) alongside the times — compare speedup against it,
+   not against the job count. The [identical_reports] flag is the
+   important invariant either way: every configuration must produce a
+   byte-identical canonical coverage report. *)
+
+let job_counts = [ 1; 2; 4 ]
+
+let campaign_settings ~target ~iterations ~jobs ~cache =
+  let t = Util.target target in
+  let tn = t.Targets.Registry.tuning in
+  {
+    Compi.Campaign.default_settings with
+    Compi.Campaign.base =
+      {
+        (Util.settings_for t) with
+        Compi.Driver.iterations;
+        dfs_phase_iters = tn.Targets.Registry.dfs_phase;
+        seed = 7;
+      };
+    jobs;
+    solver_cache = cache;
+  }
+
+let measure ~target ~iterations ~jobs ~cache =
+  let info = Util.instrumented target in
+  let settings = campaign_settings ~target ~iterations ~jobs ~cache in
+  let t0 = Unix.gettimeofday () in
+  let r = Compi.Campaign.run ~settings ~label:target info in
+  let wall = Unix.gettimeofday () -. t0 in
+  (r, wall)
+
+let run (scale : Util.scale) =
+  Util.print_header "Parallel campaign engine: jobs scaling + solver cache";
+  let target = "susy-hmc" in
+  let iterations = Util.scaled_iters scale 150 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "target %s, %d iterations, %d core(s) available\n" target iterations
+    cores;
+  Printf.printf "%6s %9s %8s %10s %10s %8s\n" "jobs" "wall(s)" "speedup" "hit rate"
+    "solver" "report";
+  (* one repetition per configuration beyond reps is averaged *)
+  let reps = max 1 scale.Util.reps in
+  let timed jobs cache =
+    let runs = Util.repeat reps (fun _ -> measure ~target ~iterations ~jobs ~cache) in
+    let r, _ = List.hd runs in
+    let wall = Util.mean (List.map snd runs) in
+    (r, wall)
+  in
+  let base_result, base_wall = timed 1 true in
+  let base_report = Compi.Campaign.coverage_report base_result in
+  let row ~label jobs (r, wall) =
+    let hit_rate, hits, misses =
+      match r.Compi.Campaign.cache with
+      | Some cs ->
+        let probes = cs.Smt.Cache.hits + cs.Smt.Cache.misses in
+        ( (if probes = 0 then 0.0 else float_of_int cs.Smt.Cache.hits /. float_of_int probes),
+          cs.Smt.Cache.hits,
+          cs.Smt.Cache.misses )
+      | None -> (0.0, 0, 0)
+    in
+    let identical = Compi.Campaign.coverage_report r = base_report in
+    Printf.printf "%6s %9.3f %7.2fx %9.0f%% %10d %8s\n" label wall (base_wall /. wall)
+      (100.0 *. hit_rate)
+      r.Compi.Campaign.solver_calls
+      (if identical then "same" else "DIFFERS");
+    ( label,
+      Obs.Json.Obj
+        [
+          ("jobs", Obs.Json.Int jobs);
+          ("solver_cache", Obs.Json.Bool (r.Compi.Campaign.cache <> None));
+          ("wall_s", Obs.Json.Float wall);
+          ("speedup_vs_jobs1", Obs.Json.Float (base_wall /. wall));
+          ("cache_hits", Obs.Json.Int hits);
+          ("cache_misses", Obs.Json.Int misses);
+          ("cache_hit_rate", Obs.Json.Float hit_rate);
+          ("solver_calls", Obs.Json.Int r.Compi.Campaign.solver_calls);
+          ("rounds", Obs.Json.Int r.Compi.Campaign.rounds);
+          ("executed", Obs.Json.Int r.Compi.Campaign.executed);
+          ("identical_report", Obs.Json.Bool identical);
+        ] )
+  in
+  let scaling_rows =
+    List.map
+      (fun jobs ->
+        let measured = if jobs = 1 then (base_result, base_wall) else timed jobs true in
+        row ~label:(string_of_int jobs) jobs measured)
+      job_counts
+  in
+  let off_row = row ~label:"1*" 1 (timed 1 false) (* cache off baseline *) in
+  let rows = scaling_rows @ [ off_row ] in
+  let all_identical =
+    List.for_all
+      (fun (_, j) ->
+        match Obs.Json.member "identical_report" j with
+        | Some (Obs.Json.Bool b) -> b
+        | Some _ | None -> false)
+      rows
+  in
+  Printf.printf "determinism: all configurations byte-identical: %b\n" all_identical;
+  Util.compare_line ~label:"jobs-count invariance"
+    ~paper:"(engine extension, beyond the paper)"
+    ~measured:(if all_identical then "byte-identical reports" else "MISMATCH");
+  let doc =
+    Obs.Json.Obj
+      [
+        ("target", Obs.Json.Str target);
+        ("iterations", Obs.Json.Int iterations);
+        ("cores", Obs.Json.Int cores);
+        ("reps", Obs.Json.Int reps);
+        ("identical_reports", Obs.Json.Bool all_identical);
+        ("configs", Obs.Json.List (List.map snd rows));
+      ]
+  in
+  Out_channel.with_open_text "BENCH_parallel.json" (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "results written to BENCH_parallel.json\n%!"

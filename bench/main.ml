@@ -22,6 +22,7 @@ let experiments =
     ("table6", "Table VI: framework vs No_Fwk vs Random", Exp_table6.run);
     ("bugs", "Section VI-A: the four SUSY-HMC bugs", Exp_bugs.run);
     ("ablation", "Design-decision ablations (beyond the paper)", Exp_ablation.run);
+    ("parallel", "Parallel campaign engine: jobs scaling + solver cache", Exp_parallel.run);
   ]
 
 let () =

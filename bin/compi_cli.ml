@@ -304,6 +304,40 @@ let test_cmd =
 (* run: a campaign with telemetry-first ergonomics                     *)
 (* ------------------------------------------------------------------ *)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel campaign engine. Campaign results are \
+           identical for every value (under an iteration budget); $(docv) only \
+           changes wall-clock time")
+
+let batch_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Negation candidates dispatched per round. Independent of $(b,--jobs): \
+           changing the batch changes the search trajectory, changing the job \
+           count never does")
+
+let solver_cache_arg =
+  let choice = Arg.enum [ ("on", true); ("off", false) ] in
+  Arg.(
+    value & opt choice true
+    & info [ "solver-cache" ] ~docv:"on|off"
+        ~doc:"Counterexample cache in front of the solver (default $(b,on))")
+
+let coverage_report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "coverage-report" ] ~docv:"FILE"
+        ~doc:
+          "Write the canonical coverage report to $(docv) — byte-identical across \
+           $(b,--jobs) values; CI diffs it")
+
 let run_cmd =
   let target_opt_arg =
     Arg.(
@@ -311,25 +345,60 @@ let run_cmd =
       & opt (some target_conv) None
       & info [ "target" ] ~docv:"TARGET" ~doc:"Target program (see $(b,compi-cli list))")
   in
-  let run t iterations time seed nprocs caps strategy trace_events metrics =
-    let info, settings =
+  let run t iterations time seed nprocs caps strategy jobs batch solver_cache
+      coverage_report trace_events metrics =
+    let info, base =
       settings_of t iterations time seed nprocs caps false false false strategy
+    in
+    let settings =
+      {
+        Compi.Campaign.default_settings with
+        Compi.Campaign.base;
+        jobs;
+        batch;
+        solver_cache;
+      }
     in
     let result =
       with_telemetry ~trace_events ~metrics (fun () ->
-          Compi.Driver.run ~settings ~label:t.Targets.Registry.name info)
+          Compi.Campaign.run ~settings ~label:t.Targets.Registry.name info)
     in
-    report result
+    report result.Compi.Campaign.summary;
+    Printf.printf "engine          %d round(s), %d execution(s), %d solver call(s), %d job(s)\n"
+      result.Compi.Campaign.rounds result.Compi.Campaign.executed
+      result.Compi.Campaign.solver_calls jobs;
+    (match result.Compi.Campaign.cache with
+    | Some cs ->
+      let probes = cs.Smt.Cache.hits + cs.Smt.Cache.misses in
+      Printf.printf
+        "solver cache    %d hit(s) / %d probe(s)%s, %d entr%s, %d eviction(s)\n"
+        cs.Smt.Cache.hits probes
+        (if probes = 0 then ""
+         else
+           Printf.sprintf " (%.0f%% hit rate)"
+             (100.0 *. float_of_int cs.Smt.Cache.hits /. float_of_int probes))
+        cs.Smt.Cache.entries
+        (if cs.Smt.Cache.entries = 1 then "y" else "ies")
+        cs.Smt.Cache.evictions
+    | None -> Printf.printf "solver cache    off\n");
+    match coverage_report with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Compi.Campaign.coverage_report result));
+      Printf.printf "coverage report written to %s\n" path
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Run a COMPI campaign with structured telemetry \
+         "Run a COMPI campaign on the parallel engine ($(b,--jobs), \
+          $(b,--solver-cache)) with structured telemetry \
           ($(b,--trace-events)/$(b,--metrics)); like $(b,test) but the target is \
           named with $(b,--target)")
     Term.(
       const run $ target_opt_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg
-      $ cap_arg $ strategy_arg $ trace_events_arg $ metrics_arg)
+      $ cap_arg $ strategy_arg $ jobs_arg $ batch_arg $ solver_cache_arg
+      $ coverage_report_arg $ trace_events_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay: saved test cases, or a JSONL telemetry trace                *)

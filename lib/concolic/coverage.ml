@@ -17,3 +17,17 @@ let absorb ~into t =
   into.funcs <- Sset.union into.funcs t.funcs
 
 let copy t = { branches = t.branches; funcs = t.funcs }
+
+let report t =
+  (* Canonical, timing-free rendering: sets print in sorted element
+     order, so equal coverage yields byte-equal text. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "branches %d:" (Iset.cardinal t.branches));
+  Iset.iter (fun b -> Buffer.add_string buf (Printf.sprintf " %d" b)) t.branches;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "functions %d:" (Sset.cardinal t.funcs));
+  Sset.iter (fun fn -> Buffer.add_char buf ' '; Buffer.add_string buf fn) t.funcs;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

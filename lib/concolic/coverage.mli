@@ -22,3 +22,8 @@ val absorb : into:t -> t -> unit
 (** Union a per-run recorder into the campaign store. *)
 
 val copy : t -> t
+
+val report : t -> string
+(** Canonical two-line rendering (sorted branch ids, then sorted
+    function names). Equal coverage — however accumulated — yields
+    byte-identical text; the campaign determinism check diffs this. *)

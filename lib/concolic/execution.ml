@@ -18,7 +18,50 @@ let prefix t i =
 let constr_at t i = snd t.constraints.(i)
 let branch_at t i = fst t.constraints.(i)
 
-let solve_negation ?budget t i =
+let negation_problem t i =
   let negated = Smt.Constr.negate (constr_at t i) in
-  let cs = negated :: List.rev_append (List.rev (prefix t i)) t.extra in
+  (negated, negated :: List.rev_append (List.rev (prefix t i)) t.extra)
+
+let solve_negation ?budget t i =
+  let negated, cs = negation_problem t i in
   Smt.Solver.solve_incremental ?budget ~domains:t.domains ~prev:t.model ~target:negated cs
+
+(* The canonical identity of the solve that [solve_negation t i] would
+   perform: the dependency closure of the negated constraint — exactly
+   what the incremental solver re-solves — keyed with the run's domains.
+   Closure membership is order-insensitive after Cache.key sorts it. *)
+let negation_key t i =
+  let negated, cs = negation_problem t i in
+  let closure, _vars =
+    Smt.Constr.dependency_closure ~seed:(Smt.Constr.vars negated) cs
+  in
+  Smt.Cache.key ~domains:t.domains closure
+
+let closure_vars t i =
+  let negated, cs = negation_problem t i in
+  snd (Smt.Constr.dependency_closure ~seed:(Smt.Constr.vars negated) cs)
+
+let apply_cached t i outcome =
+  match (outcome : Smt.Cache.outcome) with
+  | Smt.Cache.Unsat -> Error `Unsat
+  | Smt.Cache.Sat cached ->
+    (* Reconstruct what solve_negation would have returned had the
+       solver produced [cached]: merge over this run's concrete model
+       and diff against it for the "most up-to-date" variable set. *)
+    let resolved = closure_vars t i in
+    let fresh =
+      Smt.Varid.Set.fold
+        (fun v acc ->
+          match Smt.Model.find v cached with
+          | Some x -> Smt.Model.set v x acc
+          | None -> acc)
+        resolved Smt.Model.empty
+    in
+    let changed = Smt.Model.changed_vars ~before:t.model ~after:fresh in
+    Ok
+      {
+        Smt.Solver.model = Smt.Model.union_prefer_left fresh t.model;
+        fresh;
+        resolved;
+        changed;
+      }

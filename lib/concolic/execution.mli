@@ -32,3 +32,19 @@ val solve_negation :
 (** [solve_negation t i] negates the constraint at position [i], keeps
     the path prefix before it plus [t.extra], and solves incrementally
     against the run's model (CREST's input-derivation step). *)
+
+val negation_key : t -> int -> Smt.Cache.key
+(** The cache identity of the solve [solve_negation t i] performs: the
+    dependency closure of the negated constraint within the path prefix
+    and [t.extra], canonicalized with the run's domains. Two executions
+    with structurally identical paths produce equal keys. *)
+
+val apply_cached :
+  t ->
+  int ->
+  Smt.Cache.outcome ->
+  (Smt.Solver.incremental_result, [ `Unsat | `Unknown ]) result
+(** Replay a cached verdict as if [solve_negation t i] had produced it:
+    the cached model's bindings for the closure variables are merged
+    over this run's concrete model, and [changed] is recomputed against
+    it. Never returns [Error `Unknown] (unknowns are not cached). *)

@@ -135,6 +135,25 @@ let next t ~coverage =
   | Uniform_random -> Option.bind t.latest (pick_uniform t)
   | Cfg_directed g -> Option.bind t.latest (fun r -> pick_cfg t g r ~coverage)
 
+let next_batch t ~coverage ~max =
+  (* Draw up to [max] candidates, skipping duplicates of earlier draws
+     in this batch (stateless strategies can re-pick the same position
+     from the same record; executing it twice in one round is waste).
+     Draws happen in a fixed order on the caller's domain, so the RNG
+     trajectory — and hence the batch — is independent of how many
+     workers later execute it. *)
+  let same a b = a.record == b.record && a.index = b.index in
+  let rec go acc n =
+    if n <= 0 then List.rev acc
+    else
+      match next t ~coverage with
+      | None -> List.rev acc
+      | Some c ->
+        if List.exists (same c) acc then go acc (n - 1)
+        else go (c :: acc) (n - 1)
+  in
+  go [] (Stdlib.max 0 max)
+
 let stack_size t =
   match t.kind with
   | Bounded_dfs _ -> Stack.length t.stack

@@ -41,5 +41,13 @@ val observe : t -> depth:int -> Execution.t -> unit
 
 val next : t -> coverage:Coverage.t -> candidate option
 
+val next_batch : t -> coverage:Coverage.t -> max:int -> candidate list
+(** Up to [max] candidates drawn by repeated {!next} calls, with
+    within-batch duplicates (same record, same index) dropped. Drawing
+    is sequential on the caller's domain, so the batch is a pure
+    function of strategy state — the parallel campaign engine relies on
+    this for worker-count-independent results. Returns fewer than [max]
+    (possibly none) when the strategy runs dry. *)
+
 val stack_size : t -> int
 (** Pending candidates (DFS only; 0 or 1 for the stateless strategies). *)

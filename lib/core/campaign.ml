@@ -1,0 +1,514 @@
+open Minic
+open Concolic
+
+(* Parallel campaign engine.
+
+   The sequential driver interleaves "execute the pending test" and
+   "derive the next test" in one loop, so each iteration depends on the
+   previous one. This engine restructures the campaign into rounds: a
+   work list of independent items — fresh tests to execute, or branch
+   negations to attempt — is mapped over a {!Taskpool} of worker
+   domains, and the results are merged back on the main domain {e in
+   work-list order}, which is where iteration ids are assigned. Because
+   the work list of every round is a pure function of the merged state
+   (strategy, coverage, RNG) and the merge ignores completion order,
+   the campaign trajectory is identical for any worker count: [--jobs]
+   buys wall-clock time, never different results. Determinism holds
+   under an iteration budget; a wall-clock [time_budget] cuts rounds
+   off at a machine-speed-dependent point.
+
+   The solver cache lives on the main domain only. Each negation is
+   probed at dispatch (before its task is queued) and verdicts are
+   inserted at merge, so cache state transitions also happen at
+   deterministic points. Within one round two structurally identical
+   negations both miss and both solve; the merge inserts the first
+   verdict and drops the duplicate (first-verdict-wins). *)
+
+type settings = {
+  base : Driver.settings;
+  jobs : int;  (* worker domains, >= 1; main participates *)
+  batch : int;  (* candidates drawn per round — NOT tied to [jobs] *)
+  solver_cache : bool;
+  cache_capacity : int;
+}
+
+let default_settings =
+  {
+    base = Driver.default_settings;
+    jobs = 1;
+    batch = 4;
+    solver_cache = true;
+    cache_capacity = Smt.Cache.default_capacity;
+  }
+
+type result = {
+  summary : Driver.result;
+  rounds : int;
+  executed : int;  (* merged test executions *)
+  speculated : int;  (* executions completed but dropped at the budget edge *)
+  solver_calls : int;  (* negations that reached the solver (cache misses) *)
+  cache : Smt.Cache.stats option;
+}
+
+(* --- work items and task outcomes --------------------------------- *)
+
+type exec_result = (Runner.result, [ `Platform_limit of int ]) Stdlib.result
+
+type work = W_fresh of Driver.pending | W_negate of Strategy.candidate
+
+type negated_outcome =
+  | N_unsat
+  | N_unknown
+  | N_sat of { fresh : Smt.Model.t; next : Driver.pending; run : exec_result }
+
+type done_item =
+  | D_fresh of Driver.pending * exec_result
+  | D_negated of {
+      index : int;  (* negated path position, for the negation event *)
+      key : Smt.Cache.key option;  (* insert verdict at merge when present *)
+      solve_s : float;
+      outcome : negated_outcome;
+    }
+
+(* --- telemetry (same instruments as the sequential driver) --------- *)
+
+let m_iterations = Obs.Metrics.counter "driver.iterations"
+let m_restarts = Obs.Metrics.counter "driver.restarts"
+let m_faults = Obs.Metrics.counter "driver.faults"
+let m_cs_size = Obs.Metrics.histogram "driver.constraint_set"
+let g_covered = Obs.Metrics.gauge "driver.covered"
+let g_reachable = Obs.Metrics.gauge "driver.reachable"
+
+let emit_restart ~iteration reason =
+  Obs.Metrics.incr m_restarts;
+  Obs.Sink.emit (Obs.Event.Restart { iteration; reason })
+
+(* Derive the next test from a SAT negation — the driver's input- and
+   process-derivation step (conflict resolution included). Pure with
+   respect to shared state, so workers run it. *)
+let derive (s : Driver.settings) (cand : Strategy.candidate)
+    (sr : Smt.Solver.incremental_result) =
+  let record = cand.Strategy.record in
+  let decision =
+    Conflict.resolve ~prev_nprocs:record.Execution.nprocs
+      ~prev_focus:record.Execution.focus ~mapping:record.Execution.mapping
+      ~symtab:record.Execution.symtab ~result:sr
+  in
+  let inputs = Symtab.input_values record.Execution.symtab sr.Smt.Solver.model in
+  let nprocs, focus =
+    if not s.Driver.framework then (s.Driver.initial_nprocs, s.Driver.initial_focus)
+    else if s.Driver.resolve_conflicts then
+      (decision.Conflict.nprocs, decision.Conflict.focus)
+    else
+      (decision.Conflict.nprocs, min record.Execution.focus (decision.Conflict.nprocs - 1))
+  in
+  {
+    Driver.p_inputs = inputs;
+    p_nprocs = nprocs;
+    p_focus = focus;
+    p_depth = cand.Strategy.index + 1;
+  }
+
+let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
+  let s = settings.base in
+  let rng = Random.State.make [| s.Driver.seed |] in
+  let program = info.Branchinfo.program in
+  let coverage = Coverage.create () in
+  let strategy = ref (Driver.make_strategy s info) in
+  let base_runner =
+    {
+      (Runner.default_config ~info) with
+      Runner.reduce = s.Driver.reduce;
+      two_way = s.Driver.two_way;
+      mark_mpi_sem = s.Driver.framework;
+      record_all = s.Driver.framework;
+      nprocs_cap = s.Driver.nprocs_cap;
+      cap_overrides = s.Driver.cap_overrides;
+      step_limit = s.Driver.step_limit;
+      max_procs = s.Driver.max_procs;
+    }
+  in
+  let cache =
+    if settings.solver_cache then
+      Some (Smt.Cache.create ~capacity:settings.cache_capacity ())
+    else None
+  in
+  let pool = Taskpool.create ~jobs:settings.jobs in
+  Obs.Sink.emit
+    (Obs.Event.Campaign_start
+       {
+         target = label;
+         iterations = s.Driver.iterations;
+         seed = s.Driver.seed;
+         nprocs = s.Driver.initial_nprocs;
+       });
+  let t_start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t_start in
+  let time_ok () =
+    match s.Driver.time_budget with Some b -> elapsed () < b | None -> true
+  in
+  let stats = ref [] in
+  let bugs = ref [] in
+  let max_cs = ref 0 in
+  let derived_bound = ref None in
+  let iter = ref 0 in
+  let best_covered = ref 0 in
+  let last_improvement = ref 0 in
+  let barren = ref 0 in  (* consecutive failed negations since a SAT one *)
+  let last_np = ref (s.Driver.initial_nprocs, s.Driver.initial_focus) in
+  let rounds = ref 0 in
+  let executed = ref 0 in
+  let speculated = ref 0 in
+  let solver_calls = ref 0 in
+  let forced = ref [] in  (* restart tests queued during the merge *)
+  let stagnated_round = ref false in
+  let fresh_strategy () =
+    match (s.Driver.strategy, !derived_bound) with
+    | Driver.Two_phase_dfs, Some bound ->
+      Strategy.create ~seed:(s.Driver.seed + !iter) (Strategy.Bounded_dfs bound)
+    | (Driver.Two_phase_dfs | Driver.Fixed_strategy _ | Driver.Cfg_strategy), _ ->
+      Driver.make_strategy s info
+  in
+  let fresh_pending ~nprocs ~focus () =
+    {
+      Driver.p_inputs = Driver.random_inputs rng s program;
+      p_nprocs = nprocs;
+      p_focus = focus;
+      p_depth = 0;
+    }
+  in
+  let exec (p : Driver.pending) =
+    let nprocs = min p.Driver.p_nprocs s.Driver.max_procs in
+    Runner.run
+      {
+        base_runner with
+        Runner.inputs = p.Driver.p_inputs;
+        nprocs;
+        focus = min p.Driver.p_focus (nprocs - 1);
+      }
+  in
+  (* Merge one completed execution: assigns the next iteration id and
+     feeds every accumulator the sequential driver feeds. *)
+  let merge_exec (p : Driver.pending) ~solve_s (res : exec_result) =
+    let nprocs = min p.Driver.p_nprocs s.Driver.max_procs in
+    let focus = min p.Driver.p_focus (nprocs - 1) in
+    if Obs.Sink.active () then
+      Obs.Sink.emit (Obs.Event.Iter_start { iteration = !iter; nprocs; focus });
+    (match res with
+    | Error (`Platform_limit _) ->
+      emit_restart ~iteration:!iter "platform-limit";
+      forced :=
+        fresh_pending ~nprocs:s.Driver.initial_nprocs ~focus:s.Driver.initial_focus ()
+        :: !forced
+    | Ok r ->
+      incr executed;
+      Coverage.absorb ~into:coverage r.Runner.coverage;
+      max_cs := max !max_cs r.Runner.constraint_set_size;
+      Obs.Metrics.observe_int m_cs_size r.Runner.constraint_set_size;
+      last_np := (p.Driver.p_nprocs, p.Driver.p_focus);
+      let faults = Runner.faults r in
+      List.iter
+        (fun (rank, fault) ->
+          Obs.Metrics.incr m_faults;
+          if Obs.Sink.active () then
+            Obs.Sink.emit
+              (Obs.Event.Fault
+                 {
+                   iteration = !iter;
+                   rank;
+                   kind = Fault.kind_name fault;
+                   detail = Fault.to_string fault;
+                 });
+          bugs :=
+            {
+              Driver.bug_iteration = !iter;
+              bug_rank = rank;
+              bug_fault = fault;
+              bug_inputs = p.Driver.p_inputs;
+              bug_nprocs = nprocs;
+              bug_focus = focus;
+              bug_context = r.Runner.focus_tail;
+            }
+            :: !bugs)
+        faults;
+      Obs.Prof.time "strategy" (fun () ->
+          Strategy.observe !strategy ~depth:p.Driver.p_depth r.Runner.execution);
+      (* two-phase bound derivation, exactly as in the driver *)
+      (match s.Driver.strategy with
+      | Driver.Two_phase_dfs when !iter + 1 = s.Driver.dfs_phase_iters ->
+        let bound =
+          match s.Driver.depth_bound with
+          | Some b -> b
+          | None -> (!max_cs * 6 / 5) + 10
+        in
+        derived_bound := Some bound;
+        let st =
+          Strategy.create ~seed:(s.Driver.seed + 1) (Strategy.Bounded_dfs bound)
+        in
+        Strategy.observe st ~depth:0 r.Runner.execution;
+        strategy := st
+      | Driver.Two_phase_dfs | Driver.Fixed_strategy _ | Driver.Cfg_strategy -> ());
+      let covered_now = Coverage.covered_branches coverage in
+      if covered_now > !best_covered then begin
+        if Obs.Sink.active () then
+          Obs.Sink.emit
+            (Obs.Event.Coverage_delta
+               {
+                 iteration = !iter;
+                 covered_before = !best_covered;
+                 covered_after = covered_now;
+               });
+        best_covered := covered_now;
+        last_improvement := !iter
+      end;
+      let stagnated =
+        match s.Driver.stagnation_restart with
+        | Some k -> !iter - !last_improvement >= k
+        | None -> false
+      in
+      if stagnated then begin
+        emit_restart ~iteration:!iter "stagnation";
+        last_improvement := !iter;
+        strategy := fresh_strategy ();
+        stagnated_round := true
+      end;
+      let reachable =
+        Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)
+      in
+      Obs.Metrics.incr m_iterations;
+      Obs.Metrics.set g_covered (float_of_int covered_now);
+      Obs.Metrics.set g_reachable (float_of_int reachable);
+      if Obs.Sink.active () then
+        Obs.Sink.emit
+          (Obs.Event.Iter_end
+             {
+               iteration = !iter;
+               covered = covered_now;
+               reachable;
+               cs_size = r.Runner.constraint_set_size;
+               faults = List.length faults;
+               restarted = stagnated;
+               exec_s = r.Runner.wall_time;
+               solve_s;
+             });
+      stats :=
+        {
+          Driver.iteration = !iter;
+          nprocs;
+          focus;
+          constraint_set_size = r.Runner.constraint_set_size;
+          covered_after = covered_now;
+          reachable_after = reachable;
+          faults_seen = List.length faults;
+          restarted = stagnated;
+          exec_time = r.Runner.wall_time;
+          solve_time = solve_s;
+        }
+        :: !stats);
+    incr iter
+  in
+  let budget_left () = !iter < s.Driver.iterations && time_ok () in
+  let work =
+    ref
+      [
+        W_fresh
+          (fresh_pending ~nprocs:s.Driver.initial_nprocs ~focus:s.Driver.initial_focus ());
+      ]
+  in
+  while !work <> [] && budget_left () do
+    incr rounds;
+    forced := [];
+    stagnated_round := false;
+    (* dispatch: probe the cache on the main domain, then build one
+       fused task per work item *)
+    let classified =
+      List.map
+        (fun w ->
+          match w with
+          | W_fresh p -> `Fresh p
+          | W_negate cand -> (
+            match cache with
+            | None -> `Miss (cand, None)
+            | Some c -> (
+              let k = Execution.negation_key cand.Strategy.record cand.Strategy.index in
+              match Smt.Cache.find c k with
+              | Some outcome -> `Hit (cand, outcome)
+              | None -> `Miss (cand, Some k))))
+        !work
+    in
+    solver_calls :=
+      !solver_calls
+      + List.length
+          (List.filter (function `Miss _ -> true | `Fresh _ | `Hit _ -> false) classified);
+    let thunks =
+      List.map
+        (fun w () ->
+          match w with
+          | `Fresh p -> D_fresh (p, exec p)
+          | `Hit (cand, outcome) -> (
+            (* replay the cached verdict; no solver call *)
+            let index = cand.Strategy.index in
+            match Execution.apply_cached cand.Strategy.record index outcome with
+            | Error (`Unsat | `Unknown) ->
+              D_negated { index; key = None; solve_s = 0.0; outcome = N_unsat }
+            | Ok sr ->
+              let next = derive s cand sr in
+              D_negated
+                {
+                  index;
+                  key = None;
+                  solve_s = 0.0;
+                  outcome = N_sat { fresh = sr.Smt.Solver.fresh; next; run = exec next };
+                })
+          | `Miss (cand, key) -> (
+            let index = cand.Strategy.index in
+            let t0 = Unix.gettimeofday () in
+            let outcome =
+              Obs.Prof.time "solve" (fun () ->
+                  Execution.solve_negation ~budget:s.Driver.solver_budget
+                    cand.Strategy.record index)
+            in
+            let solve_s = Unix.gettimeofday () -. t0 in
+            match outcome with
+            | Error `Unsat -> D_negated { index; key; solve_s; outcome = N_unsat }
+            | Error `Unknown ->
+              (* never cache an unknown: a later, luckier attempt or a
+                 raised budget should get its chance *)
+              D_negated { index; key = None; solve_s; outcome = N_unknown }
+            | Ok sr ->
+              let next = derive s cand sr in
+              D_negated
+                {
+                  index;
+                  key;
+                  solve_s;
+                  outcome = N_sat { fresh = sr.Smt.Solver.fresh; next; run = exec next };
+                }))
+        classified
+    in
+    let results = Taskpool.map pool (fun f -> f ()) thunks in
+    (* merge: work-list order, budget-gated *)
+    List.iter
+      (fun item ->
+        if not (budget_left ()) then begin
+          match item with
+          | D_fresh (_, Ok _) | D_negated { outcome = N_sat { run = Ok _; _ }; _ } ->
+            incr speculated
+          | D_fresh (_, Error _) | D_negated _ -> ()
+        end
+        else
+          match item with
+          | D_fresh (p, res) -> merge_exec p ~solve_s:0.0 res
+          | D_negated { index; key; solve_s; outcome } -> (
+            let insert verdict =
+              match (cache, key) with
+              | Some c, Some k -> Smt.Cache.add c k verdict
+              | (Some _ | None), _ -> ()
+            in
+            match outcome with
+            | N_unsat ->
+              insert Smt.Cache.Unsat;
+              if Obs.Sink.active () then
+                Obs.Sink.emit
+                  (Obs.Event.Negation { iteration = !iter; index; sat = false });
+              incr barren
+            | N_unknown ->
+              if Obs.Sink.active () then
+                Obs.Sink.emit
+                  (Obs.Event.Negation { iteration = !iter; index; sat = false });
+              incr barren
+            | N_sat { fresh; next; run } ->
+              insert (Smt.Cache.Sat fresh);
+              if Obs.Sink.active () then
+                Obs.Sink.emit
+                  (Obs.Event.Negation { iteration = !iter; index; sat = true });
+              barren := 0;
+              merge_exec next ~solve_s run))
+      results;
+    (* schedule the next round *)
+    work :=
+      (if not (budget_left ()) then []
+       else begin
+         let forced_items = List.rev_map (fun p -> W_fresh p) !forced in
+         let restart_test () =
+           let nprocs, focus = !last_np in
+           W_fresh (fresh_pending ~nprocs ~focus ())
+         in
+         if !stagnated_round then
+           (* fresh search tree: redo the testing from random inputs *)
+           forced_items @ [ restart_test () ]
+         else if !barren >= s.Driver.max_solve_attempts then begin
+           emit_restart ~iteration:!iter "exhausted";
+           barren := 0;
+           forced_items @ [ restart_test () ]
+         end
+         else
+           match Strategy.next_batch !strategy ~coverage ~max:settings.batch with
+           | [] ->
+             emit_restart ~iteration:!iter "exhausted";
+             barren := 0;
+             forced_items @ [ restart_test () ]
+           | cands -> forced_items @ List.map (fun c -> W_negate c) cands
+       end)
+  done;
+  Taskpool.shutdown pool;
+  let reachable =
+    Obs.Prof.time "report" (fun () ->
+        Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage))
+  in
+  let covered = Coverage.covered_branches coverage in
+  Obs.Sink.emit
+    (Obs.Event.Campaign_end
+       {
+         iterations_run = !iter;
+         covered;
+         reachable;
+         bugs = List.length !bugs;
+         wall_s = elapsed ();
+       });
+  {
+    summary =
+      {
+        Driver.coverage;
+        stats = List.rev !stats;
+        bugs = List.rev !bugs;
+        total_branches = info.Branchinfo.total_branches;
+        reachable_branches = reachable;
+        covered_branches = covered;
+        coverage_rate =
+          (if reachable = 0 then 0.0 else float_of_int covered /. float_of_int reachable);
+        iterations_run = !iter;
+        wall_time = elapsed ();
+        max_constraint_set = !max_cs;
+        derived_bound = !derived_bound;
+      };
+    rounds = !rounds;
+    executed = !executed;
+    speculated = !speculated;
+    solver_calls = !solver_calls;
+    cache = Option.map Smt.Cache.stats cache;
+  }
+
+(* Canonical, timing-free rendering of a campaign outcome. Two runs of
+   the same campaign — at any worker count — must produce byte-equal
+   reports; the determinism test and the CI diff step compare exactly
+   this string. *)
+let coverage_report (r : result) =
+  let b = Buffer.create 512 in
+  let s = r.summary in
+  Buffer.add_string b (Printf.sprintf "iterations %d\n" s.Driver.iterations_run);
+  Buffer.add_string b
+    (Printf.sprintf "covered %d reachable %d total %d\n" s.Driver.covered_branches
+       s.Driver.reachable_branches s.Driver.total_branches);
+  (match s.Driver.derived_bound with
+  | Some bound -> Buffer.add_string b (Printf.sprintf "bound %d\n" bound)
+  | None -> Buffer.add_string b "bound none\n");
+  Buffer.add_string b (Coverage.report s.Driver.coverage);
+  Buffer.add_string b (Printf.sprintf "bugs %d:" (List.length s.Driver.bugs));
+  List.iter
+    (fun bug ->
+      Buffer.add_string b
+        (Printf.sprintf " %d:%s" bug.Driver.bug_iteration (Driver.bug_key bug)))
+    s.Driver.bugs;
+  Buffer.add_char b '\n';
+  Buffer.contents b

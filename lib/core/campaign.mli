@@ -1,0 +1,61 @@
+(** Parallel campaign engine: rounds of concurrent test execution with
+    a deterministic merge.
+
+    Restructures the sequential {!Driver} loop into rounds. Each round
+    the strategy yields a batch of negation candidates (plus any queued
+    restart tests); every item becomes one fused task — solve the
+    negation if needed, derive the next test, execute it — mapped over
+    a {!Taskpool} of worker domains. The main domain then merges the
+    results {e in work-list order}: iteration ids, coverage, bugs,
+    strategy observations and restart decisions are all assigned there,
+    so the campaign trajectory is a pure function of the settings, not
+    of the worker count. [--jobs 4] and [--jobs 1] produce
+    byte-identical {!coverage_report}s (under an iteration budget; a
+    wall-clock budget cuts off at a machine-dependent point).
+
+    A {!Smt.Cache} in front of the solver lives on the main domain:
+    probed when a candidate is dispatched, verdict inserted when it is
+    merged — also deterministic points. Unknown (budget-exhausted)
+    solver outcomes are never cached.
+
+    The per-iteration semantics differ from the sequential driver in
+    one deliberate way: the driver charges an iteration's [solve_time]
+    to deriving the {e next} test, while here each merged execution
+    carries the solve that {e produced it} (0 for fresh random tests).
+    See DESIGN.md, "Parallel campaigns". *)
+
+type settings = {
+  base : Driver.settings;
+  jobs : int;  (** worker domains (main participates); clamped to >= 1 *)
+  batch : int;
+      (** negation candidates drawn per round. A setting, {e not}
+          derived from [jobs] — changing [jobs] must not change the
+          trajectory. Default 4. *)
+  solver_cache : bool;
+  cache_capacity : int;
+}
+
+val default_settings : settings
+(** [Driver.default_settings], 1 job, batch 4, cache on at
+    {!Smt.Cache.default_capacity}. *)
+
+type result = {
+  summary : Driver.result;  (** same shape the sequential driver reports *)
+  rounds : int;
+  executed : int;  (** test executions merged into the campaign *)
+  speculated : int;
+      (** executions that completed but fell past the iteration budget
+          and were dropped at the merge *)
+  solver_calls : int;  (** negations that reached the solver (cache misses) *)
+  cache : Smt.Cache.stats option;  (** [None] when the cache is off *)
+}
+
+val run : ?settings:settings -> ?label:string -> Minic.Branchinfo.t -> result
+(** Emits the driver's full event vocabulary plus the worker and cache
+    events, and feeds the same [driver.*] metrics. *)
+
+val coverage_report : result -> string
+(** Canonical timing-free rendering — iteration count, coverage
+    numbers, derived bound, sorted branch/function lists, chronological
+    bug keys. The determinism guarantee is stated over this string:
+    equal settings imply byte-equal reports at any [jobs]. *)

@@ -97,6 +97,19 @@ type result = {
 val distinct_bugs : result -> bug list
 (** First occurrence of each {!bug_key}. *)
 
+type pending = {
+  p_inputs : (string * int) list;
+  p_nprocs : int;
+  p_focus : int;
+  p_depth : int;  (** depth to report to the strategy after the run *)
+}
+(** What the next test should run with — the unit of work the parallel
+    campaign engine ({!Campaign}) queues and executes. *)
+
+val make_strategy : settings -> Minic.Branchinfo.t -> Concolic.Strategy.t
+(** The strategy the settings select (phase one of the two-phase scheme
+    when [strategy = Two_phase_dfs]). Shared with {!Campaign}. *)
+
 val run : ?settings:settings -> ?label:string -> Minic.Branchinfo.t -> result
 (** [label] names the target in the telemetry stream (the
     [campaign_start] event); it does not affect the campaign. When an

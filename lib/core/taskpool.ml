@@ -1,0 +1,138 @@
+(* Fixed pool of worker domains for the parallel campaign engine.
+
+   One pool serves many batches. [map] publishes an array of thunks;
+   every worker — the spawned domains plus the calling (main) domain,
+   which participates as worker 0 — claims indices from a shared cursor
+   under the pool mutex, runs the thunk outside the lock, and stores the
+   outcome at its index. Results therefore come back in submission
+   order no matter which worker ran what, which is the property the
+   campaign's deterministic merge builds on.
+
+   With [jobs = 1] no domain is ever spawned and [map] degenerates to a
+   plain in-order loop on the caller — the sequential baseline shares
+   every line of this code path except the locking. *)
+
+type outcome = Done of Obj.t | Raised of exn * Printexc.raw_backtrace
+
+type batch = {
+  thunks : (unit -> Obj.t) array;
+  results : outcome option array;
+  mutable cursor : int;  (* next unclaimed index *)
+  mutable completed : int;
+}
+
+type t = {
+  jobs : int;
+  mu : Mutex.t;
+  work_cv : Condition.t;  (* workers wait here for a batch or stop *)
+  done_cv : Condition.t;  (* the caller waits here for batch completion *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable task_seq : int;  (* pool-lifetime task counter, for telemetry *)
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let run_claimed t ~worker ~tasks_run b i =
+  let seq = t.task_seq in
+  t.task_seq <- seq + 1;
+  Mutex.unlock t.mu;
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match b.thunks.(i) () with
+    | v -> Done v
+    | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  incr tasks_run;
+  if Obs.Sink.active () then
+    Obs.Sink.emit (Obs.Event.Worker_task { worker; task = seq; time_s = dt });
+  Mutex.lock t.mu;
+  b.results.(i) <- Some outcome;
+  b.completed <- b.completed + 1;
+  if b.completed = Array.length b.thunks then Condition.broadcast t.done_cv
+
+let worker_loop t ~worker =
+  let tasks_run = ref 0 in
+  Mutex.lock t.mu;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mu
+    else
+      match t.batch with
+      | Some b when b.cursor < Array.length b.thunks ->
+        let i = b.cursor in
+        b.cursor <- i + 1;
+        run_claimed t ~worker ~tasks_run b i;
+        loop ()
+      | Some _ | None ->
+        Condition.wait t.work_cv t.mu;
+        loop ()
+  in
+  loop ();
+  if Obs.Sink.active () then
+    Obs.Sink.emit (Obs.Event.Worker_exit { worker; tasks = !tasks_run })
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mu = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      batch = None;
+      stop = false;
+      task_seq = 0;
+      domains = [];
+    }
+  in
+  for worker = 1 to jobs - 1 do
+    if Obs.Sink.active () then Obs.Sink.emit (Obs.Event.Worker_spawn { worker });
+    t.domains <- Domain.spawn (fun () -> worker_loop t ~worker) :: t.domains
+  done;
+  t
+
+let map t f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let b =
+      {
+        thunks = Array.map (fun x () -> Obj.repr (f x)) items;
+        results = Array.make n None;
+        cursor = 0;
+        completed = 0;
+      }
+    in
+    let tasks_run = ref 0 in
+    Mutex.lock t.mu;
+    t.batch <- Some b;
+    Condition.broadcast t.work_cv;
+    (* the caller is worker 0: claim alongside the pool, then wait out
+       whatever is still in flight elsewhere *)
+    while b.cursor < n do
+      let i = b.cursor in
+      b.cursor <- i + 1;
+      run_claimed t ~worker:0 ~tasks_run b i
+    done;
+    while b.completed < n do
+      Condition.wait t.done_cv t.mu
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mu;
+    Array.to_list b.results
+    |> List.map (function
+         | Some (Done v) -> Obj.obj v
+         | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,31 @@
+(** Fixed pool of worker domains for the parallel campaign engine.
+
+    Each worker is an OCaml 5 domain with its own stacks, so the
+    effect-handler runtimes of the MPI scheduler and the interpreter —
+    created per test execution — never cross domains. The calling
+    domain participates as worker 0.
+
+    {!map} is order-preserving: results come back in submission order
+    regardless of completion order, which is what the campaign's
+    deterministic merge relies on. With [jobs = 1] no domain is spawned
+    and [map] runs the tasks inline, in order, on the caller.
+
+    Telemetry: spawning emits one [worker_spawn] event per domain,
+    every task emits [worker_task] (pool-lifetime sequence number and
+    wall time), and {!shutdown} drives one [worker_exit] per domain. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [jobs - 1] domains ([jobs] is clamped to at least 1). *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] over every element on the pool and return the results in
+    input order. If any task raised, the first such exception (in input
+    order) is re-raised on the caller after the whole batch settles.
+    Not reentrant: one [map] at a time per pool. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker domain. The pool must be idle. *)

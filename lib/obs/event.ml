@@ -42,6 +42,11 @@ type t =
   | Sched_deadlock of { ranks : int list }
   | Fault of { iteration : int; rank : int; kind : string; detail : string }
   | Coverage_delta of { iteration : int; covered_before : int; covered_after : int }
+  | Worker_spawn of { worker : int }
+  | Worker_task of { worker : int; task : int; time_s : float }
+  | Worker_exit of { worker : int; tasks : int }
+  | Cache_lookup of { hit : bool; constraints : int; entries : int }
+  | Cache_evict of { dropped : int; entries : int }
 
 let kind_name = function
   | Campaign_start _ -> "campaign_start"
@@ -55,6 +60,11 @@ let kind_name = function
   | Sched_deadlock _ -> "sched_deadlock"
   | Fault _ -> "fault"
   | Coverage_delta _ -> "coverage_delta"
+  | Worker_spawn _ -> "worker_spawn"
+  | Worker_task _ -> "worker_task"
+  | Worker_exit _ -> "worker_exit"
+  | Cache_lookup _ -> "cache_lookup"
+  | Cache_evict _ -> "cache_evict"
 
 let fields = function
   | Campaign_start { target; iterations; seed; nprocs } ->
@@ -125,6 +135,23 @@ let fields = function
       ("covered_before", Json.Int covered_before);
       ("covered_after", Json.Int covered_after);
     ]
+  | Worker_spawn { worker } -> [ ("worker", Json.Int worker) ]
+  | Worker_task { worker; task; time_s } ->
+    [
+      ("worker", Json.Int worker);
+      ("task", Json.Int task);
+      ("time_s", Json.Float time_s);
+    ]
+  | Worker_exit { worker; tasks } ->
+    [ ("worker", Json.Int worker); ("tasks", Json.Int tasks) ]
+  | Cache_lookup { hit; constraints; entries } ->
+    [
+      ("hit", Json.Bool hit);
+      ("constraints", Json.Int constraints);
+      ("entries", Json.Int entries);
+    ]
+  | Cache_evict { dropped; entries } ->
+    [ ("dropped", Json.Int dropped); ("entries", Json.Int entries) ]
 
 let to_json ?t ev =
   let time_field = match t with Some x -> [ ("t", Json.Float x) ] | None -> [] in
@@ -230,4 +257,25 @@ let of_json j =
     let* covered_before = int "covered_before" in
     let* covered_after = int "covered_after" in
     Ok (Coverage_delta { iteration; covered_before; covered_after })
+  | "worker_spawn" ->
+    let* worker = int "worker" in
+    Ok (Worker_spawn { worker })
+  | "worker_task" ->
+    let* worker = int "worker" in
+    let* task = int "task" in
+    let* time_s = flt "time_s" in
+    Ok (Worker_task { worker; task; time_s })
+  | "worker_exit" ->
+    let* worker = int "worker" in
+    let* tasks = int "tasks" in
+    Ok (Worker_exit { worker; tasks })
+  | "cache_lookup" ->
+    let* hit = bool "hit" in
+    let* constraints = int "constraints" in
+    let* entries = int "entries" in
+    Ok (Cache_lookup { hit; constraints; entries })
+  | "cache_evict" ->
+    let* dropped = int "dropped" in
+    let* entries = int "entries" in
+    Ok (Cache_evict { dropped; entries })
   | other -> Error (Printf.sprintf "unknown event kind %s" other)

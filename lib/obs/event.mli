@@ -49,6 +49,21 @@ type t =
   | Sched_deadlock of { ranks : int list }
   | Fault of { iteration : int; rank : int; kind : string; detail : string }
   | Coverage_delta of { iteration : int; covered_before : int; covered_after : int }
+  | Worker_spawn of { worker : int }
+      (** a campaign worker domain came up ([worker] 0 is the main
+          domain, which also executes tasks) *)
+  | Worker_task of { worker : int; task : int; time_s : float }
+      (** one pool task (speculative solve+execute) finished on
+          [worker]; [task] is the pool-wide dispatch sequence number *)
+  | Worker_exit of { worker : int; tasks : int }
+      (** a worker domain drained and joined after running [tasks] tasks *)
+  | Cache_lookup of { hit : bool; constraints : int; entries : int }
+      (** one solver-cache probe: [constraints] is the size of the
+          canonicalized closure looked up, [entries] the cache
+          population at probe time *)
+  | Cache_evict of { dropped : int; entries : int }
+      (** the solver cache dropped [dropped] oldest entries to respect
+          its capacity *)
 
 val kind_name : t -> string
 (** The wire name, i.e. the ["ev"] field of the JSON encoding. *)

@@ -3,7 +3,18 @@
    for the process lifetime), so hot modules bind their instruments at
    init time and pay one mutable-field update per observation. [reset]
    zeroes values in place — instrument handles cached by other modules
-   stay valid across resets. *)
+   stay valid across resets.
+
+   Observations are domain-safe: campaign workers bump counters and
+   histograms concurrently, so every update takes a (process-wide,
+   uncontended in the common case) mutex — lost updates would silently
+   skew cache hit rates and solver accounting. *)
+
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 type counter = { mutable c : int }
 type gauge = { mutable g : float }
@@ -35,12 +46,13 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let register name make =
-  match Hashtbl.find_opt registry name with
-  | Some m -> m
-  | None ->
-    let m = make () in
-    Hashtbl.replace registry name m;
-    m
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        m)
 
 let counter name =
   match register name (fun () -> Counter { c = 0 }) with
@@ -67,9 +79,9 @@ let histogram name =
   | m ->
     invalid_arg (Printf.sprintf "metric %s is a %s, not a histogram" name (kind_name m))
 
-let incr ?(by = 1) c = c.c <- c.c + by
+let incr ?(by = 1) c = locked (fun () -> c.c <- c.c + by)
 let value c = c.c
-let set g x = g.g <- x
+let set g x = locked (fun () -> g.g <- x)
 let gauge_value g = g.g
 
 let bucket_index v =
@@ -84,30 +96,32 @@ let bucket_bounds i =
   else (Float.pow 2.0 (float_of_int (emin + i - 1)), Float.pow 2.0 (float_of_int (emin + i)))
 
 let observe h v =
-  h.count <- h.count + 1;
-  h.sum <- h.sum +. v;
-  if v < h.vmin then h.vmin <- v;
-  if v > h.vmax then h.vmax <- v;
-  let i = bucket_index v in
-  h.buckets.(i) <- h.buckets.(i) + 1
+  locked (fun () ->
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.vmin then h.vmin <- v;
+      if v > h.vmax then h.vmax <- v;
+      let i = bucket_index v in
+      h.buckets.(i) <- h.buckets.(i) + 1)
 
 let observe_int h n = observe h (float_of_int n)
 let histogram_count h = h.count
 let histogram_sum h = h.sum
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.c <- 0
-      | Gauge g -> g.g <- 0.0
-      | Histogram h ->
-        h.count <- 0;
-        h.sum <- 0.0;
-        h.vmin <- Float.infinity;
-        h.vmax <- Float.neg_infinity;
-        Array.fill h.buckets 0 n_buckets 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> c.c <- 0
+          | Gauge g -> g.g <- 0.0
+          | Histogram h ->
+            h.count <- 0;
+            h.sum <- 0.0;
+            h.vmin <- Float.infinity;
+            h.vmax <- Float.neg_infinity;
+            Array.fill h.buckets 0 n_buckets 0)
+        registry)
 
 let histogram_json h =
   let buckets = ref [] in

@@ -2,10 +2,12 @@
     histograms, exported as one JSON snapshot (with the {!Prof} phase
     totals attached).
 
-    Instrument creation is idempotent and cheap; observation is a couple
-    of mutable-field updates, safe on hot paths whether or not any
-    telemetry sink is installed. [reset] zeroes values in place, so
-    instrument handles bound at module-init time survive it. *)
+    Instrument creation is idempotent and cheap; observation is a few
+    mutable-field updates under a process-wide mutex, safe on hot paths
+    whether or not any telemetry sink is installed, and safe from any
+    domain (campaign workers observe concurrently). [reset] zeroes
+    values in place, so instrument handles bound at module-init time
+    survive it. *)
 
 type counter
 type gauge

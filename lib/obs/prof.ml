@@ -2,8 +2,13 @@
    [time "iteration" g] attributes the elapsed seconds to both phases'
    totals; self-time subtracts the children, so the totals table reads
    like a flat profile even with nesting. State is process-wide and the
-   engine is single-threaded (fibers run synchronously inside the
-   scheduler), so a plain stack suffices. *)
+   frame stack is inherently per-thread (fibers run synchronously inside
+   the scheduler), so a plain stack suffices — on the main domain.
+   Campaign worker domains run the same instrumented code paths
+   (runner, scheduler); there [time] degrades to a plain call so the
+   shared stack is never touched concurrently. Phase totals thus account
+   main-domain work only; cross-domain work is visible through the
+   worker_task events and the campaign's own wall-clock accounting. *)
 
 type entry = { mutable total : float; mutable self : float; mutable count : int }
 type frame = { fname : string; start : float; mutable child : float }
@@ -21,6 +26,8 @@ let entry name =
     e
 
 let time name f =
+  if not (Domain.is_main_domain ()) then f ()
+  else begin
   let fr = { fname = name; start = now (); child = 0.0 } in
   stack := fr :: !stack;
   Fun.protect
@@ -37,6 +44,7 @@ let time name f =
       e.self <- e.self +. Float.max 0.0 (elapsed -. fr.child);
       e.count <- e.count + 1)
     f
+  end
 
 let totals () =
   Hashtbl.fold (fun name e acc -> (name, e.total, e.self, e.count) :: acc) table []

@@ -2,7 +2,9 @@
     ([exec] / [solve] / [schedule] / [strategy] / [report]) behind the
     metrics snapshot.
 
-    Process-wide, single-threaded. Timers nest: a phase entered inside
+    Process-wide, main-domain only: called off the main domain (a
+    campaign worker), [time] runs its argument untimed rather than
+    corrupt the shared frame stack. Timers nest: a phase entered inside
     another contributes to both phases' [total_s], while [self_s]
     excludes time spent in nested phases. *)
 

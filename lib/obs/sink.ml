@@ -1,6 +1,11 @@
 (* Globally-installable JSONL event sink. The no-sink fast path is a
    single ref read, so emitting layers may call [emit] (or guard event
-   construction with [active ()]) unconditionally on hot paths. *)
+   construction with [active ()]) unconditionally on hot paths.
+
+   Emission is domain-safe: campaign worker domains emit concurrently
+   (solver calls, worker/cache events), so the actual write is serialized
+   under a mutex — one event is always one whole line, never interleaved
+   bytes. The unlocked [is_active] fast path stays a single ref read. *)
 
 type target = Null_sink | Buffer_sink of Buffer.t | Channel_sink of out_channel
 
@@ -8,6 +13,7 @@ type installed = { target : target; t0 : float }
 
 let current : installed option ref = ref None
 let is_active = ref false
+let mu = Mutex.create ()
 
 let install target =
   (match !current with
@@ -33,14 +39,18 @@ let emit ev =
     | None -> ()
     | Some { target; t0 } -> (
       let line = Json.to_string (Event.to_json ~t:(Unix.gettimeofday () -. t0) ev) in
-      match target with
-      | Null_sink -> ()
-      | Buffer_sink buf ->
-        Buffer.add_string buf line;
-        Buffer.add_char buf '\n'
-      | Channel_sink oc ->
-        output_string oc line;
-        output_char oc '\n')
+      Mutex.lock mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock mu)
+        (fun () ->
+          match target with
+          | Null_sink -> ()
+          | Buffer_sink buf ->
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n'
+          | Channel_sink oc ->
+            output_string oc line;
+            output_char oc '\n'))
 
 let with_sink target f =
   let saved = !current in

@@ -4,7 +4,11 @@
     process; per-campaign scoping is the caller's job via
     [install]/[uninstall] or [with_sink]). With no sink — or the
     [Null_sink] — installed, [emit] is one ref read; emitting sites that
-    build large events should guard with [active ()]. *)
+    build large events should guard with [active ()].
+
+    [emit] may be called from any domain: writes are serialized so each
+    event lands as one whole JSONL line. [install]/[uninstall] remain
+    main-domain operations (per-campaign scoping, not concurrency). *)
 
 type target =
   | Null_sink  (** counts as installed but drops everything *)

@@ -1,0 +1,141 @@
+(* CREST-style counterexample cache in front of the solver.
+
+   A key canonicalizes one solve: the dependency closure of the negated
+   constraint (sorted, deduplicated — path order and duplicates don't
+   change the solution set) plus the interval domain of every variable
+   it mentions. Because variable ids are numbered per execution by the
+   run's own symbol table, two structurally identical runs — the common
+   case after a restart re-explores a path — produce the *same* key,
+   which is what makes repeats hit.
+
+   A hit replays the previously found model (or the UNSAT verdict)
+   without touching the solver; the replayed model satisfies the set by
+   construction even when the current run's concrete inputs differ.
+   Unknown outcomes (budget exhaustion) are never cached: a later
+   attempt under the same budget is equally cheap to re-refuse, and a
+   raised budget should get its chance.
+
+   Ownership: the cache is not synchronized. The parallel campaign
+   engine keeps it on the main domain and probes/updates it only at
+   deterministic points (candidate dispatch and ordered merge), which is
+   also what makes campaigns reproducible regardless of worker count. *)
+
+type outcome = Sat of Model.t | Unsat
+
+type key = {
+  khash : int;
+  kconstrs : Constr.t list;  (* sorted, deduplicated *)
+  kdoms : (Varid.t * int * int) list;  (* domains of the vars, in var order *)
+}
+
+let key ~domains cs =
+  let kconstrs = List.sort_uniq Constr.compare cs in
+  let vars =
+    List.fold_left (fun acc c -> Varid.Set.union acc (Constr.vars c)) Varid.Set.empty cs
+  in
+  let kdoms =
+    Varid.Set.fold
+      (fun v acc ->
+        let d =
+          match Varid.Map.find_opt v domains with Some d -> d | None -> Domain.full
+        in
+        (v, d.Domain.lo, d.Domain.hi) :: acc)
+      vars []
+    |> List.rev
+  in
+  let mix acc x = (acc * 0x01000193) lxor (x land max_int) in
+  let khash =
+    List.fold_left (fun acc c -> mix acc (Constr.hash c)) 0x811c9dc5 kconstrs
+  in
+  let khash =
+    List.fold_left (fun acc (v, lo, hi) -> mix (mix (mix acc v) lo) hi) khash kdoms
+    land max_int
+  in
+  { khash; kconstrs; kdoms }
+
+let key_size k = List.length k.kconstrs
+
+module Tbl = Hashtbl.Make (struct
+  type t = key
+
+  let hash k = k.khash
+
+  let equal a b =
+    a.khash = b.khash
+    && (try List.for_all2 Constr.equal a.kconstrs b.kconstrs
+        with Invalid_argument _ -> false)
+    && a.kdoms = b.kdoms
+end)
+
+type t = {
+  capacity : int;
+  table : outcome Tbl.t;
+  order : key Queue.t;  (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let m_hits = Obs.Metrics.counter "cache.hits"
+let m_misses = Obs.Metrics.counter "cache.misses"
+let m_evictions = Obs.Metrics.counter "cache.evictions"
+let g_entries = Obs.Metrics.gauge "cache.entries"
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  {
+    capacity = max 1 capacity;
+    table = Tbl.create 256;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let entries t = Tbl.length t.table
+
+let find t k =
+  let r = Tbl.find_opt t.table k in
+  (match r with
+  | Some _ ->
+    t.hits <- t.hits + 1;
+    Obs.Metrics.incr m_hits
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.Metrics.incr m_misses);
+  if Obs.Sink.active () then
+    Obs.Sink.emit
+      (Obs.Event.Cache_lookup
+         { hit = r <> None; constraints = key_size k; entries = entries t });
+  r
+
+let add t k outcome =
+  if not (Tbl.mem t.table k) then begin
+    let dropped = ref 0 in
+    while Tbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
+      let oldest = Queue.pop t.order in
+      if Tbl.mem t.table oldest then begin
+        Tbl.remove t.table oldest;
+        incr dropped
+      end
+    done;
+    if !dropped > 0 then begin
+      t.evictions <- t.evictions + !dropped;
+      Obs.Metrics.incr ~by:!dropped m_evictions;
+      if Obs.Sink.active () then
+        Obs.Sink.emit (Obs.Event.Cache_evict { dropped = !dropped; entries = entries t })
+    end;
+    Tbl.replace t.table k outcome;
+    Queue.push k t.order;
+    Obs.Metrics.set g_entries (float_of_int (entries t))
+  end
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; entries = entries t }
+
+let hit_rate (t : t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

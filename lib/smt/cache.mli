@@ -1,0 +1,55 @@
+(** Counterexample cache in front of the solver (CREST-style).
+
+    Maps the canonical form of one incremental solve — the sorted,
+    deduplicated dependency closure of the negated constraint plus the
+    interval domains of its variables — to the solver's verdict: the
+    model found, or UNSAT. A hit replays the verdict without re-solving;
+    Unknown (budget-exhausted) outcomes are never cached. Per-run
+    variable numbering (each execution's symbol table counts from 0)
+    makes structurally identical runs produce identical keys, so paths
+    re-explored after a restart hit.
+
+    Probes and insertions feed the [cache.hits]/[cache.misses]/
+    [cache.evictions] counters, the [cache.entries] gauge, and — when a
+    sink is active — the [cache_lookup]/[cache_evict] events.
+
+    Not synchronized: the parallel campaign engine owns the cache on the
+    main domain and touches it only at deterministic points (dispatch
+    and ordered merge), which keeps campaign results independent of the
+    worker count. *)
+
+type outcome = Sat of Model.t | Unsat
+
+type key
+
+val key : domains:Domain.t Varid.Map.t -> Constr.t list -> key
+(** Canonicalize a constraint set: sort and deduplicate, then attach the
+    domain interval of every variable mentioned. Constraint order and
+    duplicates do not affect the key. *)
+
+val key_size : key -> int
+(** Number of distinct constraints under the key. *)
+
+type t
+
+val default_capacity : int
+(** 4096 entries. *)
+
+val create : ?capacity:int -> unit -> t
+
+val find : t -> key -> outcome option
+(** Counts a hit or a miss, and emits a [cache_lookup] event when a sink
+    is active. *)
+
+val add : t -> key -> outcome -> unit
+(** First verdict wins: re-adding an existing key is a no-op. At
+    capacity, the oldest entries are evicted FIFO. *)
+
+val entries : t -> int
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before the first probe. *)

@@ -80,6 +80,7 @@ let rel_equal a b =
 
 let rel_rank = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
 let equal a b = rel_equal a.rel b.rel && Linexp.equal a.exp b.exp
+let hash c = (Linexp.hash c.exp * 31) + rel_rank c.rel
 
 let compare a b =
   let c = Int.compare (rel_rank a.rel) (rel_rank b.rel) in

@@ -33,6 +33,10 @@ val normalize : t -> [ `Constr of t | `True | `False ]
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Structural hash consistent with [equal] (see {!Linexp.hash}). *)
+
 val pp : Format.formatter -> t -> unit
 val rel_to_string : rel -> string
 

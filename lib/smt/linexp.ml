@@ -39,6 +39,13 @@ let mem v a = Varid.Map.mem v a.coeffs
 let eval lookup a =
   Varid.Map.fold (fun v c acc -> acc + (c * lookup v)) a.coeffs a.k
 
+(* Structural hash for constraint-cache keys: fold the (sorted) terms
+   with a multiplicative mix. Must agree with [equal]. *)
+let hash a =
+  let mix acc x = (acc * 0x01000193) lxor (x land max_int) in
+  Varid.Map.fold (fun v c acc -> mix (mix acc v) c) a.coeffs (mix 0x811c9dc5 a.k)
+  land max_int
+
 let equal a b = a.k = b.k && Varid.Map.equal Int.equal a.coeffs b.coeffs
 
 let compare a b =

@@ -40,4 +40,9 @@ val eval : (Varid.t -> int) -> t -> int
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Structural hash, consistent with [equal] — the basis of the solver
+    cache's canonical constraint keys. *)
+
 val pp : Format.formatter -> t -> unit

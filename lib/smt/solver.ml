@@ -259,6 +259,7 @@ let solve ?(budget = default_budget) ?(domains = Varid.Map.empty) ?(prefer = Mod
 
 type incremental_result = {
   model : Model.t;
+  fresh : Model.t;
   resolved : Varid.Set.t;
   changed : Varid.Set.t;
 }
@@ -282,4 +283,10 @@ let solve_incremental ?(budget = default_budget) ?(domains = Varid.Map.empty) ~p
         resolved Model.empty
     in
     let changed = Model.changed_vars ~before:prev ~after:solved_only in
-    Ok { model = Model.union_prefer_left solved_only prev; resolved; changed }
+    Ok
+      {
+        model = Model.union_prefer_left solved_only prev;
+        fresh = solved_only;
+        resolved;
+        changed;
+      }

@@ -33,6 +33,10 @@ val solve :
 
 type incremental_result = {
   model : Model.t;  (** merged model: re-solved variables over [prev] *)
+  fresh : Model.t;
+      (** the re-solved bindings alone, before merging with [prev] —
+          what the solver cache stores and replays (CREST-style
+          counterexample caching) *)
   resolved : Varid.Set.t;  (** variables the solver actually re-solved *)
   changed : Varid.Set.t;
       (** re-solved variables whose value differs from [prev] — COMPI's

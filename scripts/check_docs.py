@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker.
+
+Fails (exit 1) when README.md, docs/*.md, or DESIGN.md reference things
+that don't exist:
+
+  1. markdown links `[text](path)` whose target file is missing
+     (external URLs and #anchors are skipped);
+  2. inline-code file references like `lib/core/campaign.ml` that don't
+     resolve (globs like `examples/programs/*.mc` must match something);
+  3. CLI flags like `--jobs` that bin/compi_cli.ml does not define.
+
+Run from the repository root: python3 scripts/check_docs.py
+"""
+
+import glob
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = [
+    os.path.join(ROOT, "README.md"),
+    os.path.join(ROOT, "DESIGN.md"),
+] + sorted(glob.glob(os.path.join(ROOT, "docs", "*.md")))
+
+# Extensions that make an inline-code token a checkable file reference.
+FILE_EXTS = (".ml", ".mli", ".mc", ".md", ".json", ".jsonl", ".py", ".yml")
+
+FENCE_RE = re.compile(r"^```.*?^```", re.M | re.S)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`([^`\n]+)`")
+FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
+
+# Flags cmdliner generates for every command.
+BUILTIN_FLAGS = {"--help", "--version"}
+
+
+def cli_flags():
+    """Flags defined in bin/compi_cli.ml via `info [ "name"; ... ]`."""
+    src = open(os.path.join(ROOT, "bin", "compi_cli.ml")).read()
+    flags = set(BUILTIN_FLAGS)
+    for group in re.findall(r"info\s*\[([^\]]*)\]", src):
+        for name in re.findall(r'"([^"]+)"', group):
+            flags.add(("--" if len(name) > 1 else "-") + name)
+    return flags
+
+
+def check_file(path, flags, errors):
+    rel = os.path.relpath(path, ROOT)
+    text = open(path).read()
+    base = os.path.dirname(path)
+
+    prose = FENCE_RE.sub("", text)
+
+    for target in LINK_RE.findall(prose):
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        target = target.split("#")[0]
+        if target and not os.path.exists(os.path.join(base, target)):
+            errors.append(f"{rel}: broken link: {target}")
+
+    for token in CODE_RE.findall(prose):
+        token = token.strip()
+        # only repo-relative paths: must contain a separator, no spaces,
+        # a known extension, and not be absolute (/tmp/... examples)
+        if (
+            "/" not in token
+            or " " in token
+            or token.startswith(("/", "http", "$"))
+            or not token.endswith(FILE_EXTS)
+        ):
+            continue
+        # resolve repo-relative first, then relative to the doc itself
+        # (docs/*.md referring to ../DESIGN.md)
+        if not glob.glob(os.path.join(ROOT, token)) and not glob.glob(
+            os.path.join(base, token)
+        ):
+            errors.append(f"{rel}: referenced file does not exist: {token}")
+
+    for flag in FLAG_RE.findall(text):
+        if flag not in flags:
+            errors.append(f"{rel}: documented flag not defined by the CLI: {flag}")
+
+
+def main():
+    flags = cli_flags()
+    errors = []
+    for path in DOC_FILES:
+        if os.path.exists(path):
+            check_file(path, flags, errors)
+        else:
+            errors.append(
+                f"missing documentation file: {os.path.relpath(path, ROOT)}"
+            )
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        print(f"{len(errors)} documentation error(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {len(DOC_FILES)} files checked against {len(flags)} CLI flags")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+(* Solver cache: key canonicalization, CREST-style verdict replay,
+   capacity/eviction, and consistency with the incremental solver. *)
+
+open Smt
+
+let v k = (k : Varid.t)
+
+(* x0 + k rel 0 *)
+let c ?(k = 0) ?(coeff = 1) var rel = Constr.make (Linexp.of_terms [ (coeff, var) ] k) rel
+
+let doms lo hi vars =
+  List.fold_left (fun m x -> Varid.Map.add x (Domain.make ~lo ~hi) m) Varid.Map.empty vars
+
+let test_key_order_insensitive () =
+  let x, y = (v 0, v 1) in
+  let a = c x Constr.Ge ~k:(-3) in
+  let b = c y Constr.Lt ~k:5 in
+  let d = doms (-10) 10 [ x; y ] in
+  let cache = Cache.create () in
+  Cache.add cache (Cache.key ~domains:d [ a; b ]) Cache.Unsat;
+  (* permuted and duplicated constraint lists canonicalize to the same key *)
+  Alcotest.(check bool)
+    "permutation hits" true
+    (Cache.find cache (Cache.key ~domains:d [ b; a ]) <> None);
+  Alcotest.(check bool)
+    "duplicates collapse" true
+    (Cache.find cache (Cache.key ~domains:d [ b; a; b; a ]) <> None);
+  Alcotest.(check int) "one entry" 1 (Cache.entries cache)
+
+let test_key_domains_matter () =
+  let x = v 0 in
+  let a = c x Constr.Gt in
+  let cache = Cache.create () in
+  Cache.add cache (Cache.key ~domains:(doms 0 10 [ x ]) [ a ]) Cache.Unsat;
+  (* same constraints, different interval: a genuinely different problem *)
+  Alcotest.(check bool)
+    "different domain misses" true
+    (Cache.find cache (Cache.key ~domains:(doms 0 99 [ x ]) [ a ]) = None)
+
+let test_hit_returns_same_model () =
+  let x, y = (v 0, v 1) in
+  let a = c x Constr.Ge in
+  let b = c y Constr.Le in
+  let d = doms (-10) 10 [ x; y ] in
+  let m = Model.of_bindings [ (x, 7); (y, -2) ] in
+  let cache = Cache.create () in
+  Cache.add cache (Cache.key ~domains:d [ a; b ]) (Cache.Sat m);
+  (match Cache.find cache (Cache.key ~domains:d [ b; a ]) with
+  | Some (Cache.Sat m') ->
+    Alcotest.(check (option int)) "x replayed" (Some 7) (Model.find x m');
+    Alcotest.(check (option int)) "y replayed" (Some (-2)) (Model.find y m')
+  | Some Cache.Unsat | None -> Alcotest.fail "expected a Sat hit");
+  (* first verdict wins: re-adding must not overwrite *)
+  Cache.add cache (Cache.key ~domains:d [ a; b ]) Cache.Unsat;
+  match Cache.find cache (Cache.key ~domains:d [ a; b ]) with
+  | Some (Cache.Sat _) -> ()
+  | Some Cache.Unsat | None -> Alcotest.fail "first verdict must win"
+
+let test_eviction_fifo () =
+  let d = Varid.Map.empty in
+  let key_of n = Cache.key ~domains:d [ c (v 0) Constr.Eq ~k:n ] in
+  let cache = Cache.create ~capacity:2 () in
+  Cache.add cache (key_of 1) Cache.Unsat;
+  Cache.add cache (key_of 2) Cache.Unsat;
+  Cache.add cache (key_of 3) Cache.Unsat;
+  Alcotest.(check int) "capacity respected" 2 (Cache.entries cache);
+  Alcotest.(check bool) "oldest evicted" true (Cache.find cache (key_of 1) = None);
+  Alcotest.(check bool) "newest kept" true (Cache.find cache (key_of 3) <> None);
+  let st = Cache.stats cache in
+  Alcotest.(check int) "one eviction" 1 st.Cache.evictions
+
+let test_stats_and_hit_rate () =
+  let d = Varid.Map.empty in
+  let k1 = Cache.key ~domains:d [ c (v 0) Constr.Eq ] in
+  let cache = Cache.create () in
+  Alcotest.(check bool) "cold miss" true (Cache.find cache k1 = None);
+  Cache.add cache k1 Cache.Unsat;
+  ignore (Cache.find cache k1);
+  ignore (Cache.find cache k1);
+  let st = Cache.stats cache in
+  Alcotest.(check int) "hits" 2 st.Cache.hits;
+  Alcotest.(check int) "misses" 1 st.Cache.misses;
+  Alcotest.(check bool)
+    "hit rate" true
+    (abs_float (Cache.hit_rate cache -. (2.0 /. 3.0)) < 1e-9)
+
+(* Integration: a negation solved through the real pipeline caches a
+   verdict that {!Concolic.Execution.apply_cached} replays into the
+   exact result the live solver produced. *)
+let exec_record () =
+  let tab = Concolic.Symtab.create () in
+  let x = Concolic.Symtab.fresh_input tab ~name:"x" ~concrete:3 () in
+  let y = Concolic.Symtab.fresh_input tab ~name:"y" ~concrete:4 () in
+  (* path: x > 0 (branch 0), y > x (branch 2) — both taken *)
+  let constraints =
+    [|
+      (0, c x Constr.Gt);
+      (2, Constr.cmp (Linexp.var y) Constr.Gt (Linexp.var x));
+    |]
+  in
+  {
+    Concolic.Execution.constraints;
+    symtab = tab;
+    model = Concolic.Symtab.model tab;
+    domains = Concolic.Symtab.domains tab;
+    extra = [];
+    nprocs = 1;
+    focus = 0;
+    mapping = [];
+  }
+
+let test_apply_cached_matches_solver () =
+  let t = exec_record () in
+  let i = 1 in
+  (* negate y > x *)
+  match Concolic.Execution.solve_negation t i with
+  | Error _ -> Alcotest.fail "negation should be satisfiable"
+  | Ok live ->
+    let cache = Cache.create () in
+    let key = Concolic.Execution.negation_key t i in
+    Cache.add cache key (Cache.Sat live.Solver.fresh);
+    (match Cache.find cache (Concolic.Execution.negation_key t i) with
+    | Some outcome -> (
+      match Concolic.Execution.apply_cached t i outcome with
+      | Error _ -> Alcotest.fail "cached Sat must replay as Ok"
+      | Ok replayed ->
+        Alcotest.(check bool)
+          "same resolved set" true
+          (Varid.Set.equal live.Solver.resolved replayed.Solver.resolved);
+        Varid.Set.iter
+          (fun var ->
+            Alcotest.(check (option int))
+              (Printf.sprintf "model agrees on %d" var)
+              (Model.find var live.Solver.model)
+              (Model.find var replayed.Solver.model))
+          live.Solver.resolved;
+        Alcotest.(check bool)
+          "same changed set" true
+          (Varid.Set.equal live.Solver.changed replayed.Solver.changed))
+    | None -> Alcotest.fail "key must round-trip to a hit")
+
+let test_unsat_negation_cached () =
+  let tab = Concolic.Symtab.create () in
+  let x = Concolic.Symtab.fresh_input tab ~name:"x" ~concrete:5 () in
+  (* path: x >= 0 with extra constraint x >= 1 — negating x >= 0 is unsat *)
+  let t =
+    {
+      Concolic.Execution.constraints = [| (0, c x Constr.Ge) |];
+      symtab = tab;
+      model = Concolic.Symtab.model tab;
+      domains = Concolic.Symtab.domains tab;
+      extra = [ c x Constr.Ge ~k:(-1) ];
+      nprocs = 1;
+      focus = 0;
+      mapping = [];
+    }
+  in
+  (match Concolic.Execution.solve_negation t 0 with
+  | Error `Unsat -> ()
+  | Error `Unknown | Ok _ -> Alcotest.fail "expected unsat");
+  let cache = Cache.create () in
+  Cache.add cache (Concolic.Execution.negation_key t 0) Cache.Unsat;
+  match Cache.find cache (Concolic.Execution.negation_key t 0) with
+  | Some outcome -> (
+    match Concolic.Execution.apply_cached t 0 outcome with
+    | Error `Unsat -> ()
+    | Error `Unknown | Ok _ -> Alcotest.fail "cached unsat must replay as unsat")
+  | None -> Alcotest.fail "unsat verdict must hit"
+
+let suite =
+  [
+    ( "cache:unit",
+      [
+        Alcotest.test_case "key order-insensitive" `Quick test_key_order_insensitive;
+        Alcotest.test_case "key includes domains" `Quick test_key_domains_matter;
+        Alcotest.test_case "hit replays the model" `Quick test_hit_returns_same_model;
+        Alcotest.test_case "FIFO eviction at capacity" `Quick test_eviction_fifo;
+        Alcotest.test_case "stats and hit rate" `Quick test_stats_and_hit_rate;
+        Alcotest.test_case "replay matches live solve" `Quick
+          test_apply_cached_matches_solver;
+        Alcotest.test_case "unsat verdicts replay" `Quick test_unsat_negation_cached;
+      ] );
+  ]

@@ -54,6 +54,7 @@ let test_conflict_rc_translates_via_table2 () =
   let result =
     {
       Smt.Solver.model = Smt.Model.of_bindings [ (y0, 1) ];
+      fresh = Smt.Model.of_bindings [ (y0, 1) ];
       resolved = Smt.Varid.Set.singleton y0;
       changed = Smt.Varid.Set.singleton y0;
     }
@@ -72,6 +73,7 @@ let test_conflict_rw_takes_priority () =
   let result =
     {
       Smt.Solver.model = Smt.Model.of_bindings [ (x0, 1); (y0, 1) ];
+      fresh = Smt.Model.of_bindings [ (x0, 1); (y0, 1) ];
       resolved = Smt.Varid.Set.of_list [ x0; y0 ];
       changed = Smt.Varid.Set.of_list [ x0; y0 ];
     }
@@ -90,6 +92,7 @@ let test_conflict_stale_values_ignored () =
   let result =
     {
       Smt.Solver.model = Smt.Model.of_bindings [ (x0, 2) ];
+      fresh = Smt.Model.empty;
       resolved = Smt.Varid.Set.empty;
       changed = Smt.Varid.Set.empty;
     }
@@ -106,6 +109,7 @@ let test_conflict_nprocs_from_sw () =
   let result =
     {
       Smt.Solver.model = Smt.Model.of_bindings [ (z0, 3) ];
+      fresh = Smt.Model.of_bindings [ (z0, 3) ];
       resolved = Smt.Varid.Set.singleton z0;
       changed = Smt.Varid.Set.singleton z0;
     }

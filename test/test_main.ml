@@ -8,6 +8,8 @@ let () =
          Test_mpisim.suite;
          Test_concolic.suite;
          Test_compi.suite;
+         Test_cache.suite;
+         Test_parallel.suite;
          Test_targets.suite;
          Test_parse.suite;
        ])

@@ -121,6 +121,11 @@ let sample_events : Obs.Event.t list =
     Sched_deadlock { ranks = [ 0; 1; 3 ] };
     Fault { iteration = 9; rank = 2; kind = "assert"; detail = "x > 0\nline 3" };
     Coverage_delta { iteration = 9; covered_before = 10; covered_after = 12 };
+    Worker_spawn { worker = 2 };
+    Worker_task { worker = 2; task = 17; time_s = 0.004 };
+    Worker_exit { worker = 2; tasks = 9 };
+    Cache_lookup { hit = true; constraints = 5; entries = 40 };
+    Cache_evict { dropped = 3; entries = 4096 };
   ]
 
 let test_event_roundtrip () =
@@ -128,7 +133,7 @@ let test_event_roundtrip () =
   let kinds =
     List.sort_uniq String.compare (List.map Obs.Event.kind_name sample_events)
   in
-  Alcotest.(check int) "all 11 event kinds sampled" 11 (List.length kinds);
+  Alcotest.(check int) "all 16 event kinds sampled" 16 (List.length kinds);
   List.iter
     (fun ev ->
       let wire = Obs.Json.to_string (Obs.Event.to_json ~t:1.25 ev) in

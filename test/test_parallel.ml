@@ -1,0 +1,178 @@
+(* Parallel campaign engine: the determinism guarantee (worker-count
+   and cache invariance of the canonical report), taskpool semantics,
+   and budget accounting. *)
+
+let campaign ?(jobs = 1) ?(cache = true) ?(iterations = 60) ?(batch = 4) info =
+  let settings =
+    {
+      Compi.Campaign.default_settings with
+      Compi.Campaign.base =
+        {
+          Compi.Driver.default_settings with
+          Compi.Driver.iterations;
+          dfs_phase_iters = 12;
+          initial_nprocs = 2;
+          seed = 11;
+        };
+      jobs;
+      batch;
+      solver_cache = cache;
+    }
+  in
+  Compi.Campaign.run ~settings info
+
+let toy () = Targets.Registry.instrument (Targets.Catalog.find_exn "toy-fig1")
+let susy () = Targets.Registry.instrument (Targets.Catalog.find_exn "susy-hmc")
+
+let test_jobs_invariance_toy () =
+  let r1 = campaign ~jobs:1 (toy ()) in
+  let r4 = campaign ~jobs:4 (toy ()) in
+  Alcotest.(check string)
+    "byte-identical report"
+    (Compi.Campaign.coverage_report r1)
+    (Compi.Campaign.coverage_report r4);
+  Alcotest.(check int)
+    "same iteration count" r1.Compi.Campaign.summary.Compi.Driver.iterations_run
+    r4.Compi.Campaign.summary.Compi.Driver.iterations_run;
+  Alcotest.(check int)
+    "same execution count" r1.Compi.Campaign.executed r4.Compi.Campaign.executed
+
+let test_jobs_invariance_susy () =
+  let r1 = campaign ~jobs:1 ~iterations:80 (susy ()) in
+  let r3 = campaign ~jobs:3 ~iterations:80 (susy ()) in
+  Alcotest.(check string)
+    "byte-identical report on a deep target"
+    (Compi.Campaign.coverage_report r1)
+    (Compi.Campaign.coverage_report r3)
+
+(* Campaigns over the Mini-C corpus in examples/programs: parse, check,
+   instrument, then require jobs-count invariance on each. *)
+let example_programs () =
+  let dir = "../examples/programs" in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".mc")
+    |> List.sort String.compare
+    |> List.filter_map (fun n ->
+           let src = In_channel.with_open_text (Filename.concat dir n) In_channel.input_all in
+           match Minic.Parse.program src with
+           | Error _ -> None
+           | Ok program -> (
+             match Minic.Check.check program with
+             | _ :: _ -> None
+             | [] ->
+               Some
+                 (n, Minic.Branchinfo.instrument (Minic.Opt.simplify_program program))))
+
+let test_jobs_invariance_corpus () =
+  let programs = example_programs () in
+  Alcotest.(check bool) "corpus present" true (List.length programs >= 3);
+  List.iter
+    (fun (name, info) ->
+      let r1 = campaign ~jobs:1 ~iterations:30 info in
+      let r4 = campaign ~jobs:4 ~iterations:30 info in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: jobs=4 report equals jobs=1" name)
+        (Compi.Campaign.coverage_report r1)
+        (Compi.Campaign.coverage_report r4))
+    programs
+
+let test_cache_invariance () =
+  (* the cache must replay verdicts, never change the trajectory *)
+  let on = campaign ~jobs:2 ~cache:true ~iterations:80 (susy ()) in
+  let off = campaign ~jobs:2 ~cache:false ~iterations:80 (susy ()) in
+  Alcotest.(check string)
+    "cache on/off same report"
+    (Compi.Campaign.coverage_report off)
+    (Compi.Campaign.coverage_report on);
+  (match on.Compi.Campaign.cache with
+  | None -> Alcotest.fail "cache stats expected when enabled"
+  | Some st ->
+    Alcotest.(check bool) "cache was exercised" true (st.Smt.Cache.hits > 0));
+  Alcotest.(check (option reject)) "no stats when disabled" None
+    (Option.map (fun _ -> ()) off.Compi.Campaign.cache);
+  Alcotest.(check bool)
+    "cache reduces solver calls" true
+    (on.Compi.Campaign.solver_calls < off.Compi.Campaign.solver_calls)
+
+let test_matches_reference_coverage () =
+  (* the engine must find what the sequential driver finds: same final
+     coverage on the toy target (trajectories differ by design — the
+     driver interleaves, the engine batches — but toy-fig1 saturates) *)
+  let seq =
+    Compi.Driver.run
+      ~settings:
+        {
+          Compi.Driver.default_settings with
+          Compi.Driver.iterations = 60;
+          dfs_phase_iters = 12;
+          initial_nprocs = 2;
+          seed = 11;
+        }
+      (toy ())
+  in
+  let par = campaign ~jobs:2 (toy ()) in
+  Alcotest.(check int)
+    "same covered branches" seq.Compi.Driver.covered_branches
+    par.Compi.Campaign.summary.Compi.Driver.covered_branches;
+  Alcotest.(check bool)
+    "both find the planted bug" true
+    (Compi.Driver.distinct_bugs seq <> []
+    && Compi.Driver.distinct_bugs par.Compi.Campaign.summary <> [])
+
+let test_budget_respected () =
+  let r = campaign ~jobs:4 ~iterations:25 ~batch:6 (susy ()) in
+  Alcotest.(check bool)
+    "iteration budget is a hard cap" true
+    (r.Compi.Campaign.summary.Compi.Driver.iterations_run <= 25);
+  Alcotest.(check bool)
+    "executed <= iterations merged" true
+    (r.Compi.Campaign.executed <= r.Compi.Campaign.summary.Compi.Driver.iterations_run)
+
+let test_taskpool_order_and_errors () =
+  let pool = Compi.Taskpool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Compi.Taskpool.shutdown pool) @@ fun () ->
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "map preserves submission order"
+    (List.map (fun x -> x * x) xs)
+    (Compi.Taskpool.map pool (fun x -> x * x) xs);
+  (* exceptions surface on the caller, pool stays usable *)
+  (match Compi.Taskpool.map pool (fun x -> if x = 3 then failwith "boom" else x) xs with
+  | _ -> Alcotest.fail "exception must propagate"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg);
+  Alcotest.(check (list int))
+    "pool survives a failing batch" [ 2; 4 ]
+    (Compi.Taskpool.map pool (fun x -> 2 * x) [ 1; 2 ])
+
+let test_taskpool_sequential_degenerate () =
+  let pool = Compi.Taskpool.create ~jobs:1 in
+  Fun.protect ~finally:(fun () -> Compi.Taskpool.shutdown pool) @@ fun () ->
+  (* jobs=1 spawns no domain: tasks run inline on the caller, in order *)
+  let trace = ref [] in
+  let out = Compi.Taskpool.map pool (fun x -> trace := x :: !trace; x + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "inline results" [ 2; 3; 4 ] out;
+  Alcotest.(check (list int)) "inline order" [ 3; 2; 1 ] !trace
+
+let suite =
+  [
+    ( "parallel:campaign",
+      [
+        Alcotest.test_case "jobs invariance (toy-fig1)" `Quick test_jobs_invariance_toy;
+        Alcotest.test_case "jobs invariance (susy-hmc)" `Quick test_jobs_invariance_susy;
+        Alcotest.test_case "jobs invariance (examples corpus)" `Quick
+          test_jobs_invariance_corpus;
+        Alcotest.test_case "cache invariance + savings" `Quick test_cache_invariance;
+        Alcotest.test_case "coverage parity with the driver" `Quick
+          test_matches_reference_coverage;
+        Alcotest.test_case "iteration budget respected" `Quick test_budget_respected;
+      ] );
+    ( "parallel:taskpool",
+      [
+        Alcotest.test_case "order preserved, errors propagate" `Quick
+          test_taskpool_order_and_errors;
+        Alcotest.test_case "jobs=1 runs inline" `Quick test_taskpool_sequential_degenerate;
+      ] );
+  ]
