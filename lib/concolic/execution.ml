@@ -22,9 +22,10 @@ let negation_problem t i =
   let negated = Smt.Constr.negate (constr_at t i) in
   (negated, negated :: List.rev_append (List.rev (prefix t i)) t.extra)
 
-let solve_negation ?budget t i =
+let solve_negation ?budget ?canonical t i =
   let negated, cs = negation_problem t i in
-  Smt.Solver.solve_incremental ?budget ~domains:t.domains ~prev:t.model ~target:negated cs
+  Smt.Solver.solve_incremental ?budget ?canonical ~domains:t.domains ~prev:t.model
+    ~target:negated cs
 
 (* The canonical identity of the solve that [solve_negation t i] would
    perform: the dependency closure of the negated constraint — exactly
@@ -45,9 +46,10 @@ let apply_cached t i outcome =
   match (outcome : Smt.Cache.outcome) with
   | Smt.Cache.Unsat -> Error `Unsat
   | Smt.Cache.Sat cached ->
-    (* Reconstruct what solve_negation would have returned had the
-       solver produced [cached]: merge over this run's concrete model
-       and diff against it for the "most up-to-date" variable set. *)
+    (* Reconstruct what a canonical solve_negation would have returned:
+       [cached] is a pure function of the key, so merging it over this
+       run's concrete model and diffing against it reproduces the live
+       result even though the verdict was found under another run. *)
     let resolved = closure_vars t i in
     let fresh =
       Smt.Varid.Set.fold

@@ -22,7 +22,15 @@ open Concolic
    inserted at merge, so cache state transitions also happen at
    deterministic points. Within one round two structurally identical
    negations both miss and both solve; the merge inserts the first
-   verdict and drops the duplicate (first-verdict-wins). *)
+   verdict and drops the duplicate (first-verdict-wins).
+
+   Negations are solved in {e canonical} mode (sorted closure, no
+   preference model) whether the cache is on or off: the verdict is
+   then a pure function of the cache key, so a hit replays exactly what
+   a live solve would have returned even though the verdict was found
+   under a different run's concrete model, and cache on/off cannot
+   change the trajectory. (The sequential driver keeps CREST's
+   prefer-previous-values heuristic; it never replays across runs.) *)
 
 type settings = {
   base : Driver.settings;
@@ -46,7 +54,7 @@ type result = {
   rounds : int;
   executed : int;  (* merged test executions *)
   speculated : int;  (* executions completed but dropped at the budget edge *)
-  solver_calls : int;  (* negations that reached the solver (cache misses) *)
+  solver_calls : int;  (* live solves whose verdicts merged into the trajectory *)
   cache : Smt.Cache.stats option;
 }
 
@@ -65,6 +73,7 @@ type done_item =
   | D_fresh of Driver.pending * exec_result
   | D_negated of {
       index : int;  (* negated path position, for the negation event *)
+      solved : bool;  (* live solver call (miss), as opposed to a cached replay *)
       key : Smt.Cache.key option;  (* insert verdict at merge when present *)
       solve_s : float;
       outcome : negated_outcome;
@@ -134,6 +143,12 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     else None
   in
   let pool = Taskpool.create ~jobs:settings.jobs in
+  (* Any exception out of a round (a worker failure re-raised by
+     Taskpool.map, a solver bug on the main domain) must still stop and
+     join the spawned domains — otherwise they block on the pool's
+     condition variable forever and the runtime hangs at exit waiting
+     for them. *)
+  Fun.protect ~finally:(fun () -> Taskpool.shutdown pool) @@ fun () ->
   Obs.Sink.emit
     (Obs.Event.Campaign_start
        {
@@ -336,10 +351,6 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
               | None -> `Miss (cand, Some k))))
         !work
     in
-    solver_calls :=
-      !solver_calls
-      + List.length
-          (List.filter (function `Miss _ -> true | `Fresh _ | `Hit _ -> false) classified);
     let thunks =
       List.map
         (fun w () ->
@@ -350,12 +361,14 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
             let index = cand.Strategy.index in
             match Execution.apply_cached cand.Strategy.record index outcome with
             | Error (`Unsat | `Unknown) ->
-              D_negated { index; key = None; solve_s = 0.0; outcome = N_unsat }
+              D_negated
+                { index; solved = false; key = None; solve_s = 0.0; outcome = N_unsat }
             | Ok sr ->
               let next = derive s cand sr in
               D_negated
                 {
                   index;
+                  solved = false;
                   key = None;
                   solve_s = 0.0;
                   outcome = N_sat { fresh = sr.Smt.Solver.fresh; next; run = exec next };
@@ -365,21 +378,23 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
             let t0 = Unix.gettimeofday () in
             let outcome =
               Obs.Prof.time "solve" (fun () ->
-                  Execution.solve_negation ~budget:s.Driver.solver_budget
+                  Execution.solve_negation ~budget:s.Driver.solver_budget ~canonical:true
                     cand.Strategy.record index)
             in
             let solve_s = Unix.gettimeofday () -. t0 in
             match outcome with
-            | Error `Unsat -> D_negated { index; key; solve_s; outcome = N_unsat }
+            | Error `Unsat ->
+              D_negated { index; solved = true; key; solve_s; outcome = N_unsat }
             | Error `Unknown ->
               (* never cache an unknown: a later, luckier attempt or a
                  raised budget should get its chance *)
-              D_negated { index; key = None; solve_s; outcome = N_unknown }
+              D_negated { index; solved = true; key = None; solve_s; outcome = N_unknown }
             | Ok sr ->
               let next = derive s cand sr in
               D_negated
                 {
                   index;
+                  solved = true;
                   key;
                   solve_s;
                   outcome = N_sat { fresh = sr.Smt.Solver.fresh; next; run = exec next };
@@ -387,7 +402,10 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         classified
     in
     let results = Taskpool.map pool (fun f -> f ()) thunks in
-    (* merge: work-list order, budget-gated *)
+    (* merge: work-list order, budget-gated. [solver_calls] is counted
+       here, not at dispatch, so the stat covers exactly the solves
+       whose verdicts entered the merged trajectory — results discarded
+       at the budget edge only show up in [speculated]. *)
     List.iter
       (fun item ->
         if not (budget_left ()) then begin
@@ -399,7 +417,8 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         else
           match item with
           | D_fresh (p, res) -> merge_exec p ~solve_s:0.0 res
-          | D_negated { index; key; solve_s; outcome } -> (
+          | D_negated { index; solved; key; solve_s; outcome } -> (
+            if solved then incr solver_calls;
             let insert verdict =
               match (cache, key) with
               | Some c, Some k -> Smt.Cache.add c k verdict
@@ -451,7 +470,6 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
            | cands -> forced_items @ List.map (fun c -> W_negate c) cands
        end)
   done;
-  Taskpool.shutdown pool;
   let reachable =
     Obs.Prof.time "report" (fun () ->
         Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage))

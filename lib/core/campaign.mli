@@ -15,8 +15,12 @@
 
     A {!Smt.Cache} in front of the solver lives on the main domain:
     probed when a candidate is dispatched, verdict inserted when it is
-    merged — also deterministic points. Unknown (budget-exhausted)
-    solver outcomes are never cached.
+    merged — also deterministic points. Negations are solved in
+    canonical mode (see {!Smt.Solver.solve_incremental}) whether the
+    cache is on or off, so a verdict is a pure function of its cache
+    key and a hit replays exactly what a live solve would return:
+    [--solver-cache] changes solver work, never the trajectory.
+    Unknown (budget-exhausted) solver outcomes are never cached.
 
     The per-iteration semantics differ from the sequential driver in
     one deliberate way: the driver charges an iteration's [solve_time]
@@ -46,7 +50,11 @@ type result = {
   speculated : int;
       (** executions that completed but fell past the iteration budget
           and were dropped at the merge *)
-  solver_calls : int;  (** negations that reached the solver (cache misses) *)
+  solver_calls : int;
+      (** live solves (cache misses) whose verdicts merged into the
+          trajectory — counted at merge, so the stat is invariant
+          across [jobs] for a given merged result; solves discarded at
+          the budget edge are only visible in [speculated] *)
   cache : Smt.Cache.stats option;  (** [None] when the cache is off *)
 }
 

@@ -264,11 +264,18 @@ type incremental_result = {
   changed : Varid.Set.t;
 }
 
-let solve_incremental ?(budget = default_budget) ?(domains = Varid.Map.empty) ~prev ~target cs =
+let solve_incremental ?(budget = default_budget) ?(domains = Varid.Map.empty)
+    ?(canonical = false) ~prev ~target cs =
   let closure, vars = Constr.dependency_closure ~seed:(Constr.vars target) cs in
+  (* In canonical mode the solve must be a pure function of the closure
+     as a set plus [domains] — the identity a solver cache keys on — so
+     the closure is sorted/deduplicated and [prev] is not offered to the
+     value search (it still anchors the merge and the [changed] diff). *)
+  let closure = if canonical then List.sort_uniq Constr.compare closure else closure in
+  let prefer = if canonical then Model.empty else prev in
   match
     instrumented ~incremental:true closure (fun nodes ->
-        solve_raw ~budget ~domains ~prefer:prev ~nodes closure)
+        solve_raw ~budget ~domains ~prefer ~nodes closure)
   with
   | Unsat -> Error `Unsat
   | Unknown -> Error `Unknown

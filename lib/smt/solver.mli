@@ -46,6 +46,7 @@ type incremental_result = {
 val solve_incremental :
   ?budget:int ->
   ?domains:Domain.t Varid.Map.t ->
+  ?canonical:bool ->
   prev:Model.t ->
   target:Constr.t ->
   Constr.t list ->
@@ -54,7 +55,16 @@ val solve_incremental :
     [target] within [cs] (which must already contain [target], i.e. the
     negated constraint plus its path prefix and the inherent MPI
     constraints). Variables outside the closure keep their binding in
-    [prev]. *)
+    [prev].
+
+    By default the search prefers the bindings in [prev] (CREST's
+    keep-previous-values heuristic), so the model found depends on
+    [prev]. With [~canonical:true] the closure is canonicalized
+    (sorted, deduplicated) and solved with {e no} preference model: the
+    verdict and the [fresh] bindings are then a pure function of the
+    closure set and [domains] — the invariant {!Cache} replay relies
+    on. [prev] still supplies the values of out-of-closure variables in
+    [model] and the baseline for [changed]. *)
 
 val holds_all : Model.t -> Constr.t list -> bool
 (** [holds_all m cs] checks every constraint under [m] (unbound variables

@@ -87,10 +87,10 @@ let test_stats_and_hit_rate () =
 (* Integration: a negation solved through the real pipeline caches a
    verdict that {!Concolic.Execution.apply_cached} replays into the
    exact result the live solver produced. *)
-let exec_record () =
+let exec_record ?(cx = 3) ?(cy = 4) () =
   let tab = Concolic.Symtab.create () in
-  let x = Concolic.Symtab.fresh_input tab ~name:"x" ~concrete:3 () in
-  let y = Concolic.Symtab.fresh_input tab ~name:"y" ~concrete:4 () in
+  let x = Concolic.Symtab.fresh_input tab ~name:"x" ~concrete:cx () in
+  let y = Concolic.Symtab.fresh_input tab ~name:"y" ~concrete:cy () in
   (* path: x > 0 (branch 0), y > x (branch 2) — both taken *)
   let constraints =
     [|
@@ -112,8 +112,9 @@ let exec_record () =
 let test_apply_cached_matches_solver () =
   let t = exec_record () in
   let i = 1 in
-  (* negate y > x *)
-  match Concolic.Execution.solve_negation t i with
+  (* negate y > x; canonical mode — the only mode whose verdicts may be
+     cached, because only there is the model a pure function of the key *)
+  match Concolic.Execution.solve_negation ~canonical:true t i with
   | Error _ -> Alcotest.fail "negation should be satisfiable"
   | Ok live ->
     let cache = Cache.create () in
@@ -138,6 +139,55 @@ let test_apply_cached_matches_solver () =
           "same changed set" true
           (Varid.Set.equal live.Solver.changed replayed.Solver.changed))
     | None -> Alcotest.fail "key must round-trip to a hit")
+
+(* The soundness hole canonical mode closes: a verdict cached under one
+   run must replay, in a run with *different* concrete inputs, the exact
+   result that run's own live solve would produce — this is what makes
+   campaigns cache-on/off invariant. With the prefer-previous-values
+   heuristic this fails: the model would track whichever run happened to
+   solve first, and the heuristic's input is (deliberately) not part of
+   the key. *)
+let test_replay_pure_across_runs () =
+  let a = exec_record ~cx:3 ~cy:4 () in
+  let b = exec_record ~cx:1 ~cy:9 () in
+  let i = 1 in
+  let cache = Cache.create () in
+  (match Concolic.Execution.solve_negation ~canonical:true a i with
+  | Error _ -> Alcotest.fail "negation satisfiable under run A"
+  | Ok live_a ->
+    Cache.add cache
+      (Concolic.Execution.negation_key a i)
+      (Cache.Sat live_a.Solver.fresh));
+  let live_b =
+    match Concolic.Execution.solve_negation ~canonical:true b i with
+    | Error _ -> Alcotest.fail "negation satisfiable under run B"
+    | Ok r -> r
+  in
+  (* per-run symbol tables number the same path identically, so the key
+     from run A hits in run B despite the differing concrete models *)
+  match Cache.find cache (Concolic.Execution.negation_key b i) with
+  | None -> Alcotest.fail "structurally identical runs must share a key"
+  | Some outcome -> (
+    match Concolic.Execution.apply_cached b i outcome with
+    | Error _ -> Alcotest.fail "cached Sat must replay as Ok"
+    | Ok replayed ->
+      Alcotest.(check bool)
+        "same resolved set" true
+        (Varid.Set.equal live_b.Solver.resolved replayed.Solver.resolved);
+      Varid.Set.iter
+        (fun var ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "fresh agrees on %d" var)
+            (Model.find var live_b.Solver.fresh)
+            (Model.find var replayed.Solver.fresh);
+          Alcotest.(check (option int))
+            (Printf.sprintf "merged model agrees on %d" var)
+            (Model.find var live_b.Solver.model)
+            (Model.find var replayed.Solver.model))
+        live_b.Solver.resolved;
+      Alcotest.(check bool)
+        "same changed set" true
+        (Varid.Set.equal live_b.Solver.changed replayed.Solver.changed))
 
 let test_unsat_negation_cached () =
   let tab = Concolic.Symtab.create () in
@@ -178,6 +228,8 @@ let suite =
         Alcotest.test_case "stats and hit rate" `Quick test_stats_and_hit_rate;
         Alcotest.test_case "replay matches live solve" `Quick
           test_apply_cached_matches_solver;
+        Alcotest.test_case "replay is pure across runs" `Quick
+          test_replay_pure_across_runs;
         Alcotest.test_case "unsat verdicts replay" `Quick test_unsat_negation_cached;
       ] );
   ]
