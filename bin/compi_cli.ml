@@ -338,6 +338,32 @@ let coverage_report_arg =
           "Write the canonical coverage report to $(docv) — byte-identical across \
            $(b,--jobs) values; CI diffs it")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Write crash-safe campaign snapshots under $(docv) (periodically, on \
+           SIGINT/SIGTERM, and at exit); resume later with $(b,--resume)")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot cadence in iterations (default $(b,50); $(b,0) keeps only the \
+           at-exit snapshot). Only meaningful with $(b,--checkpoint)")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume the campaign from the snapshot under $(b,--checkpoint) and \
+           continue toward the (possibly larger) budget; the finished campaign is \
+           byte-identical to an uninterrupted run")
+
 let run_cmd =
   let target_opt_arg =
     Arg.(
@@ -346,7 +372,7 @@ let run_cmd =
       & info [ "target" ] ~docv:"TARGET" ~doc:"Target program (see $(b,compi-cli list))")
   in
   let run t iterations time seed nprocs caps strategy jobs batch solver_cache
-      coverage_report trace_events metrics =
+      checkpoint checkpoint_every resume coverage_report trace_events metrics =
     let info, base =
       settings_of t iterations time seed nprocs caps false false false strategy
     in
@@ -357,16 +383,32 @@ let run_cmd =
         jobs;
         batch;
         solver_cache;
+        checkpoint;
+        checkpoint_every;
+        resume;
       }
     in
     let result =
-      with_telemetry ~trace_events ~metrics (fun () ->
-          Compi.Campaign.run ~settings ~label:t.Targets.Registry.name info)
+      try
+        with_telemetry ~trace_events ~metrics (fun () ->
+            Compi.Campaign.run ~settings ~label:t.Targets.Registry.name info)
+      with Compi.Checkpoint.Load_error e ->
+        Printf.eprintf "cannot resume: %s\n" (Compi.Checkpoint.error_to_string e);
+        exit 1
     in
     report result.Compi.Campaign.summary;
     Printf.printf "engine          %d round(s), %d execution(s), %d solver call(s), %d job(s)\n"
       result.Compi.Campaign.rounds result.Compi.Campaign.executed
       result.Compi.Campaign.solver_calls jobs;
+    (match checkpoint with
+    | Some dir ->
+      Printf.printf "checkpoint      %s (%d write(s))%s\n"
+        (Compi.Checkpoint.file ~dir)
+        result.Compi.Campaign.checkpoints_written
+        (if result.Compi.Campaign.interrupted then
+           ", campaign interrupted — resume with --resume"
+         else "")
+    | None -> ());
     (match result.Compi.Campaign.cache with
     | Some cs ->
       let probes = cs.Smt.Cache.hits + cs.Smt.Cache.misses in
@@ -398,7 +440,8 @@ let run_cmd =
     Term.(
       const run $ target_opt_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg
       $ cap_arg $ strategy_arg $ jobs_arg $ batch_arg $ solver_cache_arg
-      $ coverage_report_arg $ trace_events_arg $ metrics_arg)
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ coverage_report_arg
+      $ trace_events_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay: saved test cases, or a JSONL telemetry trace                *)

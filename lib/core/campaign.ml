@@ -30,7 +30,23 @@ open Concolic
    a live solve would have returned even though the verdict was found
    under a different run's concrete model, and cache on/off cannot
    change the trajectory. (The sequential driver keeps CREST's
-   prefer-previous-values heuristic; it never replays across runs.) *)
+   prefer-previous-values heuristic; it never replays across runs.)
+
+   Checkpointing piggybacks on the same structure. Every state mutation
+   happens on the main domain at a merge position — after item k of the
+   round, before item k+1 — so a {!Checkpoint.snapshot} taken there
+   (merged state + the un-merged tail as work items) is a point the
+   uninterrupted run also passes through with identical state. A resume
+   re-dispatches the tail: executions are pure functions of their
+   pending record and canonical verdicts are pure functions of their
+   cache key, so the resumed trajectory — and the final coverage
+   report — is byte-identical to the uninterrupted run's, at any
+   worker count. (A tail negation may hit the cache where the original
+   run solved live; canonical mode makes the replay equal to the solve,
+   which is exactly the PR-2 invariant.) Snapshots are also taken when
+   the iteration budget or a SIGINT/SIGTERM cuts the merge short, so a
+   budget-capped run leaves a checkpoint a longer resume can continue
+   from mid-round. *)
 
 type settings = {
   base : Driver.settings;
@@ -38,6 +54,9 @@ type settings = {
   batch : int;  (* candidates drawn per round — NOT tied to [jobs] *)
   solver_cache : bool;
   cache_capacity : int;
+  checkpoint : string option;  (* snapshot directory; None = no checkpointing *)
+  checkpoint_every : int;  (* periodic snapshot cadence in iterations *)
+  resume : bool;  (* load the snapshot under [checkpoint] before running *)
 }
 
 let default_settings =
@@ -47,6 +66,9 @@ let default_settings =
     batch = 4;
     solver_cache = true;
     cache_capacity = Smt.Cache.default_capacity;
+    checkpoint = None;
+    checkpoint_every = 50;
+    resume = false;
   }
 
 type result = {
@@ -56,13 +78,19 @@ type result = {
   speculated : int;  (* executions completed but dropped at the budget edge *)
   solver_calls : int;  (* live solves whose verdicts merged into the trajectory *)
   cache : Smt.Cache.stats option;
+  interrupted : bool;  (* a SIGINT/SIGTERM stopped the campaign early *)
+  checkpoints_written : int;
 }
 
 (* --- work items and task outcomes --------------------------------- *)
 
 type exec_result = (Runner.result, [ `Platform_limit of int ]) Stdlib.result
 
-type work = W_fresh of Driver.pending | W_negate of Strategy.candidate
+(* The work-item type is owned by {!Checkpoint} so snapshots can carry
+   the un-merged tail of a round. *)
+type work = Checkpoint.work =
+  | W_fresh of Driver.pending
+  | W_negate of Strategy.candidate
 
 type negated_outcome =
   | N_unsat
@@ -84,6 +112,7 @@ type done_item =
 let m_iterations = Obs.Metrics.counter "driver.iterations"
 let m_restarts = Obs.Metrics.counter "driver.restarts"
 let m_faults = Obs.Metrics.counter "driver.faults"
+let m_checkpoints = Obs.Metrics.counter "campaign.checkpoints"
 let m_cs_size = Obs.Metrics.histogram "driver.constraint_set"
 let g_covered = Obs.Metrics.gauge "driver.covered"
 let g_reachable = Obs.Metrics.gauge "driver.reachable"
@@ -120,10 +149,35 @@ let derive (s : Driver.settings) (cand : Strategy.candidate)
 
 let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
   let s = settings.base in
-  let rng = Random.State.make [| s.Driver.seed |] in
+  let fp =
+    Checkpoint.fingerprint ~label ~batch:settings.batch
+      ~solver_cache:settings.solver_cache ~cache_capacity:settings.cache_capacity s
+  in
+  (* Load the snapshot up front: a resume that cannot proceed must fail
+     before any campaign state (or telemetry) exists. *)
+  let resumed =
+    if not settings.resume then None
+    else
+      match settings.checkpoint with
+      | None ->
+        raise
+          (Checkpoint.Load_error
+             (Checkpoint.Corrupt "resume requested without a checkpoint directory"))
+      | Some dir -> (
+        match Checkpoint.load ~dir with
+        | Error e -> raise (Checkpoint.Load_error e)
+        | Ok snap -> (
+          match Checkpoint.mismatches ~stored:snap.Checkpoint.ck_fingerprint ~current:fp with
+          | [] -> Some (dir, snap)
+          | ms -> raise (Checkpoint.Load_error (Checkpoint.Settings_mismatch ms))))
+  in
+  let snap_field f default = match resumed with Some (_, sn) -> f sn | None -> default in
+  let rng = snap_field (fun sn -> sn.Checkpoint.ck_rng) (Random.State.make [| s.Driver.seed |]) in
   let program = info.Branchinfo.program in
-  let coverage = Coverage.create () in
-  let strategy = ref (Driver.make_strategy s info) in
+  let coverage = snap_field (fun sn -> sn.Checkpoint.ck_coverage) (Coverage.create ()) in
+  let strategy =
+    ref (snap_field (fun sn -> sn.Checkpoint.ck_strategy) (Driver.make_strategy s info))
+  in
   let base_runner =
     {
       (Runner.default_config ~info) with
@@ -138,17 +192,46 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     }
   in
   let cache =
-    if settings.solver_cache then
-      Some (Smt.Cache.create ~capacity:settings.cache_capacity ())
-    else None
+    if not settings.solver_cache then None
+    else
+      match snap_field (fun sn -> sn.Checkpoint.ck_cache) None with
+      | Some c -> Some c
+      | None -> Some (Smt.Cache.create ~capacity:settings.cache_capacity ())
   in
   let pool = Taskpool.create ~jobs:settings.jobs in
+  (* A stop request from SIGINT/SIGTERM parks the campaign at the next
+     merge position — the same cut the iteration budget uses — so the
+     final flush below leaves a checkpoint a resume can continue from.
+     Handlers are installed only when checkpointing is on; otherwise
+     Ctrl-C keeps its default meaning. *)
+  let stop = ref false in
+  let old_handlers =
+    match settings.checkpoint with
+    | None -> []
+    | Some _ ->
+      List.filter_map
+        (fun sg ->
+          match Sys.signal sg (Sys.Signal_handle (fun _ -> stop := true)) with
+          | old -> Some (sg, old)
+          | exception (Invalid_argument _ | Sys_error _) -> None)
+        [ Sys.sigint; Sys.sigterm ]
+  in
   (* Any exception out of a round (a worker failure re-raised by
      Taskpool.map, a solver bug on the main domain) must still stop and
      join the spawned domains — otherwise they block on the pool's
      condition variable forever and the runtime hangs at exit waiting
      for them. *)
-  Fun.protect ~finally:(fun () -> Taskpool.shutdown pool) @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (sg, old) -> try Sys.set_signal sg old with Invalid_argument _ | Sys_error _ -> ()) old_handlers;
+      Taskpool.shutdown pool)
+  @@ fun () ->
+  (match resumed with
+  | Some (dir, sn) ->
+    Obs.Sink.emit
+      (Obs.Event.Checkpoint_load
+         { iteration = sn.Checkpoint.ck_iter; path = Checkpoint.file ~dir })
+  | None -> ());
   Obs.Sink.emit
     (Obs.Event.Campaign_start
        {
@@ -162,21 +245,31 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
   let time_ok () =
     match s.Driver.time_budget with Some b -> elapsed () < b | None -> true
   in
-  let stats = ref [] in
-  let bugs = ref [] in
-  let max_cs = ref 0 in
-  let derived_bound = ref None in
-  let iter = ref 0 in
-  let best_covered = ref 0 in
-  let last_improvement = ref 0 in
-  let barren = ref 0 in  (* consecutive failed negations since a SAT one *)
-  let last_np = ref (s.Driver.initial_nprocs, s.Driver.initial_focus) in
-  let rounds = ref 0 in
-  let executed = ref 0 in
-  let speculated = ref 0 in
-  let solver_calls = ref 0 in
-  let forced = ref [] in  (* restart tests queued during the merge *)
-  let stagnated_round = ref false in
+  let stats = ref (snap_field (fun sn -> sn.Checkpoint.ck_stats) []) in
+  let bugs = ref (snap_field (fun sn -> sn.Checkpoint.ck_bugs) []) in
+  let max_cs = ref (snap_field (fun sn -> sn.Checkpoint.ck_max_cs) 0) in
+  let derived_bound = ref (snap_field (fun sn -> sn.Checkpoint.ck_derived_bound) None) in
+  let iter = ref (snap_field (fun sn -> sn.Checkpoint.ck_iter) 0) in
+  let best_covered = ref (snap_field (fun sn -> sn.Checkpoint.ck_best_covered) 0) in
+  let last_improvement = ref (snap_field (fun sn -> sn.Checkpoint.ck_last_improvement) 0) in
+  (* consecutive failed negations since a SAT one *)
+  let barren = ref (snap_field (fun sn -> sn.Checkpoint.ck_barren) 0) in
+  let last_np =
+    ref
+      (snap_field
+         (fun sn -> sn.Checkpoint.ck_last_np)
+         (s.Driver.initial_nprocs, s.Driver.initial_focus))
+  in
+  let rounds = ref (snap_field (fun sn -> sn.Checkpoint.ck_rounds) 0) in
+  let executed = ref (snap_field (fun sn -> sn.Checkpoint.ck_executed) 0) in
+  let speculated = ref (snap_field (fun sn -> sn.Checkpoint.ck_speculated) 0) in
+  let solver_calls = ref (snap_field (fun sn -> sn.Checkpoint.ck_solver_calls) 0) in
+  (* restart tests queued during the merge; consumed (and cleared) by
+     the scheduling step, so mid-round snapshots carry exactly the
+     items accumulated since the last schedule *)
+  let forced = ref (snap_field (fun sn -> sn.Checkpoint.ck_forced) []) in
+  let stagnated_round = ref (snap_field (fun sn -> sn.Checkpoint.ck_stagnated_round) false) in
+  let checkpoints_written = ref 0 in
   let fresh_strategy () =
     match (s.Driver.strategy, !derived_bound) with
     | Driver.Two_phase_dfs, Some bound ->
@@ -323,17 +416,103 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     incr iter
   in
   let budget_left () = !iter < s.Driver.iterations && time_ok () in
+  let continue_ok () = budget_left () && not !stop in
   let work =
     ref
-      [
-        W_fresh
-          (fresh_pending ~nprocs:s.Driver.initial_nprocs ~focus:s.Driver.initial_focus ());
-      ]
+      (match resumed with
+      | Some (_, sn) -> sn.Checkpoint.ck_work
+      | None ->
+        [
+          W_fresh
+            (fresh_pending ~nprocs:s.Driver.initial_nprocs
+               ~focus:s.Driver.initial_focus ());
+        ])
   in
-  while !work <> [] && budget_left () do
-    incr rounds;
+  (* Items of the current round not yet merged — the tail a snapshot
+     records. Maintained at every merge position, and reset to the new
+     work list by the scheduling step. *)
+  let work_remaining = ref !work in
+  (* Schedule the next round from the merged state. [forced] and
+     [stagnated_round] are consumed here so a later snapshot never
+     replays them twice. Always yields at least one item (the restart
+     fallback), so the main loop exits only on budget or stop. *)
+  let schedule () =
+    let forced_items = List.rev_map (fun p -> W_fresh p) !forced in
+    let restart_test () =
+      let nprocs, focus = !last_np in
+      W_fresh (fresh_pending ~nprocs ~focus ())
+    in
+    work :=
+      (if !stagnated_round then
+         (* fresh search tree: redo the testing from random inputs *)
+         forced_items @ [ restart_test () ]
+       else if !barren >= s.Driver.max_solve_attempts then begin
+         emit_restart ~iteration:!iter "exhausted";
+         barren := 0;
+         forced_items @ [ restart_test () ]
+       end
+       else
+         match Strategy.next_batch !strategy ~coverage ~max:settings.batch with
+         | [] ->
+           emit_restart ~iteration:!iter "exhausted";
+           barren := 0;
+           forced_items @ [ restart_test () ]
+         | cands -> forced_items @ List.map (fun c -> W_negate c) cands);
     forced := [];
     stagnated_round := false;
+    work_remaining := !work
+  in
+  (* An interrupted run cut exactly at a round boundary snapshots an
+     empty tail (the cut happens before scheduling, which the longer
+     uninterrupted run would have performed from this very state) — so
+     a resume with budget left performs that scheduling now. *)
+  if !work = [] && budget_left () && not !stop then schedule ();
+  let write_checkpoint dir =
+    let snap =
+      {
+        Checkpoint.ck_fingerprint = fp;
+        ck_iter = !iter;
+        ck_rounds = !rounds;
+        ck_executed = !executed;
+        ck_speculated = !speculated;
+        ck_solver_calls = !solver_calls;
+        ck_max_cs = !max_cs;
+        ck_best_covered = !best_covered;
+        ck_last_improvement = !last_improvement;
+        ck_barren = !barren;
+        ck_last_np = !last_np;
+        ck_derived_bound = !derived_bound;
+        ck_rng = rng;
+        ck_strategy = !strategy;
+        ck_coverage = coverage;
+        ck_cache = cache;
+        ck_stats = !stats;
+        ck_bugs = !bugs;
+        ck_forced = !forced;
+        ck_stagnated_round = !stagnated_round;
+        ck_work = !work_remaining;
+      }
+    in
+    let bytes = Obs.Prof.time "checkpoint" (fun () -> Checkpoint.save ~dir ~target:label snap) in
+    incr checkpoints_written;
+    Obs.Metrics.incr m_checkpoints;
+    Obs.Sink.emit
+      (Obs.Event.Checkpoint_write
+         { iteration = !iter; path = Checkpoint.file ~dir; bytes })
+  in
+  let every = settings.checkpoint_every in
+  let next_due =
+    ref (if every > 0 then ((!iter / every) + 1) * every else max_int)
+  in
+  let maybe_checkpoint () =
+    match settings.checkpoint with
+    | Some dir when !iter >= !next_due ->
+      write_checkpoint dir;
+      next_due := ((!iter / every) + 1) * every
+    | Some _ | None -> ()
+  in
+  while !work <> [] && continue_ok () do
+    incr rounds;
     (* dispatch: probe the cache on the main domain, then build one
        fused task per work item *)
     let classified =
@@ -405,17 +584,24 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     (* merge: work-list order, budget-gated. [solver_calls] is counted
        here, not at dispatch, so the stat covers exactly the solves
        whose verdicts entered the merged trajectory — results discarded
-       at the budget edge only show up in [speculated]. *)
-    List.iter
-      (fun item ->
-        if not (budget_left ()) then begin
-          match item with
-          | D_fresh (_, Ok _) | D_negated { outcome = N_sat { run = Ok _; _ }; _ } ->
-            incr speculated
-          | D_fresh (_, Error _) | D_negated _ -> ()
+       at the budget edge only show up in [speculated]. A budget (or
+       stop-request) cut records the un-merged tail in [work_remaining]
+       so the final checkpoint can resume mid-round. *)
+    let rec merge_pairs = function
+      | [] -> work_remaining := []
+      | (w, item) :: rest ->
+        if not (continue_ok ()) then begin
+          work_remaining := w :: List.map fst rest;
+          List.iter
+            (fun (_, it) ->
+              match it with
+              | D_fresh (_, Ok _) | D_negated { outcome = N_sat { run = Ok _; _ }; _ } ->
+                incr speculated
+              | D_fresh (_, Error _) | D_negated _ -> ())
+            ((w, item) :: rest)
         end
-        else
-          match item with
+        else begin
+          (match item with
           | D_fresh (p, res) -> merge_exec p ~solve_s:0.0 res
           | D_negated { index; solved; key; solve_s; outcome } -> (
             if solved then incr solver_calls;
@@ -442,34 +628,18 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
                 Obs.Sink.emit
                   (Obs.Event.Negation { iteration = !iter; index; sat = true });
               barren := 0;
-              merge_exec next ~solve_s run))
-      results;
-    (* schedule the next round *)
-    work :=
-      (if not (budget_left ()) then []
-       else begin
-         let forced_items = List.rev_map (fun p -> W_fresh p) !forced in
-         let restart_test () =
-           let nprocs, focus = !last_np in
-           W_fresh (fresh_pending ~nprocs ~focus ())
-         in
-         if !stagnated_round then
-           (* fresh search tree: redo the testing from random inputs *)
-           forced_items @ [ restart_test () ]
-         else if !barren >= s.Driver.max_solve_attempts then begin
-           emit_restart ~iteration:!iter "exhausted";
-           barren := 0;
-           forced_items @ [ restart_test () ]
-         end
-         else
-           match Strategy.next_batch !strategy ~coverage ~max:settings.batch with
-           | [] ->
-             emit_restart ~iteration:!iter "exhausted";
-             barren := 0;
-             forced_items @ [ restart_test () ]
-           | cands -> forced_items @ List.map (fun c -> W_negate c) cands
-       end)
+              merge_exec next ~solve_s run));
+          work_remaining := List.map fst rest;
+          maybe_checkpoint ();
+          merge_pairs rest
+        end
+    in
+    merge_pairs (List.combine !work results);
+    if continue_ok () then schedule () else work := []
   done;
+  (* final flush: whatever stopped the campaign — budget, signal, or a
+     drained work list — leave a snapshot the next run can pick up *)
+  (match settings.checkpoint with Some dir -> write_checkpoint dir | None -> ());
   let reachable =
     Obs.Prof.time "report" (fun () ->
         Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage))
@@ -505,12 +675,14 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     speculated = !speculated;
     solver_calls = !solver_calls;
     cache = Option.map Smt.Cache.stats cache;
+    interrupted = !stop;
+    checkpoints_written = !checkpoints_written;
   }
 
 (* Canonical, timing-free rendering of a campaign outcome. Two runs of
-   the same campaign — at any worker count — must produce byte-equal
-   reports; the determinism test and the CI diff step compare exactly
-   this string. *)
+   the same campaign — at any worker count, interrupted-and-resumed or
+   not — must produce byte-equal reports; the determinism test and the
+   CI diff steps compare exactly this string. *)
 let coverage_report (r : result) =
   let b = Buffer.create 512 in
   let s = r.summary in

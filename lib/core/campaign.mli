@@ -26,7 +26,15 @@
     one deliberate way: the driver charges an iteration's [solve_time]
     to deriving the {e next} test, while here each merged execution
     carries the solve that {e produced it} (0 for fresh random tests).
-    See DESIGN.md, "Parallel campaigns". *)
+    See DESIGN.md, "Parallel campaigns".
+
+    Campaigns are resumable: with [checkpoint] set, the engine writes a
+    crash-safe {!Checkpoint.snapshot} every [checkpoint_every]
+    iterations, on SIGINT/SIGTERM and at exit, always at a merge
+    position — so an interrupted campaign resumed with [resume] (and a
+    larger budget) continues on exactly the trajectory the
+    uninterrupted run would have taken. See DESIGN.md, "Checkpoint and
+    resume". *)
 
 type settings = {
   base : Driver.settings;
@@ -37,11 +45,22 @@ type settings = {
           trajectory. Default 4. *)
   solver_cache : bool;
   cache_capacity : int;
+  checkpoint : string option;
+      (** snapshot directory; [None] (the default) disables
+          checkpointing entirely *)
+  checkpoint_every : int;
+      (** periodic snapshot cadence in merged iterations (default 50);
+          [0] keeps only the final at-exit snapshot *)
+  resume : bool;
+      (** load the snapshot under [checkpoint] before running; raises
+          {!Checkpoint.Load_error} if it is missing, damaged, from
+          another format version, or fingerprint-incompatible *)
 }
 
 val default_settings : settings
 (** [Driver.default_settings], 1 job, batch 4, cache on at
-    {!Smt.Cache.default_capacity}. *)
+    {!Smt.Cache.default_capacity}, checkpointing off
+    ([checkpoint_every = 50] once a directory is supplied). *)
 
 type result = {
   summary : Driver.result;  (** same shape the sequential driver reports *)
@@ -56,14 +75,22 @@ type result = {
           across [jobs] for a given merged result; solves discarded at
           the budget edge are only visible in [speculated] *)
   cache : Smt.Cache.stats option;  (** [None] when the cache is off *)
+  interrupted : bool;
+      (** a SIGINT/SIGTERM stopped the campaign before its budget; the
+          final checkpoint (when enabled) holds the cut point *)
+  checkpoints_written : int;  (** snapshots committed this run *)
 }
 
 val run : ?settings:settings -> ?label:string -> Minic.Branchinfo.t -> result
-(** Emits the driver's full event vocabulary plus the worker and cache
-    events, and feeds the same [driver.*] metrics. *)
+(** Emits the driver's full event vocabulary plus the worker, cache and
+    checkpoint events, and feeds the same [driver.*] metrics. Raises
+    {!Checkpoint.Load_error} when [resume] is set and the checkpoint
+    cannot be used (never partially applies one). *)
 
 val coverage_report : result -> string
 (** Canonical timing-free rendering — iteration count, coverage
     numbers, derived bound, sorted branch/function lists, chronological
     bug keys. The determinism guarantee is stated over this string:
-    equal settings imply byte-equal reports at any [jobs]. *)
+    equal settings imply byte-equal reports at any [jobs], and a
+    kill-and-resume sequence reproduces the uninterrupted run's report
+    byte for byte. *)

@@ -109,6 +109,15 @@ type result = {
   derived_bound : int option;
 }
 
+let strategy_choice_name = function
+  | Two_phase_dfs -> "two-phase-dfs"
+  | Fixed_strategy (Strategy.Bounded_dfs b) -> Printf.sprintf "bounded-dfs(%d)" b
+  | Fixed_strategy Strategy.Random_branch -> "random-branch"
+  | Fixed_strategy Strategy.Uniform_random -> "uniform-random"
+  | Fixed_strategy (Strategy.Cfg_directed _) -> "cfg-directed"
+  | Fixed_strategy (Strategy.Generational b) -> Printf.sprintf "generational(%d)" b
+  | Cfg_strategy -> "cfg-strategy"
+
 let distinct_bugs r =
   let seen = Hashtbl.create 8 in
   List.filter

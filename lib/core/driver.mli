@@ -52,6 +52,11 @@ type settings = {
 
 val default_settings : settings
 
+val strategy_choice_name : strategy_choice -> string
+(** Stable textual name (including any bound parameter) — part of the
+    {!Checkpoint} settings fingerprint, so renaming a strategy
+    invalidates old checkpoints rather than silently mis-resuming. *)
+
 type bug = {
   bug_iteration : int;
   bug_rank : int;

@@ -47,6 +47,8 @@ type t =
   | Worker_exit of { worker : int; tasks : int }
   | Cache_lookup of { hit : bool; constraints : int; entries : int }
   | Cache_evict of { dropped : int; entries : int }
+  | Checkpoint_write of { iteration : int; path : string; bytes : int }
+  | Checkpoint_load of { iteration : int; path : string }
 
 let kind_name = function
   | Campaign_start _ -> "campaign_start"
@@ -65,6 +67,8 @@ let kind_name = function
   | Worker_exit _ -> "worker_exit"
   | Cache_lookup _ -> "cache_lookup"
   | Cache_evict _ -> "cache_evict"
+  | Checkpoint_write _ -> "checkpoint_write"
+  | Checkpoint_load _ -> "checkpoint_load"
 
 let fields = function
   | Campaign_start { target; iterations; seed; nprocs } ->
@@ -152,6 +156,14 @@ let fields = function
     ]
   | Cache_evict { dropped; entries } ->
     [ ("dropped", Json.Int dropped); ("entries", Json.Int entries) ]
+  | Checkpoint_write { iteration; path; bytes } ->
+    [
+      ("iteration", Json.Int iteration);
+      ("path", Json.Str path);
+      ("bytes", Json.Int bytes);
+    ]
+  | Checkpoint_load { iteration; path } ->
+    [ ("iteration", Json.Int iteration); ("path", Json.Str path) ]
 
 let to_json ?t ev =
   let time_field = match t with Some x -> [ ("t", Json.Float x) ] | None -> [] in
@@ -278,4 +290,13 @@ let of_json j =
     let* dropped = int "dropped" in
     let* entries = int "entries" in
     Ok (Cache_evict { dropped; entries })
+  | "checkpoint_write" ->
+    let* iteration = int "iteration" in
+    let* path = str "path" in
+    let* bytes = int "bytes" in
+    Ok (Checkpoint_write { iteration; path; bytes })
+  | "checkpoint_load" ->
+    let* iteration = int "iteration" in
+    let* path = str "path" in
+    Ok (Checkpoint_load { iteration; path })
   | other -> Error (Printf.sprintf "unknown event kind %s" other)

@@ -64,6 +64,12 @@ type t =
   | Cache_evict of { dropped : int; entries : int }
       (** the solver cache dropped [dropped] oldest entries to respect
           its capacity *)
+  | Checkpoint_write of { iteration : int; path : string; bytes : int }
+      (** a campaign snapshot was committed (atomically) to [path] after
+          iteration [iteration]; [bytes] is the serialized payload size *)
+  | Checkpoint_load of { iteration : int; path : string }
+      (** a campaign resumed from the snapshot at [path], continuing
+          after iteration [iteration] — the stitch point in a trace *)
 
 val kind_name : t -> string
 (** The wire name, i.e. the ["ev"] field of the JSON encoding. *)

@@ -10,12 +10,20 @@ that don't exist:
      resolve (globs like `examples/programs/*.mc` must match something);
   3. CLI flags like `--jobs` that bin/compi_cli.ml does not define.
 
+With `--exe PATH` (a built compi_cli executable) it additionally runs
+`PATH run --help` and cross-checks the live help text: the
+checkpoint/resume flags must exist in the binary AND be documented, and
+every flag the help mentions must also be found by the source-level
+regex (so the regex cannot silently rot).
+
 Run from the repository root: python3 scripts/check_docs.py
 """
 
+import argparse
 import glob
 import os
 import re
+import subprocess
 import sys
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -36,6 +44,10 @@ FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
 # Flags cmdliner generates for every command.
 BUILTIN_FLAGS = {"--help", "--version"}
 
+# `compi-cli run` flags that must exist in the built binary and be
+# documented — the checkpoint/resume surface the CI matrix exercises.
+REQUIRED_RUN_FLAGS = {"--checkpoint", "--checkpoint-every", "--resume"}
+
 
 def cli_flags():
     """Flags defined in bin/compi_cli.ml via `info [ "name"; ... ]`."""
@@ -47,7 +59,35 @@ def cli_flags():
     return flags
 
 
-def check_file(path, flags, errors):
+def help_flags(exe):
+    """Flags `EXE run --help` actually reports (live binary truth)."""
+    out = subprocess.run(
+        [exe, "run", "--help"],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "TERM": "dumb"},
+    ).stdout
+    return set(FLAG_RE.findall(out))
+
+
+def check_run_help(exe, source_flags, doc_flags, errors):
+    try:
+        live = help_flags(exe)
+    except (OSError, subprocess.CalledProcessError) as e:
+        errors.append(f"{exe}: cannot query `run --help`: {e}")
+        return
+    for flag in sorted(REQUIRED_RUN_FLAGS - live):
+        errors.append(f"{exe}: `run --help` does not list {flag}")
+    for flag in sorted(REQUIRED_RUN_FLAGS - doc_flags):
+        errors.append(f"documentation never mentions required flag {flag}")
+    # drift guard: anything the binary advertises must be visible to the
+    # source-level regex, or the static check is quietly incomplete
+    for flag in sorted(live - source_flags):
+        errors.append(f"{exe}: `run --help` lists {flag}, source scan does not")
+
+
+def check_file(path, flags, errors, doc_flags):
     rel = os.path.relpath(path, ROOT)
     text = open(path).read()
     base = os.path.dirname(path)
@@ -80,26 +120,39 @@ def check_file(path, flags, errors):
             errors.append(f"{rel}: referenced file does not exist: {token}")
 
     for flag in FLAG_RE.findall(text):
+        doc_flags.add(flag)
         if flag not in flags:
             errors.append(f"{rel}: documented flag not defined by the CLI: {flag}")
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--exe",
+        metavar="PATH",
+        help="built compi_cli executable; cross-check `run --help` output",
+    )
+    args = parser.parse_args()
+
     flags = cli_flags()
     errors = []
+    doc_flags = set()
     for path in DOC_FILES:
         if os.path.exists(path):
-            check_file(path, flags, errors)
+            check_file(path, flags, errors, doc_flags)
         else:
             errors.append(
                 f"missing documentation file: {os.path.relpath(path, ROOT)}"
             )
+    if args.exe:
+        check_run_help(args.exe, flags, doc_flags, errors)
     if errors:
         for e in errors:
             print(f"error: {e}", file=sys.stderr)
         print(f"{len(errors)} documentation error(s)", file=sys.stderr)
         return 1
-    print(f"ok: {len(DOC_FILES)} files checked against {len(flags)} CLI flags")
+    live = " + live `run --help`" if args.exe else ""
+    print(f"ok: {len(DOC_FILES)} files checked against {len(flags)} CLI flags{live}")
     return 0
 
 

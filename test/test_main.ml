@@ -10,6 +10,8 @@ let () =
          Test_compi.suite;
          Test_cache.suite;
          Test_parallel.suite;
+         Test_checkpoint.suite;
+         Test_testcase.suite;
          Test_targets.suite;
          Test_parse.suite;
        ])

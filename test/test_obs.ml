@@ -126,6 +126,8 @@ let sample_events : Obs.Event.t list =
     Worker_exit { worker = 2; tasks = 9 };
     Cache_lookup { hit = true; constraints = 5; entries = 40 };
     Cache_evict { dropped = 3; entries = 4096 };
+    Checkpoint_write { iteration = 60; path = "/tmp/ckpt/campaign.ckpt"; bytes = 8192 };
+    Checkpoint_load { iteration = 60; path = "/tmp/ckpt/campaign.ckpt" };
   ]
 
 let test_event_roundtrip () =
@@ -133,7 +135,7 @@ let test_event_roundtrip () =
   let kinds =
     List.sort_uniq String.compare (List.map Obs.Event.kind_name sample_events)
   in
-  Alcotest.(check int) "all 16 event kinds sampled" 16 (List.length kinds);
+  Alcotest.(check int) "all 18 event kinds sampled" 18 (List.length kinds);
   List.iter
     (fun ev ->
       let wire = Obs.Json.to_string (Obs.Event.to_json ~t:1.25 ev) in

@@ -1,0 +1,87 @@
+(* Testcase persistence: qcheck round-trip through the textual format,
+   multi-case files with blank-line separators, and parser edge cases. *)
+
+(* lowercase identifiers: safe on both sides of the line format *)
+let ident_gen =
+  QCheck.Gen.(
+    map
+      (fun chars -> String.init (List.length chars) (List.nth chars))
+      (list_size (int_range 1 8) (char_range 'a' 'z')))
+
+let case_gen =
+  QCheck.Gen.(
+    let* target = ident_gen in
+    let* nprocs = int_range 1 64 in
+    let* focus = int_range 0 (nprocs - 1) in
+    let* inputs = list_size (int_range 0 6) (pair ident_gen (int_range (-1000) 1000)) in
+    let* fault = opt ident_gen in
+    return { Compi.Testcase.target; nprocs; focus; inputs; fault })
+
+let case_print (c : Compi.Testcase.t) = Compi.Testcase.to_string c
+let case_arb = QCheck.make ~print:case_print case_gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"testcase: of_string ∘ to_string = id" ~count:500 case_arb
+    (fun c ->
+      match Compi.Testcase.of_string (Compi.Testcase.to_string c) with
+      | Ok c' -> c' = c
+      | Error _ -> false)
+
+let prop_multi_roundtrip =
+  QCheck.Test.make ~name:"testcase: save/load round-trips case lists" ~count:100
+    QCheck.(make Gen.(list_size (int_range 0 5) case_gen))
+    (fun cases ->
+      let path =
+        Filename.temp_file "compi-testcase" ".txt"
+      in
+      Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      @@ fun () ->
+      Compi.Testcase.save ~path cases;
+      match Compi.Testcase.load ~path with
+      | Ok cases' -> cases' = cases
+      | Error _ -> false)
+
+let test_fault_none_roundtrip () =
+  let c =
+    {
+      Compi.Testcase.target = "toy-fig1";
+      nprocs = 4;
+      focus = 0;
+      inputs = [ ("x", 7) ];
+      fault = None;
+    }
+  in
+  let text = Compi.Testcase.to_string c in
+  Alcotest.(check bool) "no fault line emitted" false
+    (List.exists
+       (fun l -> String.length l >= 5 && String.sub l 0 5 = "fault")
+       (String.split_on_char '\n' text));
+  match Compi.Testcase.of_string text with
+  | Ok c' -> Alcotest.(check bool) "round-trips" true (c = c')
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_comments_and_blanks () =
+  let text = "# saved by a campaign\n\ntarget: hpl\n  nprocs: 6  \nfocus: 2\n" in
+  match Compi.Testcase.of_string text with
+  | Ok c ->
+    Alcotest.(check string) "target" "hpl" c.Compi.Testcase.target;
+    Alcotest.(check int) "nprocs" 6 c.Compi.Testcase.nprocs;
+    Alcotest.(check int) "focus" 2 c.Compi.Testcase.focus
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_missing_target_rejected () =
+  match Compi.Testcase.of_string "nprocs: 4\n" with
+  | Ok _ -> Alcotest.fail "a case without a target must be rejected"
+  | Error e -> Alcotest.(check bool) "diagnostic nonempty" true (String.length e > 0)
+
+let suite =
+  [
+    ( "testcase:format",
+      List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_multi_roundtrip ]
+      @ [
+          Alcotest.test_case "fault: none round-trips" `Quick test_fault_none_roundtrip;
+          Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blanks;
+          Alcotest.test_case "missing target rejected" `Quick
+            test_missing_target_rejected;
+        ] );
+  ]
