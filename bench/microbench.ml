@@ -52,6 +52,63 @@ let pathlog_test ~name ~reduce =
          done;
          ignore (Concolic.Pathlog.constraint_count log)))
 
+(* The observatory fold over a synthetic 1k-line trace: the hot path of
+   [compi-cli replay/report] on a real campaign's JSONL. *)
+let fold_test =
+  let lines =
+    List.init 1000 (fun k ->
+        let ev =
+          match k mod 5 with
+          | 0 ->
+            Obs.Event.Iter_end
+              {
+                iteration = k / 5;
+                covered = min 40 (k / 20);
+                reachable = 42;
+                cs_size = 30;
+                faults = 0;
+                restarted = false;
+                exec_s = 0.001;
+                solve_s = 0.0005;
+              }
+          | 1 ->
+            Obs.Event.Lineage_test
+              {
+                test = k / 5;
+                parent = (k / 5) - 1;
+                origin = (if k < 5 then "seed" else "negated");
+                branch = k mod 37;
+                index = k mod 13;
+                cached = k mod 3 = 0;
+              }
+          | 2 ->
+            Obs.Event.Lineage_negation
+              {
+                parent = k / 5;
+                index = k mod 13;
+                branch = k mod 37;
+                outcome = (if k mod 4 = 0 then Obs.Event.Unsat else Obs.Event.Sat);
+                cached = k mod 3 = 0;
+              }
+          | 3 -> Obs.Event.Msg_matched { src = k mod 4; dst = (k + 1) mod 4; comm = 0; tag = 0 }
+          | _ ->
+            Obs.Event.Solver_call
+              {
+                incremental = true;
+                outcome = Obs.Event.Sat;
+                nodes = 20;
+                vars = 5;
+                constraints = 9;
+                time_s = 1e-4;
+              }
+        in
+        Obs.Json.to_string (Obs.Event.to_json ~t:(float_of_int k *. 0.001) ev))
+  in
+  Test.make ~name:"fold: 1000-line trace -> report"
+    (Staged.stage (fun () ->
+         let f = Obs.Fold.of_lines lines in
+         ignore (Obs.Fold.to_text ~stable:true f)))
+
 let tests =
   Test.make_grouped ~name:"compi"
     [
@@ -60,6 +117,7 @@ let tests =
       interp_test ~name:"runner: fig2 x4 procs, one-way" ~heavy:true;
       pathlog_test ~name:"pathlog: 1000 events, reduction" ~reduce:true;
       pathlog_test ~name:"pathlog: 1000 events, no reduction" ~reduce:false;
+      fold_test;
     ]
 
 (* "compi/solver: 4-constraint incremental set" -> a metric-safe name *)

@@ -202,14 +202,43 @@ let metrics_arg =
               to $(docv) when the campaign ends")
 
 (* Install a JSONL sink for the duration of [f]; afterwards dump the
-   metrics snapshot. Both files are optional and independent. *)
+   metrics snapshot. Both files are optional and independent.
+
+   While the sink is live, SIGINT/SIGTERM flush the buffered tail to
+   the trace file before re-raising the default action, so a killed
+   campaign still leaves a replayable trace. (The campaign engine may
+   override these handlers for checkpointing while it runs — it parks
+   at a merge point instead of dying, and restores ours on the way
+   out, so both behaviours compose.) *)
 let with_telemetry ~trace_events ~metrics f =
   let oc = Option.map open_out trace_events in
   (match oc with
   | Some oc -> Obs.Sink.install (Obs.Sink.Channel_sink oc)
   | None -> ());
+  let old_handlers =
+    if Option.is_none oc then []
+    else
+      List.filter_map
+        (fun sg ->
+          match
+            Sys.signal sg
+              (Sys.Signal_handle
+                 (fun _ ->
+                   Obs.Sink.flush_now ();
+                   (try Sys.set_signal sg Sys.Signal_default
+                    with Invalid_argument _ | Sys_error _ -> ());
+                   Unix.kill (Unix.getpid ()) sg))
+          with
+          | old -> Some (sg, old)
+          | exception (Invalid_argument _ | Sys_error _) -> None)
+        [ Sys.sigint; Sys.sigterm ]
+  in
   Fun.protect
     ~finally:(fun () ->
+      List.iter
+        (fun (sg, old) ->
+          try Sys.set_signal sg old with Invalid_argument _ | Sys_error _ -> ())
+        old_handlers;
       (match oc with
       | Some chan ->
         Obs.Sink.uninstall ();
@@ -447,141 +476,41 @@ let run_cmd =
 (* replay: saved test cases, or a JSONL telemetry trace                *)
 (* ------------------------------------------------------------------ *)
 
-(* Render (x, y) points as a small terminal plot (same look as
-   Report.ascii_curve, but sourced from a trace instead of a result). *)
-let ascii_curve_of_points ?(width = 60) ?(height = 12) points =
-  match points with
-  | [] -> "(no iterations in trace)\n"
-  | points ->
-    let points = Array.of_list points in
-    let n = Array.length points in
-    let max_y = Array.fold_left (fun acc (_, y) -> max acc y) 1 points in
-    let grid = Array.make_matrix height width ' ' in
-    for col = 0 to width - 1 do
-      let idx = min (n - 1) (col * n / width) in
-      let _, y = points.(idx) in
-      let row = y * (height - 1) / max_y in
-      for fill = 0 to row do
-        grid.(height - 1 - fill).(col) <- (if fill = row then '*' else '.')
-      done
-    done;
-    let buf = Buffer.create ((width + 8) * height) in
-    Array.iteri
-      (fun i row ->
-        Buffer.add_string buf
-          (if i = 0 then Printf.sprintf "%5d |" max_y else "      |");
-        Array.iter (Buffer.add_char buf) row;
-        Buffer.add_char buf '\n')
-      grid;
-    Buffer.add_string buf ("      +" ^ String.make width '-' ^ "\n");
-    let last_x, _ = points.(n - 1) in
-    Buffer.add_string buf (Printf.sprintf "       0 .. iteration %d\n" last_x);
-    Buffer.contents buf
-
-let replay_trace path =
-  let lines = In_channel.with_open_text path In_channel.input_lines in
-  let events =
-    List.filteri (fun _ l -> String.trim l <> "") lines
-    |> List.mapi (fun k line ->
-           match Obs.Json.parse line with
-           | Error e -> Error (Printf.sprintf "line %d: bad JSON: %s" (k + 1) e)
-           | Ok j -> (
-             match Obs.Event.of_json j with
-             | Error e -> Error (Printf.sprintf "line %d: %s" (k + 1) e)
-             | Ok ev -> Ok ev))
+(* Load a JSONL trace into the observatory fold. All replay/explain/
+   report analytics live in {!Obs.Fold}; the CLI only renders. *)
+let load_fold path =
+  let lines =
+    try In_channel.with_open_text path In_channel.input_lines
+    with Sys_error e ->
+      Printf.eprintf "cannot read %s: %s\n" path e;
+      exit 1
   in
-  let bad = List.filter_map (function Error e -> Some e | Ok _ -> None) events in
-  List.iter (fun e -> Printf.eprintf "warning: %s\n" e) bad;
-  let events = List.filter_map Result.to_option events in
-  if events = [] then begin
+  let f = Obs.Fold.of_lines lines in
+  if f.Obs.Fold.events = 0 then begin
     Printf.eprintf "%s: no parseable telemetry events\n" path;
     exit 1
   end;
-  (* event census *)
-  let census = Hashtbl.create 16 in
-  List.iter
-    (fun ev ->
-      let k = Obs.Event.kind_name ev in
-      Hashtbl.replace census k (1 + Option.value (Hashtbl.find_opt census k) ~default:0))
-    events;
-  Printf.printf "trace %s: %d events\n" path (List.length events);
-  Hashtbl.fold (fun k n acc -> (k, n) :: acc) census []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (k, n) -> Printf.printf "  %-16s %d\n" k n);
-  (* campaign identity *)
-  List.iter
-    (function
-      | Obs.Event.Campaign_start { target; iterations; seed; nprocs } ->
-        Printf.printf "\ncampaign: target=%s budget=%d seed=%d initial nprocs=%d\n"
-          (if target = "" then "?" else target)
-          iterations seed nprocs
-      | _ -> ())
-    events;
-  (* coverage curve from iteration ends *)
-  let curve =
-    List.filter_map
-      (function
-        | Obs.Event.Iter_end { iteration; covered; _ } -> Some (iteration, covered)
-        | _ -> None)
-      events
-  in
-  Printf.printf "\ncoverage curve (%d iterations):\n%s" (List.length curve)
-    (ascii_curve_of_points curve);
-  (* phase breakdown *)
-  let exec_s, solve_s =
-    List.fold_left
-      (fun (e, s) ev ->
-        match ev with
-        | Obs.Event.Iter_end { exec_s; solve_s; _ } -> (e +. exec_s, s +. solve_s)
-        | _ -> (e, s))
-      (0.0, 0.0) events
-  in
-  let wall =
-    List.fold_left
-      (fun acc ev ->
-        match ev with Obs.Event.Campaign_end { wall_s; _ } -> Some wall_s | _ -> acc)
-      None events
-  in
-  Printf.printf "\nphase breakdown:\n";
-  Printf.printf "  exec   %8.3fs\n" exec_s;
-  Printf.printf "  solve  %8.3fs\n" solve_s;
-  (match wall with
-  | Some w ->
-    Printf.printf "  other  %8.3fs\n" (Float.max 0.0 (w -. exec_s -. solve_s));
-    Printf.printf "  wall   %8.3fs\n" w
-  | None -> ());
-  (* solver accounting *)
-  let calls, sat, time_s, nodes =
-    List.fold_left
-      (fun (c, st, t, nd) ev ->
-        match ev with
-        | Obs.Event.Solver_call { outcome; time_s; nodes; _ } ->
-          (c + 1, (if outcome = Obs.Event.Sat then st + 1 else st), t +. time_s, nd + nodes)
-        | _ -> (c, st, t, nd))
-      (0, 0, 0.0, 0) events
-  in
-  if calls > 0 then
-    Printf.printf
-      "\nsolver: %d calls (%d sat), %.3fs total, %.1f nodes/call mean\n" calls sat time_s
-      (float_of_int nodes /. float_of_int calls);
-  (* incidents *)
-  let faults =
-    List.filter_map
-      (function
-        | Obs.Event.Fault { iteration; rank; kind; detail } ->
-          Some (Printf.sprintf "  [iter %d, rank %d] %s: %s" iteration rank kind detail)
-        | _ -> None)
-      events
-  in
-  if faults <> [] then begin
-    Printf.printf "\nfaults (%d):\n" (List.length faults);
-    List.iter print_endline faults
-  end;
-  let deadlocks =
-    List.length
-      (List.filter (function Obs.Event.Sched_deadlock _ -> true | _ -> false) events)
-  in
-  if deadlocks > 0 then Printf.printf "\ndeadlocks observed: %d\n" deadlocks
+  f
+
+(* Annotate branch ids with the owning conditional and function when a
+   target is named — "27 = cond 13 T in diffuse" beats a bare number. *)
+let branch_labeler = function
+  | None -> string_of_int
+  | Some (t : Targets.Registry.t) ->
+    let info = Targets.Registry.instrument t in
+    let funcs = info.Minic.Branchinfo.func_of_cond in
+    fun br ->
+      let cond, dir = Minic.Branchinfo.cond_of_branch br in
+      if cond >= 0 && cond < Array.length funcs then
+        Printf.sprintf "%d (cond %d %s in %s)" br cond
+          (if dir then "T" else "F")
+          funcs.(cond)
+      else string_of_int br
+
+let replay_trace path =
+  let f = load_fold path in
+  Printf.printf "trace %s:\n" path;
+  print_string (Obs.Fold.to_text f)
 
 (* A telemetry trace is a JSONL stream of {"ev":…} objects; saved test
    cases use a different format. Sniff the first non-blank line. *)
@@ -627,6 +556,198 @@ let replay_cmd =
          "Replay saved test cases (bug reproduction), or reconstruct the coverage \
           curve and phase breakdown from a $(b,--trace-events) JSONL file")
     Term.(const run $ path_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain / report: the campaign observatory                          *)
+(* ------------------------------------------------------------------ *)
+
+let trace_pos_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl")
+
+let label_target_arg =
+  Arg.(
+    value
+    & opt (some target_conv) None
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          "Annotate branch ids with their conditional, direction and function \
+           (see $(b,compi-cli list))")
+
+(* Root-first causal chain: seed → … → the test itself. *)
+let print_chain (f : Obs.Fold.t) label tid =
+  match Obs.Fold.chain f tid with
+  | [] ->
+    Printf.printf "test %d: not in this trace\n" tid;
+    exit 1
+  | nodes ->
+    List.iter
+      (fun (n : Obs.Fold.lineage_node) ->
+        match n.Obs.Fold.ln_origin with
+        | "negated" ->
+          Printf.printf
+            "  test %d <- negating constraint %d of test %d, targeting branch %s%s\n"
+            n.Obs.Fold.ln_test n.Obs.Fold.ln_index n.Obs.Fold.ln_parent
+            (label n.Obs.Fold.ln_branch)
+            (if n.Obs.Fold.ln_cached then " [cached verdict]" else " [solver sat]")
+        | origin ->
+          Printf.printf "  test %d: %s (fresh random inputs)\n" n.Obs.Fold.ln_test
+            origin)
+      (List.rev nodes)
+
+let explain_branch (f : Obs.Fold.t) label br =
+  match Obs.Fold.first_test_for_branch f br with
+  | Some tid ->
+    Printf.printf "branch %s: first covered by test %d, derived as:\n" (label br) tid;
+    print_chain f label tid
+  | None -> (
+    match
+      List.find_opt (fun s -> s.Obs.Fold.br_branch = br) f.Obs.Fold.branches
+    with
+    | None ->
+      Printf.printf
+        "branch %s: never targeted by a negation in this trace (either already \
+         covered by chance, or never adjacent to an executed path)\n"
+        (label br)
+    | Some s ->
+      Printf.printf "branch %s: plateau — %d negation attempt(s), no test reached it\n"
+        (label br) s.Obs.Fold.br_attempts;
+      Printf.printf "  verdicts: %d sat, %d unsat, %d unknown (%d from cache)\n"
+        s.Obs.Fold.br_sat s.Obs.Fold.br_unsat s.Obs.Fold.br_unknown
+        s.Obs.Fold.br_cached;
+      if s.Obs.Fold.br_unsat = s.Obs.Fold.br_attempts then
+        Printf.printf
+          "  diagnosis: every attempt was unsat — the flip is infeasible along all \
+           observed path prefixes\n"
+      else if s.Obs.Fold.br_unknown > 0 && s.Obs.Fold.br_sat = 0 then
+        Printf.printf
+          "  diagnosis: solver gave up (%d unknown) — consider raising the solver \
+           budget\n"
+          s.Obs.Fold.br_unknown
+      else if s.Obs.Fold.br_sat > 0 then
+        Printf.printf
+          "  diagnosis: %d sat verdict(s) produced derived tests, but none executed \
+           this branch — the negated prefix did not pin the path (or the budget cut \
+           the run)\n"
+          s.Obs.Fold.br_sat)
+
+let explain_summary (f : Obs.Fold.t) label =
+  (match Obs.Fold.lineage_errors f with
+  | [] -> ()
+  | errs ->
+    Printf.printf "lineage invariant violations (%d):\n" (List.length errs);
+    List.iter (fun e -> Printf.printf "  %s\n" e) errs;
+    print_newline ());
+  let nodes = f.Obs.Fold.lineage in
+  let count o = List.length (List.filter (fun n -> n.Obs.Fold.ln_origin = o) nodes) in
+  Printf.printf "lineage: %d test(s) — %d seed, %d negated, %d restart\n"
+    (List.length nodes) (count "seed") (count "negated") (count "restart");
+  let covered =
+    List.filter (fun s -> s.Obs.Fold.br_first_test >= 0) f.Obs.Fold.branches
+  in
+  let plateau =
+    List.filter
+      (fun s -> s.Obs.Fold.br_first_test < 0 && s.Obs.Fold.br_attempts > 0)
+      f.Obs.Fold.branches
+  in
+  Printf.printf "branches targeted by negations: %d reached, %d plateaued\n"
+    (List.length covered) (List.length plateau);
+  (match covered with
+  | [] -> ()
+  | s :: _ ->
+    Printf.printf "\ndeepest example — branch %s:\n" (label s.Obs.Fold.br_branch);
+    (* show the longest chain among first-covering tests *)
+    let best =
+      List.fold_left
+        (fun (bt, bd) c ->
+          let d = List.length (Obs.Fold.chain f c.Obs.Fold.br_first_test) in
+          if d > bd then (c.Obs.Fold.br_first_test, d) else (bt, bd))
+        (s.Obs.Fold.br_first_test, 0)
+        covered
+    in
+    print_chain f label (fst best));
+  if plateau <> [] then begin
+    Printf.printf "\nplateau branches (try --branch ID for a diagnosis):\n";
+    List.iteri
+      (fun i s ->
+        if i < 12 then
+          Printf.printf "  branch %s — %d attempt(s), %d unsat, %d unknown\n"
+            (label s.Obs.Fold.br_branch) s.Obs.Fold.br_attempts s.Obs.Fold.br_unsat
+            s.Obs.Fold.br_unknown)
+      plateau;
+    if List.length plateau > 12 then
+      Printf.printf "  ... %d more\n" (List.length plateau - 12)
+  end
+
+let explain_cmd =
+  let branch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "branch" ] ~docv:"ID"
+          ~doc:"Explain how branch $(docv) was covered — or why it never was")
+  in
+  let testcase_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "testcase" ] ~docv:"ID"
+          ~doc:"Print the seed-to-test derivation chain of test case $(docv)")
+  in
+  let run path branch testcase target =
+    let f = load_fold path in
+    let label = branch_labeler target in
+    match (branch, testcase) with
+    | Some br, _ -> explain_branch f label br
+    | None, Some tid ->
+      Printf.printf "test %d derivation:\n" tid;
+      print_chain f label tid
+    | None, None -> explain_summary f label
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a campaign from its $(b,--trace-events) JSONL: the causal \
+          seed-to-branch chain behind a test case or a covered branch \
+          ($(b,--testcase)/$(b,--branch)), and plateau diagnoses for branches \
+          whose negations never produced a covering test")
+    Term.(const run $ trace_pos_arg $ branch_arg $ testcase_arg $ label_target_arg)
+
+let report_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE.html"
+        ~doc:
+          "Write a self-contained HTML report (inline CSS + SVG, no scripts) to \
+           $(docv); without it the ASCII report goes to stdout")
+
+let stable_arg =
+  Arg.(
+    value & flag
+    & info [ "stable" ]
+        ~doc:
+          "Drop wall-clock-derived lines and worker/checkpoint census rows so the \
+           report is byte-identical across $(b,--jobs) values and re-runs")
+
+let report_cmd =
+  let run path out stable target =
+    let f = load_fold path in
+    let branch_label = branch_labeler target in
+    match out with
+    | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Obs.Fold.to_html ~stable ~branch_label f));
+      Printf.printf "report written to %s (%d events)\n" file f.Obs.Fold.events
+    | None -> print_string (Obs.Fold.to_text ~stable ~branch_label f)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Fold a $(b,--trace-events) JSONL trace into a campaign report: coverage \
+          curve, per-branch hit table, solver/cache breakdown, rank-by-rank \
+          communication matrix, lineage summary and deadlock witnesses — HTML with \
+          $(b,--out), ASCII otherwise")
+    Term.(const run $ trace_pos_arg $ report_out_arg $ stable_arg $ label_target_arg)
 
 let random_cmd =
   let run t iterations time seed nprocs caps =
@@ -761,5 +882,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; show_cmd; test_cmd; run_cmd; random_cmd; exec_cmd; replay_cmd;
-            test_file_cmd;
+            explain_cmd; report_cmd; test_file_cmd;
           ]))

@@ -7,6 +7,7 @@ type t = {
   nprocs : int;
   focus : int;
   mapping : (int * int array) list;
+  mutable exec_id : int;
 }
 
 let length t = Array.length t.constraints

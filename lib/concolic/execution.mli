@@ -17,6 +17,10 @@ type t = {
   focus : int;
   mapping : (int * int array) list;
       (** local-to-global rank table of this run (paper Table II) *)
+  mutable exec_id : int;
+      (** campaign-wide test-case id of this run, assigned at merge
+          time (the iteration number); -1 until observed. Candidates
+          derived from this run inherit it as their lineage parent. *)
 }
 
 val length : t -> int

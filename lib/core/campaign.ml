@@ -124,7 +124,7 @@ let emit_restart ~iteration reason =
 (* Derive the next test from a SAT negation — the driver's input- and
    process-derivation step (conflict resolution included). Pure with
    respect to shared state, so workers run it. *)
-let derive (s : Driver.settings) (cand : Strategy.candidate)
+let derive (s : Driver.settings) ~cached (cand : Strategy.candidate)
     (sr : Smt.Solver.incremental_result) =
   let record = cand.Strategy.record in
   let decision =
@@ -145,6 +145,14 @@ let derive (s : Driver.settings) (cand : Strategy.candidate)
     p_nprocs = nprocs;
     p_focus = focus;
     p_depth = cand.Strategy.index + 1;
+    p_origin =
+      Driver.O_negated
+        {
+          parent = record.Execution.exec_id;
+          branch = Execution.branch_at record cand.Strategy.index lxor 1;
+          index = cand.Strategy.index;
+          cached;
+        };
   }
 
 let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
@@ -277,12 +285,13 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     | (Driver.Two_phase_dfs | Driver.Fixed_strategy _ | Driver.Cfg_strategy), _ ->
       Driver.make_strategy s info
   in
-  let fresh_pending ~nprocs ~focus () =
+  let fresh_pending ~origin ~nprocs ~focus () =
     {
       Driver.p_inputs = Driver.random_inputs rng s program;
       p_nprocs = nprocs;
       p_focus = focus;
       p_depth = 0;
+      p_origin = origin;
     }
   in
   let exec (p : Driver.pending) =
@@ -306,10 +315,15 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     | Error (`Platform_limit _) ->
       emit_restart ~iteration:!iter "platform-limit";
       forced :=
-        fresh_pending ~nprocs:s.Driver.initial_nprocs ~focus:s.Driver.initial_focus ()
+        fresh_pending ~origin:Driver.O_restart ~nprocs:s.Driver.initial_nprocs
+          ~focus:s.Driver.initial_focus ()
         :: !forced
     | Ok r ->
       incr executed;
+      (* assign the campaign-wide test id before the strategy observes
+         the execution, so every candidate carries a valid parent *)
+      r.Runner.execution.Execution.exec_id <- !iter;
+      Driver.emit_lineage_test ~test:!iter p.Driver.p_origin;
       Coverage.absorb ~into:coverage r.Runner.coverage;
       max_cs := max !max_cs r.Runner.constraint_set_size;
       Obs.Metrics.observe_int m_cs_size r.Runner.constraint_set_size;
@@ -424,7 +438,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
       | None ->
         [
           W_fresh
-            (fresh_pending ~nprocs:s.Driver.initial_nprocs
+            (fresh_pending ~origin:Driver.O_seed ~nprocs:s.Driver.initial_nprocs
                ~focus:s.Driver.initial_focus ());
         ])
   in
@@ -440,7 +454,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     let forced_items = List.rev_map (fun p -> W_fresh p) !forced in
     let restart_test () =
       let nprocs, focus = !last_np in
-      W_fresh (fresh_pending ~nprocs ~focus ())
+      W_fresh (fresh_pending ~origin:Driver.O_restart ~nprocs ~focus ())
     in
     work :=
       (if !stagnated_round then
@@ -543,7 +557,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
               D_negated
                 { index; solved = false; key = None; solve_s = 0.0; outcome = N_unsat }
             | Ok sr ->
-              let next = derive s cand sr in
+              let next = derive s ~cached:true cand sr in
               D_negated
                 {
                   index;
@@ -569,7 +583,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
                  raised budget should get its chance *)
               D_negated { index; solved = true; key = None; solve_s; outcome = N_unknown }
             | Ok sr ->
-              let next = derive s cand sr in
+              let next = derive s ~cached:false cand sr in
               D_negated
                 {
                   index;
@@ -605,6 +619,18 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
           | D_fresh (p, res) -> merge_exec p ~solve_s:0.0 res
           | D_negated { index; solved; key; solve_s; outcome } -> (
             if solved then incr solver_calls;
+            (* D_negated always pairs with W_negate: recover the
+               candidate for the lineage record *)
+            (match w with
+            | W_negate cand ->
+              let o =
+                match outcome with
+                | N_unsat -> Obs.Event.Unsat
+                | N_unknown -> Obs.Event.Unknown
+                | N_sat _ -> Obs.Event.Sat
+              in
+              Driver.emit_lineage_negation ~cand ~outcome:o ~cached:(not solved)
+            | W_fresh _ -> ());
             let insert verdict =
               match (cache, key) with
               | Some c, Some k -> Smt.Cache.add c k verdict

@@ -48,7 +48,9 @@ type snapshot = {
   ck_work : work list;
 }
 
-let version = 1
+(* version 2: [Driver.pending] gained [p_origin] and [Execution.t]
+   gained [exec_id] — v1 snapshots marshal a different layout *)
+let version = 2
 let magic = "COMPI-CKPT"
 let file ~dir = Filename.concat dir "campaign.ckpt"
 let corpus_file ~dir = Filename.concat dir "corpus.txt"

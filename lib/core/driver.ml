@@ -143,13 +143,45 @@ let random_inputs rng settings (program : Ast.program) =
       (d.Ast.iname, lo + Random.State.int rng (hi - lo + 1)))
     (Ast.inputs_of_program program)
 
+(* Where a test came from — the lineage record threaded from the
+   negation that produced it to the merge point that runs it. *)
+type origin =
+  | O_seed
+  | O_restart
+  | O_negated of { parent : int; branch : int; index : int; cached : bool }
+
 (* What the next test should run with. *)
 type pending = {
   p_inputs : (string * int) list;
   p_nprocs : int;
   p_focus : int;
   p_depth : int;  (* depth to report to the strategy after the run *)
+  p_origin : origin;
 }
+
+let origin_fields = function
+  | O_seed -> ("seed", -1, -1, -1, false)
+  | O_restart -> ("restart", -1, -1, -1, false)
+  | O_negated { parent; branch; index; cached } -> ("negated", parent, branch, index, cached)
+
+let emit_lineage_test ~test origin =
+  if Obs.Sink.active () then begin
+    let origin, parent, branch, index, cached = origin_fields origin in
+    Obs.Sink.emit (Obs.Event.Lineage_test { test; parent; origin; branch; index; cached })
+  end
+
+let emit_lineage_negation ~(cand : Strategy.candidate) ~outcome ~cached =
+  if Obs.Sink.active () then
+    Obs.Sink.emit
+      (Obs.Event.Lineage_negation
+         {
+           parent = cand.Strategy.record.Execution.exec_id;
+           index = cand.Strategy.index;
+           (* the *negated* branch: the flipped side of the conditional *)
+           branch = Execution.branch_at cand.Strategy.record cand.Strategy.index lxor 1;
+           outcome;
+           cached;
+         })
 
 let make_strategy settings (info : Branchinfo.t) =
   match settings.strategy with
@@ -214,6 +246,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         p_nprocs = settings.initial_nprocs;
         p_focus = settings.initial_focus;
         p_depth = 0;
+        p_origin = O_seed;
       }
   in
   let iter = ref 0 in
@@ -256,9 +289,12 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
           p_nprocs = settings.initial_nprocs;
           p_focus = settings.initial_focus;
           p_depth = 0;
+          p_origin = O_restart;
         };
       incr iter
     | Ok res ->
+      res.Runner.execution.Execution.exec_id <- !iter;
+      emit_lineage_test ~test:!iter p.p_origin;
       Coverage.absorb ~into:coverage res.Runner.coverage;
       max_cs := max !max_cs res.Runner.constraint_set_size;
       Obs.Metrics.observe_int m_cs_size res.Runner.constraint_set_size;
@@ -354,11 +390,18 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
             Execution.solve_negation ~budget:settings.solver_budget cand.Strategy.record
               cand.Strategy.index
           with
-          | Error (`Unsat | `Unknown) ->
+          | Error ((`Unsat | `Unknown) as verdict) ->
             emit_negation false;
+            emit_lineage_negation ~cand
+              ~outcome:
+                (match verdict with
+                | `Unsat -> Obs.Event.Unsat
+                | `Unknown -> Obs.Event.Unknown)
+              ~cached:false;
             if debug then Printf.eprintf "unsat\n%!"
           | Ok solver_result ->
             emit_negation true;
+            emit_lineage_negation ~cand ~outcome:Obs.Event.Sat ~cached:false;
             if debug then Printf.eprintf "sat\n%!";
             let record = cand.Strategy.record in
             let decision =
@@ -385,6 +428,15 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
                   p_nprocs = nprocs;
                   p_focus = focus;
                   p_depth = cand.Strategy.index + 1;
+                  p_origin =
+                    O_negated
+                      {
+                        parent = record.Execution.exec_id;
+                        branch =
+                          Execution.branch_at record cand.Strategy.index lxor 1;
+                        index = cand.Strategy.index;
+                        cached = false;
+                      };
                 })
       done);
       let solve_time = Unix.gettimeofday () -. t_solve in
@@ -400,6 +452,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
              p_nprocs = p.p_nprocs;
              p_focus = p.p_focus;
              p_depth = 0;
+             p_origin = O_restart;
            });
       let reachable =
         Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)

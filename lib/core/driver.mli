@@ -102,14 +102,35 @@ type result = {
 val distinct_bugs : result -> bug list
 (** First occurrence of each {!bug_key}. *)
 
+type origin =
+  | O_seed  (** fresh random inputs at campaign start *)
+  | O_restart  (** fresh random inputs after exhaustion/stagnation/limit *)
+  | O_negated of { parent : int; branch : int; index : int; cached : bool }
+      (** derived by negating [parent]'s path constraint at [index],
+          targeting [branch]; [cached] when the verdict was a solver-cache
+          replay *)
+(** Provenance of a pending test — threaded from the negation that
+    produced it to the merge point that runs it, then emitted as a
+    [lineage_test] event. *)
+
 type pending = {
   p_inputs : (string * int) list;
   p_nprocs : int;
   p_focus : int;
   p_depth : int;  (** depth to report to the strategy after the run *)
+  p_origin : origin;
 }
 (** What the next test should run with — the unit of work the parallel
     campaign engine ({!Campaign}) queues and executes. *)
+
+val emit_lineage_test : test:int -> origin -> unit
+(** Emit the [lineage_test] event for a merged test case (no-op without
+    an active sink). Shared with {!Campaign}. *)
+
+val emit_lineage_negation :
+  cand:Concolic.Strategy.candidate -> outcome:Obs.Event.solver_outcome -> cached:bool -> unit
+(** Emit the [lineage_negation] event for one negation attempt against
+    [cand] (no-op without an active sink). Shared with {!Campaign}. *)
 
 val make_strategy : settings -> Minic.Branchinfo.t -> Concolic.Strategy.t
 (** The strategy the settings select (phase one of the two-phase scheme

@@ -195,6 +195,7 @@ let run_raw config =
         nprocs = config.nprocs;
         focus;
         mapping;
+        exec_id = -1;
       }
     in
     let nonfocus_log_bytes =

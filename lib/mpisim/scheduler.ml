@@ -43,8 +43,10 @@ type run_result = {
          diagnostic of MPI correctness checkers (UMPIRE/MARMOT family) *)
 }
 
-(* A message sitting in a mailbox. *)
-type message = { src_local : int; tag : int; data : Value.t }
+(* A message sitting in a mailbox. [src_global] is remembered so the
+   delivery event can name the sender globally however late the match
+   happens. *)
+type message = { src_local : int; src_global : int; tag : int; data : Value.t }
 
 (* A receive that could not be matched yet. *)
 type pending_recv = {
@@ -114,17 +116,6 @@ let m_collectives = Obs.Metrics.counter "sched.collectives"
 let m_deadlocks = Obs.Metrics.counter "sched.deadlocks"
 let m_msgs_per_run = Obs.Metrics.histogram "sched.messages_per_run"
 
-let emit_recv_step ~rank ~src_local ~tag ~comm =
-  if Obs.Sink.active () then
-    Obs.Sink.emit
-      (Obs.Event.Sched_step
-         {
-           kind = "recv";
-           rank;
-           comm;
-           detail = Printf.sprintf "src=%d tag=%d" src_local tag;
-         })
-
 type sched = {
   nprocs : int;
   registry : Rankmap.t;
@@ -139,6 +130,13 @@ type sched = {
   mutable deadlocked : int list;
   mutable msg_count : int;
 }
+
+(* Every observable scheduler occurrence goes through here: the caller's
+   collector and the live telemetry sink see the same event, rendered by
+   the one [Trace.to_obs_event] vocabulary bridge. *)
+let notify s ev =
+  s.on_event ev;
+  if Obs.Sink.active () then Obs.Sink.emit (Trace.to_obs_event ev)
 
 let resume s rank k reply = Queue.push (rank, fun () -> Effect.Deep.continue k reply) s.runq
 
@@ -201,21 +199,14 @@ let crash_all s arrivals message =
 
 let complete_collective s comm (site : site) =
   Obs.Metrics.incr m_collectives;
-  s.on_event
-    (Trace.Collective
-       { comm; signature = site.signature; participants = List.length site.arrivals });
-  if Obs.Sink.active () then
-    Obs.Sink.emit
-      (Obs.Event.Sched_step
-         {
-           kind = "collective";
-           rank = -1;
-           comm;
-           detail =
-             Printf.sprintf "%s participants=%d" site.signature
-               (List.length site.arrivals);
-         });
   let arrivals = List.sort (fun a b -> Int.compare a.arr_local b.arr_local) site.arrivals in
+  notify s
+    (Trace.Collective
+       {
+         comm;
+         signature = site.signature;
+         ranks = List.map (fun a -> a.arr_rank) arrivals;
+       });
   let payloads () = List.map (fun a -> Option.get (payload_of_arrival a)) arrivals in
   let reply_each f = List.iter (fun a -> resume s a.arr_rank a.arr_k (f a)) arrivals in
   let reply_root root make_root_reply =
@@ -374,19 +365,10 @@ let handle_request s rank req k =
       if dest < 0 || dest >= size then
         crash s rank k (Printf.sprintf "send to invalid rank %d (size %d)" dest size)
       else begin
-        let msg = { src_local = my_local; tag; data } in
+        let msg = { src_local = my_local; src_global = rank; tag; data } in
         s.msg_count <- s.msg_count + 1;
         Obs.Metrics.incr m_messages;
-        s.on_event (Trace.Send { from_rank = rank; to_local = dest; comm; tag });
-        if Obs.Sink.active () then
-          Obs.Sink.emit
-            (Obs.Event.Sched_step
-               {
-                 kind = "send";
-                 rank;
-                 comm;
-                 detail = Printf.sprintf "dest=%d tag=%d" dest tag;
-               });
+        notify s (Trace.Send { from_rank = rank; to_local = dest; comm; tag });
         (* matching priority: a blocked Recv first, then posted Irecvs in
            post order, then the mailbox. (Strict MPI interleaves blocked
            and posted receives by posting time; a blocked receive and an
@@ -396,14 +378,16 @@ let handle_request s rank req k =
         | Some pr
           when matches ~src_filter:pr.src_filter ~tag_filter:pr.tag_filter msg ->
           Hashtbl.remove s.pending_recvs (comm, dest);
-          s.on_event
+          notify s
             (Trace.Recv_matched { rank = pr.recv_rank; src_local = my_local; tag; comm });
-          emit_recv_step ~rank:pr.recv_rank ~src_local:my_local ~tag ~comm;
+          notify s (Trace.Matched { src = rank; dst = pr.recv_rank; comm; tag });
           resume s pr.recv_rank pr.recv_k (Mpi_iface.Rvalue data)
         | Some _ | None -> (
           let dest_rank = Option.get (Rankmap.global_of_local s.registry ~comm ~local:dest) in
           match find_posted s ~dest_rank ~comm ~dest_local:dest msg with
-          | Some handle -> complete_posted s ~rank:dest_rank ~handle ~data
+          | Some handle ->
+            notify s (Trace.Matched { src = rank; dst = dest_rank; comm; tag });
+            complete_posted s ~rank:dest_rank ~handle ~data
           | None -> Queue.push msg (mailbox s (comm, dest))));
         match req with
         | Mpi_iface.Isend _ ->
@@ -415,6 +399,7 @@ let handle_request s rank req k =
       let table = s.nb_tables.(rank) in
       match take_matching (mailbox s (comm, my_local)) ~src_filter:src ~tag_filter:tag with
       | Some m ->
+        notify s (Trace.Matched { src = m.src_global; dst = rank; comm; tag = m.tag });
         let handle = fresh_handle table (Nb_recv_done m.data) in
         resume s rank k (Mpi_iface.Rint handle)
       | None ->
@@ -433,12 +418,22 @@ let handle_request s rank req k =
       | Some (Nb_recv_done data) ->
         Hashtbl.remove table.statuses handle;
         resume s rank k (Mpi_iface.Rvalue data)
-      | Some (Nb_recv_posted _) ->
+      | Some (Nb_recv_posted p) ->
         if Hashtbl.mem s.pending_waits rank then
           crash s rank k "second simultaneous wait on one process"
-        else
+        else begin
+          let peer =
+            match p.src_filter with
+            | Some sl ->
+              Option.value
+                (Rankmap.global_of_local s.registry ~comm:p.comm ~local:sl)
+                ~default:(-1)
+            | None -> -1
+          in
+          notify s (Trace.Blocked { rank; comm = p.comm; kind = "wait"; peer });
           Hashtbl.replace s.pending_waits rank
-            { wait_rank = rank; wait_handle = handle; wait_k = k })
+            { wait_rank = rank; wait_handle = handle; wait_k = k }
+        end)
     | Mpi_iface.Recv { src; tag; _ } -> (
       (match src with
       | Some sl ->
@@ -448,15 +443,24 @@ let handle_request s rank req k =
       | None -> ());
       match take_matching (mailbox s (comm, my_local)) ~src_filter:src ~tag_filter:tag with
       | Some m ->
-        s.on_event (Trace.Recv_matched { rank; src_local = m.src_local; tag = m.tag; comm });
-        emit_recv_step ~rank ~src_local:m.src_local ~tag:m.tag ~comm;
+        notify s (Trace.Recv_matched { rank; src_local = m.src_local; tag = m.tag; comm });
+        notify s (Trace.Matched { src = m.src_global; dst = rank; comm; tag = m.tag });
         resume s rank k (Mpi_iface.Rvalue m.data)
       | None ->
         if Hashtbl.mem s.pending_recvs (comm, my_local) then
           crash s rank k "second simultaneous recv on one process"
-        else
+        else begin
+          let peer =
+            match src with
+            | Some sl ->
+              Option.value (Rankmap.global_of_local s.registry ~comm ~local:sl)
+                ~default:(-1)
+            | None -> -1
+          in
+          notify s (Trace.Blocked { rank; comm; kind = "recv"; peer });
           Hashtbl.replace s.pending_recvs (comm, my_local)
-            { recv_rank = rank; src_filter = src; tag_filter = tag; recv_k = k })
+            { recv_rank = rank; src_filter = src; tag_filter = tag; recv_k = k }
+        end)
     | Mpi_iface.Barrier _ | Mpi_iface.Split _ | Mpi_iface.Bcast _ | Mpi_iface.Reduce _
     | Mpi_iface.Allreduce _ | Mpi_iface.Gather _ | Mpi_iface.Scatter _
     | Mpi_iface.Allgather _ | Mpi_iface.Alltoall _ -> (
@@ -474,10 +478,14 @@ let handle_request s rank req k =
           Hashtbl.remove s.sites comm;
           complete_collective s comm site
         end
+        else notify s (Trace.Blocked { rank; comm; kind = "collective"; peer = -1 })
       | None ->
         if size = 1 then
           complete_collective s comm { signature; arrivals = [ arrival ] }
-        else Hashtbl.replace s.sites comm { signature; arrivals = [ arrival ] }))
+        else begin
+          notify s (Trace.Blocked { rank; comm; kind = "collective"; peer = -1 });
+          Hashtbl.replace s.sites comm { signature; arrivals = [ arrival ] }
+        end))
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                           *)
@@ -488,36 +496,66 @@ let drain s =
     let rank, thunk = Queue.pop s.runq in
     match thunk () with
     | Done r ->
-      s.on_event (Trace.Finished { rank; ok = Result.is_ok r });
-      if Obs.Sink.active () then
-        Obs.Sink.emit
-          (Obs.Event.Sched_step
-             {
-               kind = "finished";
-               rank;
-               comm = 0;
-               detail = (if Result.is_ok r then "ok" else "fault");
-             });
+      notify s (Trace.Finished { rank; ok = Result.is_ok r });
       s.results.(rank) <- Some r
     | Paused (req, k) -> handle_request s rank req k
   done
 
-(* Terminate every blocked fiber with a deadlock fault and record it. *)
+(* Terminate every blocked fiber with a deadlock fault and record it,
+   first emitting one wait-for witness edge per blocked dependency so
+   the trace names the cycle, not just the stuck ranks. *)
 let break_deadlock s =
   let blocked = ref [] in
-  Hashtbl.iter (fun _ pr -> blocked := (pr.recv_rank, pr.recv_k) :: !blocked) s.pending_recvs;
+  let edges = ref [] in
+  let edge ~rank ~comm ~kind ~peer = edges := (rank, kind, peer, comm) :: !edges in
+  let global_peer ~comm = function
+    | Some sl ->
+      Option.value (Rankmap.global_of_local s.registry ~comm ~local:sl) ~default:(-1)
+    | None -> -1
+  in
+  Hashtbl.iter
+    (fun (comm, _) pr ->
+      edge ~rank:pr.recv_rank ~comm ~kind:"recv" ~peer:(global_peer ~comm pr.src_filter);
+      blocked := (pr.recv_rank, pr.recv_k) :: !blocked)
+    s.pending_recvs;
   Hashtbl.reset s.pending_recvs;
-  Hashtbl.iter (fun _ w -> blocked := (w.wait_rank, w.wait_k) :: !blocked) s.pending_waits;
+  Hashtbl.iter
+    (fun _ w ->
+      (match Hashtbl.find_opt s.nb_tables.(w.wait_rank).statuses w.wait_handle with
+      | Some (Nb_recv_posted p) ->
+        edge ~rank:w.wait_rank ~comm:p.comm ~kind:"wait"
+          ~peer:(global_peer ~comm:p.comm p.src_filter)
+      | Some Nb_send_done | Some (Nb_recv_done _) | None ->
+        edge ~rank:w.wait_rank ~comm:Mpi_iface.world ~kind:"wait" ~peer:(-1));
+      blocked := (w.wait_rank, w.wait_k) :: !blocked)
+    s.pending_waits;
   Hashtbl.reset s.pending_waits;
   Hashtbl.iter
-    (fun _ site ->
-      List.iter (fun a -> blocked := (a.arr_rank, a.arr_k) :: !blocked) site.arrivals)
+    (fun comm site ->
+      let arrived = List.map (fun a -> a.arr_rank) site.arrivals in
+      let missing =
+        match Rankmap.members s.registry ~comm with
+        | Some members ->
+          Array.to_list members |> List.filter (fun r -> not (List.mem r arrived))
+        | None -> []
+      in
+      let kind = "collective:" ^ site.signature in
+      List.iter
+        (fun a ->
+          (* each arrived rank waits on every member still missing *)
+          (match missing with
+          | [] -> edge ~rank:a.arr_rank ~comm ~kind ~peer:(-1)
+          | missing -> List.iter (fun peer -> edge ~rank:a.arr_rank ~comm ~kind ~peer) missing);
+          blocked := (a.arr_rank, a.arr_k) :: !blocked)
+        site.arrivals)
     s.sites;
   Hashtbl.reset s.sites;
   if !blocked <> [] then begin
     Obs.Metrics.incr m_deadlocks;
-    s.on_event (Trace.Deadlock { ranks = List.map fst !blocked });
-    Obs.Sink.emit (Obs.Event.Sched_deadlock { ranks = List.map fst !blocked })
+    List.iter
+      (fun (rank, kind, peer, comm) -> notify s (Trace.Witness { rank; comm; kind; peer }))
+      (List.sort compare !edges);
+    notify s (Trace.Deadlock { ranks = List.map fst !blocked })
   end;
   List.iter
     (fun (rank, k) ->

@@ -1,9 +1,12 @@
 type event =
   | Send of { from_rank : int; to_local : int; comm : int; tag : int }
   | Recv_matched of { rank : int; src_local : int; tag : int; comm : int }
-  | Collective of { comm : int; signature : string; participants : int }
+  | Matched of { src : int; dst : int; comm : int; tag : int }
+  | Collective of { comm : int; signature : string; ranks : int list }
+  | Blocked of { rank : int; comm : int; kind : string; peer : int }
   | Finished of { rank : int; ok : bool }
   | Deadlock of { ranks : int list }
+  | Witness of { rank : int; comm : int; kind : string; peer : int }
 
 let pp_event ppf = function
   | Send { from_rank; to_local; comm; tag } ->
@@ -12,13 +15,24 @@ let pp_event ppf = function
   | Recv_matched { rank; src_local; tag; comm } ->
     Format.fprintf ppf "recv   rank %d <- local %d (comm %d, tag %d)" rank src_local comm
       tag
-  | Collective { comm; signature; participants } ->
-    Format.fprintf ppf "coll   %s on comm %d (%d participants)" signature comm participants
+  | Matched { src; dst; comm; tag } ->
+    Format.fprintf ppf "match  rank %d => rank %d (comm %d, tag %d)" src dst comm tag
+  | Collective { comm; signature; ranks } ->
+    Format.fprintf ppf "coll   %s on comm %d (%d participants)" signature comm
+      (List.length ranks)
+  | Blocked { rank; comm; kind; peer } ->
+    if peer >= 0 then
+      Format.fprintf ppf "block  rank %d in %s on rank %d (comm %d)" rank kind peer comm
+    else Format.fprintf ppf "block  rank %d in %s (comm %d)" rank kind comm
   | Finished { rank; ok } ->
     Format.fprintf ppf "done   rank %d (%s)" rank (if ok then "ok" else "fault")
   | Deadlock { ranks } ->
     Format.fprintf ppf "DEADLOCK ranks [%s]"
       (String.concat "; " (List.map string_of_int ranks))
+  | Witness { rank; comm; kind; peer } ->
+    if peer >= 0 then
+      Format.fprintf ppf "wait-for rank %d --%s--> rank %d (comm %d)" rank kind peer comm
+    else Format.fprintf ppf "wait-for rank %d --%s--> ? (comm %d)" rank kind comm
 
 type t = { mutable events_rev : event list; mutable n : int }
 
@@ -34,9 +48,12 @@ let length t = t.n
 let kind_name = function
   | Send _ -> "send"
   | Recv_matched _ -> "recv"
+  | Matched _ -> "match"
   | Collective _ -> "collective"
+  | Blocked _ -> "blocked"
   | Finished _ -> "finished"
   | Deadlock _ -> "deadlock"
+  | Witness _ -> "witness"
 
 let summary t =
   let table = Hashtbl.create 8 in
@@ -61,40 +78,48 @@ let timeline ?(limit = 200) t =
          (length t) limit);
   Buffer.contents buf
 
-(* JSONL rendering on the shared telemetry JSON emitter: the same shape
-   as the scheduler's live [sched_step]/[sched_deadlock] stream, plus a
-   [seq] field giving the emission index within this trace. *)
-let event_to_json k ev =
-  let obj kind fields = Obs.Json.Obj (("ev", Obs.Json.Str kind) :: ("seq", Obs.Json.Int k) :: fields) in
-  match ev with
+(* The single vocabulary bridge: a scheduler trace event rendered as the
+   Obs event the live sink would have emitted for the same occurrence.
+   [Scheduler] routes its live emissions through this too, so traces
+   written by [to_jsonl] and traces captured by --trace-events parse
+   through the one [Obs.Event.of_json] replay path. *)
+let to_obs_event : event -> Obs.Event.t = function
   | Send { from_rank; to_local; comm; tag } ->
-    obj "send"
-      [
-        ("from_rank", Obs.Json.Int from_rank);
-        ("to_local", Obs.Json.Int to_local);
-        ("comm", Obs.Json.Int comm);
-        ("tag", Obs.Json.Int tag);
-      ]
+    Obs.Event.Sched_step
+      {
+        kind = "send";
+        rank = from_rank;
+        comm;
+        detail = Printf.sprintf "dest=%d tag=%d" to_local tag;
+      }
   | Recv_matched { rank; src_local; tag; comm } ->
-    obj "recv"
-      [
-        ("rank", Obs.Json.Int rank);
-        ("src_local", Obs.Json.Int src_local);
-        ("tag", Obs.Json.Int tag);
-        ("comm", Obs.Json.Int comm);
-      ]
-  | Collective { comm; signature; participants } ->
-    obj "collective"
-      [
-        ("comm", Obs.Json.Int comm);
-        ("signature", Obs.Json.Str signature);
-        ("participants", Obs.Json.Int participants);
-      ]
+    Obs.Event.Sched_step
+      {
+        kind = "recv";
+        rank;
+        comm;
+        detail = Printf.sprintf "src=%d tag=%d" src_local tag;
+      }
+  | Matched { src; dst; comm; tag } -> Obs.Event.Msg_matched { src; dst; comm; tag }
+  | Collective { comm; signature; ranks } ->
+    Obs.Event.Coll_done { comm; signature; ranks }
+  | Blocked { rank; comm; kind; peer } -> Obs.Event.Rank_blocked { rank; comm; kind; peer }
   | Finished { rank; ok } ->
-    obj "finished" [ ("rank", Obs.Json.Int rank); ("ok", Obs.Json.Bool ok) ]
-  | Deadlock { ranks } ->
-    obj "deadlock"
-      [ ("ranks", Obs.Json.List (List.map (fun r -> Obs.Json.Int r) ranks)) ]
+    Obs.Event.Sched_step
+      { kind = "finished"; rank; comm = 0; detail = (if ok then "ok" else "fault") }
+  | Deadlock { ranks } -> Obs.Event.Sched_deadlock { ranks }
+  | Witness { rank; comm; kind; peer } ->
+    Obs.Event.Deadlock_witness { rank; comm; kind; peer }
+
+(* JSONL rendering through the shared Obs vocabulary, plus a [seq] field
+   giving the emission index within this trace. Consumers parse each
+   line with [Obs.Event.of_json] (extra fields are ignored), so one
+   replay path covers live traces and these captured ones. *)
+let event_to_json k ev =
+  match Obs.Event.to_json (to_obs_event ev) with
+  | Obs.Json.Obj (("ev", kind) :: rest) ->
+    Obs.Json.Obj (("ev", kind) :: ("seq", Obs.Json.Int k) :: rest)
+  | j -> j
 
 let to_jsonl t =
   let buf = Buffer.create 4096 in

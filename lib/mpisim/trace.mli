@@ -7,10 +7,22 @@
 
 type event =
   | Send of { from_rank : int; to_local : int; comm : int; tag : int }
+      (** a send was posted ([from_rank] global, [to_local] in [comm]) *)
   | Recv_matched of { rank : int; src_local : int; tag : int; comm : int }
-  | Collective of { comm : int; signature : string; participants : int }
+      (** a blocking receive completed on global [rank] *)
+  | Matched of { src : int; dst : int; comm : int; tag : int }
+      (** a point-to-point message was delivered; both ranks global —
+          the communication-matrix observable *)
+  | Collective of { comm : int; signature : string; ranks : int list }
+      (** a collective completed with the listed global participants *)
+  | Blocked of { rank : int; comm : int; kind : string; peer : int }
+      (** global [rank] blocked in ["recv"], ["wait"], or a collective;
+          [peer] is the global rank it waits on, -1 when unknown *)
   | Finished of { rank : int; ok : bool }
   | Deadlock of { ranks : int list }
+  | Witness of { rank : int; comm : int; kind : string; peer : int }
+      (** one wait-for edge recorded when the scheduler proves a
+          deadlock — the set of witness edges names the cycle *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -31,6 +43,13 @@ val timeline : ?limit:int -> t -> string
     truncates, the last line states how many events were elided and the
     full count. *)
 
+val to_obs_event : event -> Obs.Event.t
+(** The {!Obs.Event} this trace event corresponds to — the same value
+    the scheduler emits to the live sink, so captured and live traces
+    share one vocabulary (and one replay path). *)
+
 val to_jsonl : t -> string
-(** One JSON object per line ([{"ev":…,"seq":…,…}]), built on the
-    {!Obs.Json} emitter — machine-readable counterpart of {!timeline}. *)
+(** One JSON object per line in the {!Obs.Event} wire format plus a
+    [seq] field (emission index) — each line parses with
+    [Obs.Event.of_json], so `compi-cli replay`/`report` consume these
+    traces exactly like [--trace-events] ones. *)

@@ -49,6 +49,25 @@ type t =
   | Cache_evict of { dropped : int; entries : int }
   | Checkpoint_write of { iteration : int; path : string; bytes : int }
   | Checkpoint_load of { iteration : int; path : string }
+  | Lineage_test of {
+      test : int;
+      parent : int;
+      origin : string;
+      branch : int;
+      index : int;
+      cached : bool;
+    }
+  | Lineage_negation of {
+      parent : int;
+      index : int;
+      branch : int;
+      outcome : solver_outcome;
+      cached : bool;
+    }
+  | Msg_matched of { src : int; dst : int; comm : int; tag : int }
+  | Coll_done of { comm : int; signature : string; ranks : int list }
+  | Rank_blocked of { rank : int; comm : int; kind : string; peer : int }
+  | Deadlock_witness of { rank : int; comm : int; kind : string; peer : int }
 
 let kind_name = function
   | Campaign_start _ -> "campaign_start"
@@ -69,6 +88,12 @@ let kind_name = function
   | Cache_evict _ -> "cache_evict"
   | Checkpoint_write _ -> "checkpoint_write"
   | Checkpoint_load _ -> "checkpoint_load"
+  | Lineage_test _ -> "lineage_test"
+  | Lineage_negation _ -> "lineage_negation"
+  | Msg_matched _ -> "msg_matched"
+  | Coll_done _ -> "coll_done"
+  | Rank_blocked _ -> "rank_blocked"
+  | Deadlock_witness _ -> "deadlock_witness"
 
 let fields = function
   | Campaign_start { target; iterations; seed; nprocs } ->
@@ -164,6 +189,50 @@ let fields = function
     ]
   | Checkpoint_load { iteration; path } ->
     [ ("iteration", Json.Int iteration); ("path", Json.Str path) ]
+  | Lineage_test { test; parent; origin; branch; index; cached } ->
+    [
+      ("test", Json.Int test);
+      ("parent", Json.Int parent);
+      ("origin", Json.Str origin);
+      ("branch", Json.Int branch);
+      ("index", Json.Int index);
+      ("cached", Json.Bool cached);
+    ]
+  | Lineage_negation { parent; index; branch; outcome; cached } ->
+    [
+      ("parent", Json.Int parent);
+      ("index", Json.Int index);
+      ("branch", Json.Int branch);
+      ("outcome", Json.Str (outcome_name outcome));
+      ("cached", Json.Bool cached);
+    ]
+  | Msg_matched { src; dst; comm; tag } ->
+    [
+      ("src", Json.Int src);
+      ("dst", Json.Int dst);
+      ("comm", Json.Int comm);
+      ("tag", Json.Int tag);
+    ]
+  | Coll_done { comm; signature; ranks } ->
+    [
+      ("comm", Json.Int comm);
+      ("signature", Json.Str signature);
+      ("ranks", Json.List (List.map (fun r -> Json.Int r) ranks));
+    ]
+  | Rank_blocked { rank; comm; kind; peer } ->
+    [
+      ("rank", Json.Int rank);
+      ("comm", Json.Int comm);
+      ("kind", Json.Str kind);
+      ("peer", Json.Int peer);
+    ]
+  | Deadlock_witness { rank; comm; kind; peer } ->
+    [
+      ("rank", Json.Int rank);
+      ("comm", Json.Int comm);
+      ("kind", Json.Str kind);
+      ("peer", Json.Int peer);
+    ]
 
 let to_json ?t ev =
   let time_field = match t with Some x -> [ ("t", Json.Float x) ] | None -> [] in
@@ -299,4 +368,51 @@ let of_json j =
     let* iteration = int "iteration" in
     let* path = str "path" in
     Ok (Checkpoint_load { iteration; path })
+  | "lineage_test" ->
+    let* test = int "test" in
+    let* parent = int "parent" in
+    let* origin = str "origin" in
+    let* branch = int "branch" in
+    let* index = int "index" in
+    let* cached = bool "cached" in
+    Ok (Lineage_test { test; parent; origin; branch; index; cached })
+  | "lineage_negation" ->
+    let* parent = int "parent" in
+    let* index = int "index" in
+    let* branch = int "branch" in
+    let* outcome_s = str "outcome" in
+    let* outcome =
+      match outcome_of_name outcome_s with
+      | Some o -> Ok o
+      | None -> Error (Printf.sprintf "bad solver outcome %s" outcome_s)
+    in
+    let* cached = bool "cached" in
+    Ok (Lineage_negation { parent; index; branch; outcome; cached })
+  | "msg_matched" ->
+    let* src = int "src" in
+    let* dst = int "dst" in
+    let* comm = int "comm" in
+    let* tag = int "tag" in
+    Ok (Msg_matched { src; dst; comm; tag })
+  | "coll_done" -> (
+    let* comm = int "comm" in
+    let* signature = str "signature" in
+    match Option.bind (Json.member "ranks" j) Json.to_list with
+    | None -> Error "missing list field ranks"
+    | Some xs ->
+      let ranks = List.filter_map Json.to_int xs in
+      if List.length ranks = List.length xs then Ok (Coll_done { comm; signature; ranks })
+      else Error "non-integer rank in ranks")
+  | "rank_blocked" ->
+    let* rank = int "rank" in
+    let* comm = int "comm" in
+    let* kind = str "kind" in
+    let* peer = int "peer" in
+    Ok (Rank_blocked { rank; comm; kind; peer })
+  | "deadlock_witness" ->
+    let* rank = int "rank" in
+    let* comm = int "comm" in
+    let* kind = str "kind" in
+    let* peer = int "peer" in
+    Ok (Deadlock_witness { rank; comm; kind; peer })
   | other -> Error (Printf.sprintf "unknown event kind %s" other)

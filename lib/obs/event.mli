@@ -70,6 +70,46 @@ type t =
   | Checkpoint_load of { iteration : int; path : string }
       (** a campaign resumed from the snapshot at [path], continuing
           after iteration [iteration] — the stitch point in a trace *)
+  | Lineage_test of {
+      test : int;
+      parent : int;
+      origin : string;
+      branch : int;
+      index : int;
+      cached : bool;
+    }
+      (** provenance of test case [test]: [origin] is ["seed"],
+          ["negated"], or ["restart"]; for negated tests [parent] is the
+          test whose path was negated, [branch] the branch id the
+          negation targeted, [index] the constraint-set position, and
+          [cached] whether the producing verdict was a cache replay.
+          Seeds and restarts carry [parent]=[branch]=[index]=-1. *)
+  | Lineage_negation of {
+      parent : int;
+      index : int;
+      branch : int;
+      outcome : solver_outcome;
+      cached : bool;
+    }
+      (** one negation attempt against test [parent]'s path at [index],
+          targeting [branch]; recorded for every attempt (including
+          Unsat/Unknown ones that produce no test) so plateaus are
+          diagnosable from the trace alone *)
+  | Msg_matched of { src : int; dst : int; comm : int; tag : int }
+      (** a point-to-point message was delivered: global sender [src] to
+          global receiver [dst] — the communication-matrix source *)
+  | Coll_done of { comm : int; signature : string; ranks : int list }
+      (** a collective completed on [comm] with the listed global
+          participants *)
+  | Rank_blocked of { rank : int; comm : int; kind : string; peer : int }
+      (** global [rank] blocked: [kind] is ["recv"], ["wait"], or
+          ["collective"]; [peer] is the global rank it waits on (-1 for
+          wildcard receives and collectives) *)
+  | Deadlock_witness of { rank : int; comm : int; kind : string; peer : int }
+      (** one wait-for edge of a proven deadlock: blocked [rank] waits
+          on [peer] (a missing collective participant, or the sender it
+          receives/waits from; -1 when unknowable). The full set of
+          witness edges names the wait-for cycle. *)
 
 val kind_name : t -> string
 (** The wire name, i.e. the ["ev"] field of the JSON encoding. *)

@@ -1,0 +1,827 @@
+(* Trace aggregation for the campaign observatory. Everything here is a
+   pure function of the event list, so reports are byte-identical for a
+   fixed trace no matter when or where they are regenerated. *)
+
+type line =
+  [ `Blank | `Event of Event.t | `Unknown of string | `Malformed of string ]
+
+let classify_line raw : line =
+  let s = String.trim raw in
+  if s = "" then `Blank
+  else
+    match Json.parse s with
+    | Error e -> `Malformed e
+    | Ok j -> (
+      match Event.of_json j with
+      | Ok ev -> `Event ev
+      | Error e ->
+        (* Event.of_json distinguishes "unknown event kind …" (a newer
+           producer) from a known kind with bad fields (corruption). *)
+        let unknown =
+          String.length e >= 18 && String.sub e 0 18 = "unknown event kind"
+        in
+        (match Option.bind (Json.member "ev" j) Json.to_str with
+        | Some kind when unknown -> `Unknown kind
+        | _ -> `Malformed e))
+
+type lineage_node = {
+  ln_test : int;
+  ln_parent : int;
+  ln_origin : string;
+  ln_branch : int;
+  ln_index : int;
+  ln_cached : bool;
+}
+
+type branch_stat = {
+  br_branch : int;
+  br_first_test : int;
+  br_attempts : int;
+  br_sat : int;
+  br_unsat : int;
+  br_unknown : int;
+  br_cached : int;
+}
+
+type witness_edge = { we_rank : int; we_kind : string; we_peer : int; we_comm : int }
+
+type t = {
+  events : int;
+  census : (string * int) list;
+  unknown_kinds : (string * int) list;
+  malformed : int;
+  target : string option;
+  budget : int option;
+  seed : int option;
+  nprocs0 : int option;
+  curve : (int * int) list;
+  iterations : int;
+  final_covered : int option;
+  final_reachable : int option;
+  bugs : int;
+  wall_s : float option;
+  exec_s : float;
+  solve_s : float;
+  solver_calls : int;
+  solver_sat : int;
+  solver_unsat : int;
+  solver_unknown : int;
+  solver_time_s : float;
+  solver_nodes : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  lineage : lineage_node list;
+  branches : branch_stat list;
+  matrix : ((int * int) * int) list;
+  rank_sends : (int * int) list;
+  rank_recvs : (int * int) list;
+  rank_colls : (int * int) list;
+  rank_blocked : (int * int) list;
+  collectives : ((int * string) * int) list;
+  deadlocks : int;
+  witness : (witness_edge * int) list;
+  faults : (int * int * string * string) list;
+  restarts : (string * int) list;
+}
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let sorted_assoc tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let fold events =
+  let census = Hashtbl.create 32 in
+  let target = ref None and budget = ref None and seed = ref None and nprocs0 = ref None in
+  let curve = Hashtbl.create 64 in
+  let final_covered = ref None and final_reachable = ref None in
+  let bugs = ref 0 and wall_s = ref None in
+  let exec_s = ref 0.0 and solve_s = ref 0.0 in
+  let s_calls = ref 0 and s_sat = ref 0 and s_unsat = ref 0 and s_unknown = ref 0 in
+  let s_time = ref 0.0 and s_nodes = ref 0 in
+  let c_hits = ref 0 and c_misses = ref 0 and c_evict = ref 0 in
+  let lineage = ref [] in
+  let negs = Hashtbl.create 64 in
+  (* branch -> attempts, sat, unsat, unknown, cached *)
+  let matrix = Hashtbl.create 64 in
+  let sends = Hashtbl.create 16 and recvs = Hashtbl.create 16 in
+  let colls = Hashtbl.create 16 and blocked = Hashtbl.create 16 in
+  let coll_sigs = Hashtbl.create 16 in
+  let deadlocks = ref 0 in
+  let witness = Hashtbl.create 16 in
+  let faults = ref [] in
+  let restarts = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      bump census (Event.kind_name ev) 1;
+      match ev with
+      | Event.Campaign_start { target = tg; iterations; seed = sd; nprocs } ->
+        if !target = None then begin
+          target := Some tg;
+          budget := Some iterations;
+          seed := Some sd;
+          nprocs0 := Some nprocs
+        end
+      | Event.Campaign_end { covered; reachable; bugs = b; wall_s = w; _ } ->
+        final_covered := Some covered;
+        final_reachable := Some reachable;
+        bugs := b;
+        wall_s := Some w
+      | Event.Iter_end { iteration; covered; exec_s = e; solve_s = s; _ } ->
+        Hashtbl.replace curve iteration covered;
+        exec_s := !exec_s +. e;
+        solve_s := !solve_s +. s
+      | Event.Solver_call { outcome; nodes; time_s; _ } ->
+        incr s_calls;
+        (match outcome with
+        | Event.Sat -> incr s_sat
+        | Event.Unsat -> incr s_unsat
+        | Event.Unknown -> incr s_unknown);
+        s_time := !s_time +. time_s;
+        s_nodes := !s_nodes + nodes
+      | Event.Cache_lookup { hit; _ } -> if hit then incr c_hits else incr c_misses
+      | Event.Cache_evict { dropped; _ } -> c_evict := !c_evict + dropped
+      | Event.Lineage_test { test; parent; origin; branch; index; cached } ->
+        lineage :=
+          {
+            ln_test = test;
+            ln_parent = parent;
+            ln_origin = origin;
+            ln_branch = branch;
+            ln_index = index;
+            ln_cached = cached;
+          }
+          :: !lineage
+      | Event.Lineage_negation { branch; outcome; cached; _ } ->
+        let a, st, us, uk, ca =
+          Option.value (Hashtbl.find_opt negs branch) ~default:(0, 0, 0, 0, 0)
+        in
+        let st, us, uk =
+          match outcome with
+          | Event.Sat -> (st + 1, us, uk)
+          | Event.Unsat -> (st, us + 1, uk)
+          | Event.Unknown -> (st, us, uk + 1)
+        in
+        Hashtbl.replace negs branch (a + 1, st, us, uk, (if cached then ca + 1 else ca))
+      | Event.Msg_matched { src; dst; comm = _; tag = _ } -> bump matrix (src, dst) 1
+      | Event.Sched_step { kind = "send"; rank; _ } -> bump sends rank 1
+      | Event.Sched_step { kind = "recv"; rank; _ } -> bump recvs rank 1
+      | Event.Sched_step _ -> ()
+      | Event.Coll_done { comm; signature; ranks } ->
+        bump coll_sigs (comm, signature) 1;
+        List.iter (fun r -> bump colls r 1) ranks
+      | Event.Rank_blocked { rank; _ } -> bump blocked rank 1
+      | Event.Sched_deadlock _ -> incr deadlocks
+      | Event.Deadlock_witness { rank; comm; kind; peer } ->
+        bump witness { we_rank = rank; we_kind = kind; we_peer = peer; we_comm = comm } 1
+      | Event.Fault { iteration; rank; kind; detail } ->
+        faults := (iteration, rank, kind, detail) :: !faults
+      | Event.Restart { reason; _ } -> bump restarts reason 1
+      | Event.Iter_start _ | Event.Negation _ | Event.Coverage_delta _
+      | Event.Worker_spawn _ | Event.Worker_task _ | Event.Worker_exit _
+      | Event.Checkpoint_write _ | Event.Checkpoint_load _ -> ())
+    events;
+  let lineage = List.sort (fun a b -> compare a.ln_test b.ln_test) !lineage in
+  let first_for_branch = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if n.ln_branch >= 0 && not (Hashtbl.mem first_for_branch n.ln_branch) then
+        Hashtbl.add first_for_branch n.ln_branch n.ln_test)
+    lineage;
+  (* branches seen only through a producing test (old traces without
+     lineage_negation lines) still get a row *)
+  Hashtbl.iter
+    (fun branch _ -> if not (Hashtbl.mem negs branch) then Hashtbl.replace negs branch (0, 0, 0, 0, 0))
+    first_for_branch;
+  let branches =
+    sorted_assoc negs
+    |> List.map (fun (branch, (a, st, us, uk, ca)) ->
+           {
+             br_branch = branch;
+             br_first_test =
+               Option.value (Hashtbl.find_opt first_for_branch branch) ~default:(-1);
+             br_attempts = a;
+             br_sat = st;
+             br_unsat = us;
+             br_unknown = uk;
+             br_cached = ca;
+           })
+  in
+  let curve = sorted_assoc curve in
+  {
+    events = List.length events;
+    census = sorted_assoc census;
+    unknown_kinds = [];
+    malformed = 0;
+    target = !target;
+    budget = !budget;
+    seed = !seed;
+    nprocs0 = !nprocs0;
+    curve;
+    iterations = List.length curve;
+    final_covered = !final_covered;
+    final_reachable = !final_reachable;
+    bugs = !bugs;
+    wall_s = !wall_s;
+    exec_s = !exec_s;
+    solve_s = !solve_s;
+    solver_calls = !s_calls;
+    solver_sat = !s_sat;
+    solver_unsat = !s_unsat;
+    solver_unknown = !s_unknown;
+    solver_time_s = !s_time;
+    solver_nodes = !s_nodes;
+    cache_hits = !c_hits;
+    cache_misses = !c_misses;
+    cache_evictions = !c_evict;
+    lineage;
+    branches;
+    matrix = sorted_assoc matrix;
+    rank_sends = sorted_assoc sends;
+    rank_recvs = sorted_assoc recvs;
+    rank_colls = sorted_assoc colls;
+    rank_blocked = sorted_assoc blocked;
+    collectives = sorted_assoc coll_sigs;
+    deadlocks = !deadlocks;
+    witness = sorted_assoc witness;
+    faults = List.rev !faults;
+    restarts = sorted_assoc restarts;
+  }
+
+let of_lines lines =
+  let events = ref [] and unknown = Hashtbl.create 4 and malformed = ref 0 in
+  List.iter
+    (fun l ->
+      match classify_line l with
+      | `Blank -> ()
+      | `Event ev -> events := ev :: !events
+      | `Unknown kind -> bump unknown kind 1
+      | `Malformed _ -> incr malformed)
+    lines;
+  let t = fold (List.rev !events) in
+  { t with unknown_kinds = sorted_assoc unknown; malformed = !malformed }
+
+(* ------------------------------------------------------------------ *)
+(* Lineage queries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let node t id = List.find_opt (fun n -> n.ln_test = id) t.lineage
+
+let chain t id =
+  let rec go acc id =
+    match node t id with
+    | None -> List.rev acc
+    | Some n ->
+      let acc = n :: acc in
+      if n.ln_parent < 0 || List.exists (fun m -> m.ln_test = n.ln_parent) acc then
+        List.rev acc
+      else go acc n.ln_parent
+  in
+  go [] id
+
+let first_test_for_branch t branch =
+  match List.find_opt (fun b -> b.br_branch = branch) t.branches with
+  | Some b when b.br_first_test >= 0 -> Some b.br_first_test
+  | _ -> (
+    match List.find_opt (fun n -> n.ln_branch = branch) t.lineage with
+    | Some n -> Some n.ln_test
+    | None -> None)
+
+let lineage_errors t =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem tbl n.ln_test then add "duplicate test id %d" n.ln_test;
+      Hashtbl.replace tbl n.ln_test n)
+    t.lineage;
+  List.iter
+    (fun n ->
+      match n.ln_origin with
+      | "seed" | "restart" ->
+        if n.ln_parent <> -1 then
+          add "test %d: %s root carries parent %d" n.ln_test n.ln_origin n.ln_parent
+      | "negated" ->
+        if n.ln_parent < 0 then add "test %d: negated without a parent" n.ln_test
+        else begin
+          if n.ln_parent >= n.ln_test then
+            add "test %d: parent %d does not precede it" n.ln_test n.ln_parent;
+          if not (Hashtbl.mem tbl n.ln_parent) then
+            add "test %d: parent %d absent from the graph" n.ln_test n.ln_parent
+        end;
+        if n.ln_branch < 0 then add "test %d: negated without a target branch" n.ln_test;
+        if n.ln_index < 0 then add "test %d: negated without a constraint index" n.ln_test
+      | other -> add "test %d: unknown origin %s" n.ln_test other)
+    t.lineage;
+  List.rev !errs
+
+let witness_cycle t =
+  let adj = Hashtbl.create 8 in
+  List.iter
+    (fun ({ we_rank; we_peer; _ }, _) ->
+      if we_peer >= 0 then
+        let cur = Option.value (Hashtbl.find_opt adj we_rank) ~default:[] in
+        if not (List.mem we_peer cur) then Hashtbl.replace adj we_rank (we_peer :: cur))
+    t.witness;
+  let neighbors r = List.sort compare (Option.value (Hashtbl.find_opt adj r) ~default:[]) in
+  let starts = Hashtbl.fold (fun k _ acc -> k :: acc) adj [] |> List.sort_uniq compare in
+  (* path holds the walk most-recent-first; a revisit closes the cycle *)
+  let rec dfs path r =
+    if List.mem r path then begin
+      let rec upto = function
+        | [] -> []
+        | x :: tl -> if x = r then [ x ] else x :: upto tl
+      in
+      Some (List.rev (upto path))
+    end
+    else
+      List.fold_left
+        (fun acc p -> match acc with Some _ -> acc | None -> dfs (r :: path) p)
+        None (neighbors r)
+  in
+  List.fold_left
+    (fun acc r -> match acc with Some _ -> acc | None -> dfs [] r)
+    None starts
+
+(* ------------------------------------------------------------------ *)
+(* Renderers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ascii_curve ?(width = 60) ?(height = 12) points =
+  match points with
+  | [] -> "(no iterations in trace)\n"
+  | points ->
+    let points = Array.of_list points in
+    let n = Array.length points in
+    let max_y = Array.fold_left (fun acc (_, y) -> max acc y) 1 points in
+    let grid = Array.make_matrix height width ' ' in
+    for col = 0 to width - 1 do
+      let idx = min (n - 1) (col * n / width) in
+      let _, y = points.(idx) in
+      let row = y * (height - 1) / max_y in
+      for fill = 0 to row do
+        grid.(height - 1 - fill).(col) <- (if fill = row then '*' else '.')
+      done
+    done;
+    let buf = Buffer.create ((width + 8) * height) in
+    Array.iteri
+      (fun i row ->
+        Buffer.add_string buf
+          (if i = 0 then Printf.sprintf "%5d |" max_y else "      |");
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("      +" ^ String.make width '-' ^ "\n");
+    let last_x, _ = points.(n - 1) in
+    Buffer.add_string buf (Printf.sprintf "       0 .. iteration %d\n" last_x);
+    Buffer.contents buf
+
+(* Census rows whose counts depend on scheduling noise (worker identity,
+   checkpoint cadence/paths), not on what the campaign computed. *)
+let unstable_kind k =
+  match k with
+  | "worker_spawn" | "worker_task" | "worker_exit" | "checkpoint_write"
+  | "checkpoint_load" -> true
+  | _ -> false
+
+let stable_census t = List.filter (fun (k, _) -> not (unstable_kind k)) t.census
+
+let ranks_of t =
+  let add acc r = if List.mem r acc then acc else r :: acc in
+  let acc = List.fold_left (fun acc ((s, d), _) -> add (add acc s) d) [] t.matrix in
+  let acc = List.fold_left (fun acc (r, _) -> add acc r) acc t.rank_sends in
+  let acc = List.fold_left (fun acc (r, _) -> add acc r) acc t.rank_recvs in
+  let acc = List.fold_left (fun acc (r, _) -> add acc r) acc t.rank_colls in
+  let acc = List.fold_left (fun acc (r, _) -> add acc r) acc t.rank_blocked in
+  match List.sort compare acc with
+  | [] -> []
+  | l ->
+    let hi = List.fold_left max 0 l in
+    List.init (hi + 1) Fun.id
+
+let plateau_branches t =
+  List.filter (fun b -> b.br_attempts > 0 && b.br_first_test < 0) t.branches
+
+let lineage_depths t =
+  let depth = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      let d =
+        if n.ln_parent < 0 then 0
+        else 1 + Option.value (Hashtbl.find_opt depth n.ln_parent) ~default:0
+      in
+      Hashtbl.replace depth n.ln_test d)
+    t.lineage;
+  depth
+
+let origin_counts t =
+  let seed = ref 0 and negated = ref 0 and restart = ref 0 in
+  List.iter
+    (fun n ->
+      match n.ln_origin with
+      | "seed" -> incr seed
+      | "negated" -> incr negated
+      | _ -> incr restart)
+    t.lineage;
+  (!seed, !negated, !restart)
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let to_text ?(stable = false) ?(branch_label = string_of_int) t =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let census = if stable then stable_census t else t.census in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 census in
+  pf "events: %d\n" total;
+  List.iter (fun (k, n) -> pf "  %-16s %d\n" k n) census;
+  if t.unknown_kinds <> [] then begin
+    let skipped = List.fold_left (fun acc (_, n) -> acc + n) 0 t.unknown_kinds in
+    pf "skipped %d event(s) of unknown kind: %s\n" skipped
+      (String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%s (%d)" k n) t.unknown_kinds))
+  end;
+  if t.malformed > 0 then pf "malformed lines: %d\n" t.malformed;
+  (match (t.target, t.budget, t.seed, t.nprocs0) with
+  | Some tg, Some bu, Some sd, Some np ->
+    pf "\ncampaign: target=%s budget=%d seed=%d initial nprocs=%d\n"
+      (if tg = "" then "?" else tg)
+      bu sd np
+  | _ -> ());
+  pf "\ncoverage curve (%d iterations):\n%s" t.iterations (ascii_curve t.curve);
+  (match (t.final_covered, t.final_reachable) with
+  | Some c, Some r -> pf "coverage: %d/%d branches\n" c r
+  | _ -> ());
+  if not stable then begin
+    pf "\nphase breakdown:\n";
+    pf "  exec   %8.3fs\n" t.exec_s;
+    pf "  solve  %8.3fs\n" t.solve_s;
+    match t.wall_s with
+    | Some w ->
+      pf "  other  %8.3fs\n" (Float.max 0.0 (w -. t.exec_s -. t.solve_s));
+      pf "  wall   %8.3fs\n" w
+    | None -> ()
+  end;
+  if t.solver_calls > 0 then
+    if stable then
+      pf "\nsolver: %d calls (%d sat, %d unsat, %d unknown)\n" t.solver_calls
+        t.solver_sat t.solver_unsat t.solver_unknown
+    else
+      pf "\nsolver: %d calls (%d sat, %d unsat, %d unknown), %.3fs total, %.1f nodes/call mean\n"
+        t.solver_calls t.solver_sat t.solver_unsat t.solver_unknown t.solver_time_s
+        (float_of_int t.solver_nodes /. float_of_int t.solver_calls);
+  let probes = t.cache_hits + t.cache_misses in
+  if probes > 0 then
+    pf "cache: %d probes, %d hits (%.0f%%), %d evictions\n" probes t.cache_hits
+      (pct t.cache_hits probes) t.cache_evictions;
+  (* lineage *)
+  if t.lineage <> [] then begin
+    let seeds, negated, restarts = origin_counts t in
+    let depths = lineage_depths t in
+    let maxd = Hashtbl.fold (fun _ d acc -> max d acc) depths 0 in
+    pf "\nlineage: %d tests (%d seed, %d negated, %d restart), max depth %d\n"
+      (List.length t.lineage) seeds negated restarts maxd;
+    let plateau = plateau_branches t in
+    if plateau <> [] then begin
+      pf "plateau branches (attempted, never covered): %d\n" (List.length plateau);
+      List.iteri
+        (fun i br ->
+          if i < 12 then
+            pf "  branch %s: %d attempts (%d sat, %d unsat, %d unknown; %d cached)\n"
+              (branch_label br.br_branch) br.br_attempts br.br_sat br.br_unsat
+              br.br_unknown br.br_cached)
+        plateau;
+      if List.length plateau > 12 then pf "  … %d more\n" (List.length plateau - 12)
+    end
+  end;
+  (* per-branch table *)
+  if t.branches <> [] then begin
+    pf "\nper-branch negations (%d branches):\n" (List.length t.branches);
+    pf "  %-24s %10s %8s %5s %6s %8s %7s\n" "branch" "first-test" "attempts" "sat"
+      "unsat" "unknown" "cached";
+    List.iteri
+      (fun i br ->
+        if i < 40 then
+          pf "  %-24s %10s %8d %5d %6d %8d %7d\n" (branch_label br.br_branch)
+            (if br.br_first_test < 0 then "-" else string_of_int br.br_first_test)
+            br.br_attempts br.br_sat br.br_unsat br.br_unknown br.br_cached)
+      t.branches;
+    if List.length t.branches > 40 then pf "  … %d more\n" (List.length t.branches - 40)
+  end;
+  (* communication *)
+  let ranks = ranks_of t in
+  if ranks <> [] then begin
+    let cell src dst = Option.value (List.assoc_opt (src, dst) t.matrix) ~default:0 in
+    let w =
+      List.fold_left
+        (fun acc ((_, _), n) -> max acc (String.length (string_of_int n)))
+        3 t.matrix
+    in
+    pf "\ncommunication matrix (delivered messages, src rows × dst cols):\n";
+    pf "  %4s" "";
+    List.iter (fun d -> pf " %*d" w d) ranks;
+    pf "\n";
+    List.iter
+      (fun s ->
+        pf "  %4d" s;
+        List.iter
+          (fun d ->
+            let n = cell s d in
+            if n = 0 then pf " %*s" w "." else pf " %*d" w n)
+          ranks;
+        pf "\n")
+      ranks;
+    pf "\nper-rank activity:\n";
+    pf "  %4s %8s %8s %12s %8s\n" "rank" "sends" "recvs" "collectives" "blocked";
+    List.iter
+      (fun r ->
+        let g tbl = Option.value (List.assoc_opt r tbl) ~default:0 in
+        pf "  %4d %8d %8d %12d %8d\n" r (g t.rank_sends) (g t.rank_recvs)
+          (g t.rank_colls) (g t.rank_blocked))
+      ranks;
+    if t.collectives <> [] then begin
+      pf "collectives:\n";
+      List.iter
+        (fun ((comm, signature), n) -> pf "  comm %d %s ×%d\n" comm signature n)
+        t.collectives
+    end
+  end;
+  (* deadlocks *)
+  if t.deadlocks > 0 || t.witness <> [] then begin
+    pf "\ndeadlocks: %d\n" t.deadlocks;
+    if t.witness <> [] then begin
+      pf "witness (wait-for edges):\n";
+      List.iter
+        (fun ({ we_rank; we_kind; we_peer; we_comm }, n) ->
+          if we_peer >= 0 then
+            pf "  rank %d %s ← rank %d (comm %d) ×%d\n" we_rank we_kind we_peer we_comm n
+          else pf "  rank %d %s ← * (comm %d) ×%d\n" we_rank we_kind we_comm n)
+        t.witness;
+      match witness_cycle t with
+      | Some cycle ->
+        pf "wait-for cycle: %s → %s\n"
+          (String.concat " → " (List.map string_of_int cycle))
+          (string_of_int (List.hd cycle))
+      | None -> ()
+    end
+  end;
+  (* incidents *)
+  if t.faults <> [] then begin
+    pf "\nfaults (%d):\n" (List.length t.faults);
+    List.iteri
+      (fun i (iteration, rank, kind, detail) ->
+        if i < 12 then pf "  [iter %d, rank %d] %s: %s\n" iteration rank kind detail)
+      t.faults;
+    if List.length t.faults > 12 then pf "  … %d more\n" (List.length t.faults - 12)
+  end;
+  if t.restarts <> [] then begin
+    pf "\nrestarts:\n";
+    List.iter (fun (reason, n) -> pf "  %-16s %d\n" reason n) t.restarts
+  end;
+  Buffer.contents b
+
+(* HTML report: one self-contained page, no scripts, no timestamps —
+   regeneration from the same trace is byte-identical. *)
+
+let esc s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let svg_curve points =
+  let w = 640 and h = 200 and m = 36 in
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf
+    "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\" \
+     aria-label=\"coverage curve\">\n"
+    w h w h;
+  (match points with
+  | [] -> pf "<text x=\"%d\" y=\"%d\">no iterations in trace</text>\n" m (h / 2)
+  | points ->
+    let pts = Array.of_list points in
+    let n = Array.length pts in
+    let max_x = max 1 (fst pts.(n - 1)) in
+    let max_y = Array.fold_left (fun acc (_, y) -> max acc y) 1 pts in
+    let px x = float_of_int m +. float_of_int x /. float_of_int max_x *. float_of_int (w - 2 * m) in
+    let py y =
+      float_of_int (h - m) -. (float_of_int y /. float_of_int max_y *. float_of_int (h - 2 * m))
+    in
+    pf "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#999\"/>\n" m (h - m)
+      (w - m) (h - m);
+    pf "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#999\"/>\n" m m m (h - m);
+    let coords =
+      (* a single point still draws a visible (degenerate) polyline *)
+      let pts = if n = 1 then [| pts.(0); pts.(0) |] else pts in
+      Array.to_list pts
+      |> List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y))
+      |> String.concat " "
+    in
+    pf "<polyline fill=\"none\" stroke=\"#b22\" stroke-width=\"2\" points=\"%s\"/>\n"
+      coords;
+    pf "<text x=\"%d\" y=\"%d\" font-size=\"11\">0</text>\n" m (h - m + 14);
+    pf "<text x=\"%d\" y=\"%d\" font-size=\"11\" text-anchor=\"end\">iteration %d</text>\n"
+      (w - m) (h - m + 14) max_x;
+    pf "<text x=\"%d\" y=\"%d\" font-size=\"11\">%d</text>\n" 2 (m + 4) max_y;
+    pf "<text x=\"%d\" y=\"%d\" font-size=\"11\">covered</text>\n" 2 (m - 10));
+  pf "</svg>\n";
+  Buffer.contents b
+
+let to_html ?(stable = false) ?(branch_label = string_of_int) t =
+  let b = Buffer.create 16384 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  pf "<title>compi campaign report</title>\n";
+  pf
+    "<style>\nbody{font-family:system-ui,sans-serif;margin:2em auto;max-width:70em;\
+     padding:0 1em;color:#222}\nh1,h2{border-bottom:1px solid #ddd;padding-bottom:.2em}\n\
+     table{border-collapse:collapse;margin:.6em 0}\n\
+     th,td{border:1px solid #ccc;padding:.25em .6em;text-align:right;\
+     font-variant-numeric:tabular-nums}\nth{background:#f4f4f4}\n\
+     td.l,th.l{text-align:left}\ntd.zero{color:#bbb}\n\
+     .matrix td{min-width:2.2em;text-align:center}\n\
+     code{background:#f4f4f4;padding:0 .25em}\n</style>\n</head>\n<body>\n";
+  pf "<h1>compi campaign report</h1>\n";
+  (match (t.target, t.budget, t.seed, t.nprocs0) with
+  | Some tg, Some bu, Some sd, Some np ->
+    pf
+      "<p>target <code>%s</code> · budget %d iterations · seed %d · initial nprocs \
+       %d</p>\n"
+      (esc (if tg = "" then "?" else tg))
+      bu sd np
+  | _ -> ());
+  let census = if stable then stable_census t else t.census in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 census in
+  pf "<p>%d events" total;
+  if t.unknown_kinds <> [] then begin
+    let skipped = List.fold_left (fun acc (_, n) -> acc + n) 0 t.unknown_kinds in
+    pf " · %d of unknown kind skipped" skipped
+  end;
+  if t.malformed > 0 then pf " · %d malformed lines" t.malformed;
+  pf "</p>\n";
+  (* coverage *)
+  pf "<h2>Coverage</h2>\n%s" (svg_curve t.curve);
+  (match (t.final_covered, t.final_reachable) with
+  | Some c, Some r ->
+    pf "<p>final coverage: <b>%d</b>/%d branches over %d iterations</p>\n" c r
+      t.iterations
+  | _ -> pf "<p>%d iterations</p>\n" t.iterations);
+  (* solver + cache *)
+  pf "<h2>Solver and cache</h2>\n<table>\n";
+  pf "<tr><th class=\"l\">metric</th><th>value</th></tr>\n";
+  pf "<tr><td class=\"l\">solver calls</td><td>%d</td></tr>\n" t.solver_calls;
+  pf "<tr><td class=\"l\">sat / unsat / unknown</td><td>%d / %d / %d</td></tr>\n"
+    t.solver_sat t.solver_unsat t.solver_unknown;
+  if not stable then begin
+    pf "<tr><td class=\"l\">solver time</td><td>%.3fs</td></tr>\n" t.solver_time_s;
+    if t.solver_calls > 0 then
+      pf "<tr><td class=\"l\">nodes / call</td><td>%.1f</td></tr>\n"
+        (float_of_int t.solver_nodes /. float_of_int t.solver_calls)
+  end;
+  let probes = t.cache_hits + t.cache_misses in
+  pf "<tr><td class=\"l\">cache probes</td><td>%d</td></tr>\n" probes;
+  pf "<tr><td class=\"l\">cache hits</td><td>%d (%.0f%%)</td></tr>\n" t.cache_hits
+    (pct t.cache_hits probes);
+  pf "<tr><td class=\"l\">cache evictions</td><td>%d</td></tr>\n" t.cache_evictions;
+  if not stable then begin
+    pf "<tr><td class=\"l\">exec time</td><td>%.3fs</td></tr>\n" t.exec_s;
+    pf "<tr><td class=\"l\">solve time (attributed)</td><td>%.3fs</td></tr>\n" t.solve_s;
+    match t.wall_s with
+    | Some w -> pf "<tr><td class=\"l\">wall clock</td><td>%.3fs</td></tr>\n" w
+    | None -> ()
+  end;
+  pf "</table>\n";
+  (* per-branch table *)
+  if t.branches <> [] then begin
+    pf "<h2>Per-branch negations</h2>\n<table>\n";
+    pf
+      "<tr><th class=\"l\">branch</th><th>first test</th><th>attempts</th><th>sat</th>\
+       <th>unsat</th><th>unknown</th><th>cached</th></tr>\n";
+    List.iter
+      (fun br ->
+        pf
+          "<tr><td class=\"l\">%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td>\
+           <td>%d</td><td>%d</td></tr>\n"
+          (esc (branch_label br.br_branch))
+          (if br.br_first_test < 0 then "—" else string_of_int br.br_first_test)
+          br.br_attempts br.br_sat br.br_unsat br.br_unknown br.br_cached)
+      t.branches;
+    pf "</table>\n"
+  end;
+  (* lineage *)
+  if t.lineage <> [] then begin
+    let seeds, negated, restarts = origin_counts t in
+    let depths = lineage_depths t in
+    let maxd = Hashtbl.fold (fun _ d acc -> max d acc) depths 0 in
+    pf "<h2>Lineage</h2>\n";
+    pf "<p>%d tests: %d seed, %d negated, %d restart · max derivation depth %d</p>\n"
+      (List.length t.lineage) seeds negated restarts maxd;
+    let plateau = plateau_branches t in
+    if plateau <> [] then begin
+      pf "<p>plateau branches (attempted, never covered): %d</p>\n<ul>\n"
+        (List.length plateau);
+      List.iter
+        (fun br ->
+          pf "<li>branch %s — %d attempts (%d sat, %d unsat, %d unknown; %d cached)</li>\n"
+            (esc (branch_label br.br_branch))
+            br.br_attempts br.br_sat br.br_unsat br.br_unknown br.br_cached)
+        plateau;
+      pf "</ul>\n"
+    end
+  end;
+  (* communication *)
+  let ranks = ranks_of t in
+  if ranks <> [] then begin
+    let cell src dst = Option.value (List.assoc_opt (src, dst) t.matrix) ~default:0 in
+    let max_cell = List.fold_left (fun acc (_, n) -> max acc n) 1 t.matrix in
+    pf "<h2>Communication matrix</h2>\n";
+    pf "<p>delivered point-to-point messages, sender rows × receiver columns</p>\n";
+    pf "<table class=\"matrix\">\n<tr><th>src\\dst</th>";
+    List.iter (fun d -> pf "<th>%d</th>" d) ranks;
+    pf "</tr>\n";
+    List.iter
+      (fun s ->
+        pf "<tr><th>%d</th>" s;
+        List.iter
+          (fun d ->
+            let n = cell s d in
+            if n = 0 then pf "<td class=\"zero\">·</td>"
+            else
+              (* heat: linear alpha over the max cell *)
+              pf "<td style=\"background:rgba(178,34,34,%.2f)%s\">%d</td>"
+                (0.15 +. (0.75 *. float_of_int n /. float_of_int max_cell))
+                (if 2 * n > max_cell then ";color:#fff" else "")
+                n)
+          ranks;
+        pf "</tr>\n")
+      ranks;
+    pf "</table>\n";
+    pf "<table>\n<tr><th>rank</th><th>sends</th><th>recvs</th><th>collectives</th>\
+        <th>blocked</th></tr>\n";
+    List.iter
+      (fun r ->
+        let g tbl = Option.value (List.assoc_opt r tbl) ~default:0 in
+        pf "<tr><th>%d</th><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>\n" r
+          (g t.rank_sends) (g t.rank_recvs) (g t.rank_colls) (g t.rank_blocked))
+      ranks;
+    pf "</table>\n";
+    if t.collectives <> [] then begin
+      pf "<p>collectives: ";
+      pf "%s"
+        (String.concat " · "
+           (List.map
+              (fun ((comm, signature), n) ->
+                Printf.sprintf "comm %d %s ×%d" comm (esc signature) n)
+              t.collectives));
+      pf "</p>\n"
+    end
+  end;
+  (* deadlocks *)
+  if t.deadlocks > 0 || t.witness <> [] then begin
+    pf "<h2>Deadlocks</h2>\n<p>%d deadlock(s) observed</p>\n" t.deadlocks;
+    if t.witness <> [] then begin
+      pf "<ul>\n";
+      List.iter
+        (fun ({ we_rank; we_kind; we_peer; we_comm }, n) ->
+          if we_peer >= 0 then
+            pf "<li>rank %d blocked in %s waiting on rank %d (comm %d) ×%d</li>\n"
+              we_rank (esc we_kind) we_peer we_comm n
+          else
+            pf "<li>rank %d blocked in %s (comm %d) ×%d</li>\n" we_rank (esc we_kind)
+              we_comm n)
+        t.witness;
+      pf "</ul>\n";
+      match witness_cycle t with
+      | Some cycle ->
+        pf "<p>wait-for cycle: <b>%s → %s</b></p>\n"
+          (String.concat " → " (List.map string_of_int cycle))
+          (string_of_int (List.hd cycle))
+      | None -> ()
+    end
+  end;
+  (* incidents *)
+  if t.faults <> [] then begin
+    pf "<h2>Faults</h2>\n<p>%d fault observation(s)</p>\n<ul>\n" (List.length t.faults);
+    List.iteri
+      (fun i (iteration, rank, kind, detail) ->
+        if i < 40 then
+          pf "<li>[iter %d, rank %d] %s: %s</li>\n" iteration rank (esc kind) (esc detail))
+      t.faults;
+    if List.length t.faults > 40 then pf "<li>… %d more</li>\n" (List.length t.faults - 40);
+    pf "</ul>\n"
+  end;
+  if t.restarts <> [] then begin
+    pf "<h2>Restarts</h2>\n<ul>\n";
+    List.iter (fun (reason, n) -> pf "<li>%s ×%d</li>\n" (esc reason) n) t.restarts;
+    pf "</ul>\n"
+  end;
+  pf "</body>\n</html>\n";
+  Buffer.contents b

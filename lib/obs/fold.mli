@@ -1,0 +1,125 @@
+(** Fold a telemetry event stream into the campaign observatory: census,
+    coverage curve, solver/cache accounting, test-case lineage graph,
+    rank×rank communication matrix, and deadlock witnesses — everything
+    [compi-cli replay]/[explain]/[report] print is computed here, from
+    the trace alone.
+
+    The fold is pure and deterministic: two traces with the same event
+    content produce structurally equal values, and the renderers below
+    produce byte-identical strings for equal values. *)
+
+type line =
+  [ `Blank  (** whitespace-only line *)
+  | `Event of Event.t
+  | `Unknown of string  (** well-formed JSON, unrecognized ["ev"] kind *)
+  | `Malformed of string  (** bad JSON or missing/ill-typed fields *) ]
+
+val classify_line : string -> line
+(** Forward-compatible line triage: an object whose ["ev"] kind this
+    build does not know is [`Unknown kind], not an error — replay skips
+    and counts it. *)
+
+type lineage_node = {
+  ln_test : int;  (** test-case id (dense iteration number) *)
+  ln_parent : int;  (** parent test id, -1 for roots *)
+  ln_origin : string;  (** ["seed"], ["negated"], or ["restart"] *)
+  ln_branch : int;  (** branch the producing negation targeted, -1 *)
+  ln_index : int;  (** constraint-set index negated, -1 *)
+  ln_cached : bool;  (** producing verdict replayed from the cache *)
+}
+
+type branch_stat = {
+  br_branch : int;
+  br_first_test : int;  (** first test targeting it that ran, -1 if none *)
+  br_attempts : int;  (** negation attempts targeting this branch *)
+  br_sat : int;
+  br_unsat : int;
+  br_unknown : int;
+  br_cached : int;  (** attempts answered from the solver cache *)
+}
+
+type witness_edge = { we_rank : int; we_kind : string; we_peer : int; we_comm : int }
+
+type t = {
+  events : int;
+  census : (string * int) list;  (** kind → count, sorted by kind *)
+  unknown_kinds : (string * int) list;  (** skipped kinds, sorted *)
+  malformed : int;
+  target : string option;
+  budget : int option;
+  seed : int option;
+  nprocs0 : int option;
+  curve : (int * int) list;  (** (iteration, cumulative covered), ascending *)
+  iterations : int;
+  final_covered : int option;
+  final_reachable : int option;
+  bugs : int;
+  wall_s : float option;
+  exec_s : float;
+  solve_s : float;
+  solver_calls : int;
+  solver_sat : int;
+  solver_unsat : int;
+  solver_unknown : int;
+  solver_time_s : float;
+  solver_nodes : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  lineage : lineage_node list;  (** ascending test id *)
+  branches : branch_stat list;  (** ascending branch id *)
+  matrix : ((int * int) * int) list;  (** (src, dst) → delivered messages *)
+  rank_sends : (int * int) list;  (** rank → send posts *)
+  rank_recvs : (int * int) list;  (** rank → completed receives *)
+  rank_colls : (int * int) list;  (** rank → collectives joined *)
+  rank_blocked : (int * int) list;  (** rank → blocking episodes *)
+  collectives : ((int * string) * int) list;  (** (comm, signature) → count *)
+  deadlocks : int;
+  witness : (witness_edge * int) list;  (** deduplicated wait-for edges *)
+  faults : (int * int * string * string) list;  (** iter, rank, kind, detail *)
+  restarts : (string * int) list;  (** reason → count *)
+}
+
+val fold : Event.t list -> t
+(** Aggregate an already-parsed stream ([unknown_kinds] and [malformed]
+    are empty/0). *)
+
+val of_lines : string list -> t
+(** [classify_line] each line, fold the events, and count the skips. *)
+
+(** {2 Lineage queries} *)
+
+val node : t -> int -> lineage_node option
+
+val chain : t -> int -> lineage_node list
+(** Causal chain of a test: the node itself first, then its parent, up
+    to the root. Cycle-safe (stops on a repeated id). *)
+
+val first_test_for_branch : t -> int -> int option
+(** First test whose producing negation targeted the branch. *)
+
+val lineage_errors : t -> string list
+(** Structural invariant violations: duplicate ids, missing or
+    non-ancestral parents (parent must be < test), roots that are not
+    seeds/restarts, negated nodes without a branch. Empty = healthy. *)
+
+val witness_cycle : t -> int list option
+(** A wait-for cycle among the deadlock-witness edges, as the list of
+    ranks in traversal order (the last waits on the first again);
+    [None] when no directed cycle exists (e.g. a collective deadlock
+    whose edges point at absent ranks). *)
+
+(** {2 Renderers} *)
+
+val ascii_curve : ?width:int -> ?height:int -> (int * int) list -> string
+
+val to_text : ?stable:bool -> ?branch_label:(int -> string) -> t -> string
+(** The full ASCII report. [stable] drops wall-clock-derived lines and
+    worker/checkpoint census rows so output is byte-identical across
+    [--jobs] values; [branch_label] renders branch ids (default
+    [string_of_int]). *)
+
+val to_html : ?stable:bool -> ?branch_label:(int -> string) -> t -> string
+(** Self-contained HTML report (inline CSS + SVG, no scripts, no
+    timestamps): coverage curve, solver/cache breakdown, per-branch hit
+    table, comm-matrix heatmap, lineage summary, deadlock witnesses. *)

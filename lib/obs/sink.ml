@@ -15,10 +15,30 @@ let current : installed option ref = ref None
 let is_active = ref false
 let mu = Mutex.create ()
 
+(* Park path: whatever bytes a channel sink has buffered must reach the
+   OS even when the process dies without unwinding (uncaught exception,
+   exit after a SIGINT park). Registered once, on the first install, so
+   a crashed campaign still leaves a trace replayable up to the last
+   complete line. *)
+let flush_channel () =
+  Mutex.lock mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mu)
+    (fun () ->
+      match !current with
+      | Some { target = Channel_sink oc; _ } -> ( try flush oc with Sys_error _ -> ())
+      | Some _ | None -> ())
+
+let at_exit_registered = ref false
+
 let install target =
   (match !current with
   | Some { target = Channel_sink oc; _ } -> flush oc
   | Some _ | None -> ());
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit flush_channel
+  end;
   current := Some { target; t0 = Unix.gettimeofday () };
   is_active := (match target with Null_sink -> false | Buffer_sink _ | Channel_sink _ -> true)
 
@@ -28,6 +48,8 @@ let uninstall () =
   | Some _ | None -> ());
   current := None;
   is_active := false
+
+let flush_now = flush_channel
 
 let active () = !is_active
 

@@ -23,6 +23,13 @@ val uninstall : unit -> unit
 (** Flushes a channel sink. Does not close the channel — the opener
     owns it. *)
 
+val flush_now : unit -> unit
+(** Push a channel sink's buffered bytes to the OS without uninstalling
+    it. No-op for other targets. Serialized against concurrent [emit]s,
+    so it never tears a line; [install] registers it with [at_exit] so
+    abnormal exits still leave a replayable trace. Safe to call from
+    signal handlers that park the process. *)
+
 val active : unit -> bool
 (** [true] iff events are currently being written ([Null_sink] and
     no-sink both answer [false]). *)

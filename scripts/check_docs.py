@@ -11,10 +11,11 @@ that don't exist:
   3. CLI flags like `--jobs` that bin/compi_cli.ml does not define.
 
 With `--exe PATH` (a built compi_cli executable) it additionally runs
-`PATH run --help` and cross-checks the live help text: the
-checkpoint/resume flags must exist in the binary AND be documented, and
-every flag the help mentions must also be found by the source-level
-regex (so the regex cannot silently rot).
+`PATH <cmd> --help` for each audited subcommand (run, explain, report)
+and cross-checks the live help text: the checkpoint/resume and
+observatory flags must exist in the binary AND be documented, and every
+flag the help mentions must also be found by the source-level regex
+(so the regex cannot silently rot).
 
 Run from the repository root: python3 scripts/check_docs.py
 """
@@ -44,9 +45,14 @@ FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
 # Flags cmdliner generates for every command.
 BUILTIN_FLAGS = {"--help", "--version"}
 
-# `compi-cli run` flags that must exist in the built binary and be
-# documented — the checkpoint/resume surface the CI matrix exercises.
-REQUIRED_RUN_FLAGS = {"--checkpoint", "--checkpoint-every", "--resume"}
+# Per-subcommand flags that must exist in the built binary and be
+# documented — the checkpoint/resume surface the CI matrix exercises,
+# and the observatory surface the explain/report smoke job drives.
+REQUIRED_FLAGS = {
+    "run": {"--checkpoint", "--checkpoint-every", "--resume", "--trace-events"},
+    "explain": {"--branch", "--testcase", "--target"},
+    "report": {"--out", "--stable", "--target"},
+}
 
 
 def cli_flags():
@@ -59,10 +65,10 @@ def cli_flags():
     return flags
 
 
-def help_flags(exe):
-    """Flags `EXE run --help` actually reports (live binary truth)."""
+def help_flags(exe, cmd):
+    """Flags `EXE <cmd> --help` actually reports (live binary truth)."""
     out = subprocess.run(
-        [exe, "run", "--help"],
+        [exe, cmd, "--help"],
         capture_output=True,
         text=True,
         check=True,
@@ -71,20 +77,20 @@ def help_flags(exe):
     return set(FLAG_RE.findall(out))
 
 
-def check_run_help(exe, source_flags, doc_flags, errors):
+def check_cmd_help(exe, cmd, required, source_flags, doc_flags, errors):
     try:
-        live = help_flags(exe)
+        live = help_flags(exe, cmd)
     except (OSError, subprocess.CalledProcessError) as e:
-        errors.append(f"{exe}: cannot query `run --help`: {e}")
+        errors.append(f"{exe}: cannot query `{cmd} --help`: {e}")
         return
-    for flag in sorted(REQUIRED_RUN_FLAGS - live):
-        errors.append(f"{exe}: `run --help` does not list {flag}")
-    for flag in sorted(REQUIRED_RUN_FLAGS - doc_flags):
+    for flag in sorted(required - live):
+        errors.append(f"{exe}: `{cmd} --help` does not list {flag}")
+    for flag in sorted(required - doc_flags):
         errors.append(f"documentation never mentions required flag {flag}")
     # drift guard: anything the binary advertises must be visible to the
     # source-level regex, or the static check is quietly incomplete
     for flag in sorted(live - source_flags):
-        errors.append(f"{exe}: `run --help` lists {flag}, source scan does not")
+        errors.append(f"{exe}: `{cmd} --help` lists {flag}, source scan does not")
 
 
 def check_file(path, flags, errors, doc_flags):
@@ -130,7 +136,7 @@ def main():
     parser.add_argument(
         "--exe",
         metavar="PATH",
-        help="built compi_cli executable; cross-check `run --help` output",
+        help="built compi_cli executable; cross-check per-subcommand --help output",
     )
     args = parser.parse_args()
 
@@ -145,13 +151,14 @@ def main():
                 f"missing documentation file: {os.path.relpath(path, ROOT)}"
             )
     if args.exe:
-        check_run_help(args.exe, flags, doc_flags, errors)
+        for cmd, required in sorted(REQUIRED_FLAGS.items()):
+            check_cmd_help(args.exe, cmd, required, flags, doc_flags, errors)
     if errors:
         for e in errors:
             print(f"error: {e}", file=sys.stderr)
         print(f"{len(errors)} documentation error(s)", file=sys.stderr)
         return 1
-    live = " + live `run --help`" if args.exe else ""
+    live = " + live --help of " + "/".join(sorted(REQUIRED_FLAGS)) if args.exe else ""
     print(f"ok: {len(DOC_FILES)} files checked against {len(flags)} CLI flags{live}")
     return 0
 

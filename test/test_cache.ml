@@ -107,6 +107,7 @@ let exec_record ?(cx = 3) ?(cy = 4) () =
     nprocs = 1;
     focus = 0;
     mapping = [];
+    exec_id = -1;
   }
 
 let test_apply_cached_matches_solver () =
@@ -203,6 +204,7 @@ let test_unsat_negation_cached () =
       nprocs = 1;
       focus = 0;
       mapping = [];
+      exec_id = -1;
     }
   in
   (match Concolic.Execution.solve_negation t 0 with

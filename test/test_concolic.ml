@@ -187,6 +187,7 @@ let mk_record ?(extra = []) constrs model =
     nprocs = 4;
     focus = 0;
     mapping = [];
+    exec_id = -1;
   }
 
 let test_execution_prefix () =

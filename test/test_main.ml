@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          Test_obs.suite;
+         Test_observatory.suite;
          Test_smt.suite;
          Test_minic.suite;
          Test_mpisim.suite;

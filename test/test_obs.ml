@@ -128,6 +128,16 @@ let sample_events : Obs.Event.t list =
     Cache_evict { dropped = 3; entries = 4096 };
     Checkpoint_write { iteration = 60; path = "/tmp/ckpt/campaign.ckpt"; bytes = 8192 };
     Checkpoint_load { iteration = 60; path = "/tmp/ckpt/campaign.ckpt" };
+    Lineage_test
+      { test = 12; parent = 7; origin = "negated"; branch = 35; index = 4; cached = true };
+    Lineage_test
+      { test = 0; parent = -1; origin = "seed"; branch = -1; index = -1; cached = false };
+    Lineage_negation
+      { parent = 12; index = 9; branch = 18; outcome = Obs.Event.Unsat; cached = false };
+    Msg_matched { src = 1; dst = 2; comm = 0; tag = 7 };
+    Coll_done { comm = 3; signature = "allreduce:max"; ranks = [ 0; 1; 2; 3 ] };
+    Rank_blocked { rank = 2; comm = 0; kind = "recv"; peer = -1 };
+    Deadlock_witness { rank = 1; comm = 0; kind = "collective:barrier"; peer = 3 };
   ]
 
 let test_event_roundtrip () =
@@ -135,7 +145,7 @@ let test_event_roundtrip () =
   let kinds =
     List.sort_uniq String.compare (List.map Obs.Event.kind_name sample_events)
   in
-  Alcotest.(check int) "all 18 event kinds sampled" 18 (List.length kinds);
+  Alcotest.(check int) "all 24 event kinds sampled" 24 (List.length kinds);
   List.iter
     (fun ev ->
       let wire = Obs.Json.to_string (Obs.Event.to_json ~t:1.25 ev) in
