@@ -1,16 +1,24 @@
 (* Parallel campaign engine: wall time vs worker count, solver-cache
    effect, and the determinism guarantee checked end to end.
 
-   Runs the same campaign at --jobs 1/2/4 (cache on), plus a jobs=1
+   Runs the same campaign at --jobs 1/2/4/8 (cache on), plus a jobs=1
    cache-off baseline, and writes BENCH_parallel.json. Speedups are
    whatever the machine gives: on a single-core container the parallel
-   runs only add coordination overhead, so the JSON records the core
-   count ([cores]) alongside the times — compare speedup against it,
-   not against the job count. The [identical_reports] flag is the
-   important invariant either way: every configuration must produce a
-   byte-identical canonical coverage report. *)
+   runs only add coordination overhead, so the JSON records
+   [recommended_domains] (Domain.recommended_domain_count) alongside
+   the times and each row's actual [pool_size] — compare speedup
+   against the cores, not against the job count. The
+   [identical_reports] flag is the important invariant either way:
+   every configuration must produce a byte-identical canonical
+   coverage report.
 
-let job_counts = [ 1; 2; 4 ]
+   Under --profile, one extra jobs-4 run is traced (spans included) to
+   BENCH_parallel_trace.jsonl and its profile printed — the raw
+   material of scripts/bench_diff.py's explanations. *)
+
+let job_counts = [ 1; 2; 4; 8 ]
+
+let trace_file = "BENCH_parallel_trace.jsonl"
 
 let campaign_settings ~target ~iterations ~jobs ~cache =
   let t = Util.target target in
@@ -35,6 +43,25 @@ let measure ~target ~iterations ~jobs ~cache =
   let r = Compi.Campaign.run ~settings ~label:target info in
   let wall = Unix.gettimeofday () -. t0 in
   (r, wall)
+
+let profiled_run ~target ~iterations =
+  let oc = open_out trace_file in
+  Obs.Sink.install (Obs.Sink.Channel_sink oc);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.uninstall ();
+      close_out oc)
+    (fun () ->
+      (* the campaign owns the timeline: it enables on seeing the
+         active sink and drains/disables on the way out *)
+      let info = Util.instrumented target in
+      let settings = campaign_settings ~target ~iterations ~jobs:4 ~cache:true in
+      ignore (Compi.Campaign.run ~settings ~label:target info));
+  let f =
+    Obs.Fold.of_lines (In_channel.with_open_text trace_file In_channel.input_lines)
+  in
+  Printf.printf "\n-- span profile of one traced --jobs 4 run (%s) --\n%s" trace_file
+    (Obs.Fold.profile_text f)
 
 let run (scale : Util.scale) =
   Util.print_header "Parallel campaign engine: jobs scaling + solver cache";
@@ -74,6 +101,8 @@ let run (scale : Util.scale) =
       Obs.Json.Obj
         [
           ("jobs", Obs.Json.Int jobs);
+          (* Taskpool.create clamps to >= 1; record what actually ran *)
+          ("pool_size", Obs.Json.Int (max 1 jobs));
           ("solver_cache", Obs.Json.Bool (r.Compi.Campaign.cache <> None));
           ("wall_s", Obs.Json.Float wall);
           ("speedup_vs_jobs1", Obs.Json.Float (base_wall /. wall));
@@ -113,6 +142,7 @@ let run (scale : Util.scale) =
         ("target", Obs.Json.Str target);
         ("iterations", Obs.Json.Int iterations);
         ("cores", Obs.Json.Int cores);
+        ("recommended_domains", Obs.Json.Int (Domain.recommended_domain_count ()));
         ("reps", Obs.Json.Int reps);
         ("identical_reports", Obs.Json.Bool all_identical);
         ("configs", Obs.Json.List (List.map snd rows));
@@ -121,4 +151,5 @@ let run (scale : Util.scale) =
   Out_channel.with_open_text "BENCH_parallel.json" (fun oc ->
       Out_channel.output_string oc (Obs.Json.to_string doc);
       Out_channel.output_char oc '\n');
-  Printf.printf "results written to BENCH_parallel.json\n%!"
+  Printf.printf "results written to BENCH_parallel.json\n%!";
+  if !Util.profile_mode then profiled_run ~target ~iterations

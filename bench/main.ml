@@ -5,6 +5,8 @@
      dune exec bench/main.exe                 — everything, quick budgets
      dune exec bench/main.exe -- fig4 table6  — selected experiments
      dune exec bench/main.exe -- --scale 4 all — 4x longer budgets
+     dune exec bench/main.exe -- --profile parallel — also trace one
+       jobs-4 campaign and print its span profile
 
    Absolute numbers differ from the paper (simulator vs the authors'
    testbed; budgets scaled from hours to seconds); the shapes — who
@@ -37,6 +39,9 @@ let () =
       parse rest
     | "--reps" :: x :: rest ->
       scale := { !scale with Util.reps = int_of_string x };
+      parse rest
+    | "--profile" :: rest ->
+      Util.profile_mode := true;
       parse rest
     | "all" :: rest -> parse rest
     | name :: rest ->

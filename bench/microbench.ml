@@ -133,6 +133,70 @@ let gauge_name name =
     name;
   "bench." ^ Buffer.contents b ^ ".ns_per_run"
 
+(* The span subsystem must be invisible when off and near-free when on:
+   with the timeline disabled, [span]/[record] are a single flag read
+   and must not touch the minor heap; enabled, the whole campaign
+   instrumentation may cost at most 5% on the end-to-end interpreter
+   ns/run. Direct min-of-reps timing rather than Bechamel — the
+   comparison needs identical workloads either side of one global
+   toggle, and min-of-reps is robust to scheduler noise. *)
+let span_overhead_check () =
+  Util.print_header "Span overhead (timeline off vs on)";
+  let info = Targets.Registry.instrument (Targets.Catalog.find_exn "toy-fig2") in
+  let config =
+    {
+      (Compi.Runner.default_config ~info) with
+      Compi.Runner.nprocs = 4;
+      inputs = [ ("x", 10); ("y", 50) ];
+      two_way = true;
+    }
+  in
+  let run_once () =
+    match Compi.Runner.run config with
+    | Ok _ -> ()
+    | Error (`Platform_limit _) -> assert false
+  in
+  let time_n n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      run_once ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  let n = 40 and reps = 5 in
+  run_once () (* warm caches before either side is timed *);
+  let min_of f = List.fold_left Float.min infinity (List.init reps (fun _ -> f ())) in
+  let off_ns = 1e9 *. min_of (fun () -> time_n n) in
+  Obs.Timeline.enable ();
+  let on_ns = 1e9 *. min_of (fun () -> time_n n) in
+  Obs.Timeline.disable ();
+  let ratio = on_ns /. off_ns in
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.span_overhead.off.ns_per_run") off_ns;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.span_overhead.on.ns_per_run") on_ns;
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.span_overhead.ratio") ratio;
+  Printf.printf "  %-45s %12.0f ns/run\n" "runner, timeline off" off_ns;
+  Printf.printf "  %-45s %12.0f ns/run (%.3fx)\n%!" "runner, timeline on" on_ns ratio;
+  if ratio > 1.05 then begin
+    Printf.eprintf "FAIL: span overhead %.3fx exceeds the 1.05x budget\n" ratio;
+    exit 1
+  end;
+  let f = Sys.opaque_identity (fun () -> ()) in
+  let iters = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    Obs.Timeline.span "bench" f;
+    Obs.Timeline.record ~kind:"bench" ~t0:0 ~t1:0
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Printf.printf "  %-45s %12.1f words / %d calls\n%!" "disabled-path minor allocation" dw
+    iters;
+  (* the measurement brackets themselves box a couple of floats; the
+     loop body must contribute nothing *)
+  if dw > 256.0 then begin
+    Printf.eprintf "FAIL: disabled span path allocated %.0f minor words\n" dw;
+    exit 1
+  end
+
 let run () =
   Util.print_header "Micro-benchmarks (Bechamel, ns/run)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
@@ -149,4 +213,5 @@ let run () =
         Obs.Metrics.set (Obs.Metrics.gauge (gauge_name name)) est;
         Printf.printf "  %-45s %12.0f ns/run\n%!" name est
       | Some _ | None -> Printf.printf "  %-45s %12s\n%!" name "n/a")
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  span_overhead_check ()

@@ -7,6 +7,10 @@ type scale = { time : float; iters : float; reps : int }
 
 let default_scale = { time = 1.0; iters = 1.0; reps = 2 }
 
+(* --profile: experiments that support it additionally run one traced
+   configuration and print its span profile (see exp_parallel). *)
+let profile_mode = ref false
+
 let scaled_iters scale n = max 5 (int_of_float (float_of_int n *. scale.iters))
 let scaled_time scale s = s *. scale.time
 

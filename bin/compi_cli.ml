@@ -213,7 +213,11 @@ let metrics_arg =
 let with_telemetry ~trace_events ~metrics f =
   let oc = Option.map open_out trace_events in
   (match oc with
-  | Some oc -> Obs.Sink.install (Obs.Sink.Channel_sink oc)
+  | Some oc ->
+    Obs.Sink.install (Obs.Sink.Channel_sink oc);
+    (* tracing implies spans: arm the per-domain timeline so the trace
+       carries the material [compi-cli profile] folds *)
+    Obs.Timeline.enable ()
   | None -> ());
   let old_handlers =
     if Option.is_none oc then []
@@ -241,6 +245,8 @@ let with_telemetry ~trace_events ~metrics f =
         old_handlers;
       (match oc with
       | Some chan ->
+        Obs.Timeline.drain ();
+        Obs.Timeline.disable ();
         Obs.Sink.uninstall ();
         close_out chan;
         Printf.printf "events written to %s\n"
@@ -749,6 +755,33 @@ let report_cmd =
           $(b,--out), ASCII otherwise")
     Term.(const run $ trace_pos_arg $ report_out_arg $ stable_arg $ label_target_arg)
 
+let profile_cmd =
+  let run path out stable =
+    let f = load_fold path in
+    if f.Obs.Fold.spans = [] then begin
+      Printf.eprintf
+        "%s: no spans in this trace (re-run the campaign with --trace-events \
+         using this build to record them)\n"
+        path;
+      exit 1
+    end;
+    match out with
+    | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Obs.Fold.profile_html ~stable f));
+      Printf.printf "profile written to %s (%d spans)\n" file
+        (List.length f.Obs.Fold.spans)
+    | None -> print_string (Obs.Fold.profile_text ~stable f)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Fold the timeline spans of a $(b,--trace-events) JSONL trace into a \
+          performance profile: per-kind wall breakdown, per-worker utilization, \
+          merge-barrier stall, cache-lock contention and per-round critical path — \
+          HTML with a Gantt timeline via $(b,--out), ASCII otherwise")
+    Term.(const run $ trace_pos_arg $ report_out_arg $ stable_arg)
+
 let random_cmd =
   let run t iterations time seed nprocs caps =
     let info, settings =
@@ -882,5 +915,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; show_cmd; test_cmd; run_cmd; random_cmd; exec_cmd; replay_cmd;
-            explain_cmd; report_cmd; test_file_cmd;
+            explain_cmd; report_cmd; profile_cmd; test_file_cmd;
           ]))

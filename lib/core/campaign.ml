@@ -206,6 +206,13 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
       | Some c -> Some c
       | None -> Some (Smt.Cache.create ~capacity:settings.cache_capacity ())
   in
+  (* The campaign owns the span timeline unless the caller (CLI, test
+     harness) already enabled it. Enabling must precede pool creation so
+     the worker domains' spans share the epoch, and only makes sense
+     against an installed sink — spans are drained into it. *)
+  let tl_owner = Obs.Sink.active () && not (Obs.Timeline.on ()) in
+  if tl_owner then Obs.Timeline.enable ();
+  let campaign_tk = if Obs.Timeline.on () then Obs.Timeline.tick () else 0 in
   let pool = Taskpool.create ~jobs:settings.jobs in
   (* A stop request from SIGINT/SIGTERM parks the campaign at the next
      merge position — the same cut the iteration budget uses — so the
@@ -232,7 +239,18 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
   Fun.protect
     ~finally:(fun () ->
       List.iter (fun (sg, old) -> try Sys.set_signal sg old with Invalid_argument _ | Sys_error _ -> ()) old_handlers;
-      Taskpool.shutdown pool)
+      Taskpool.shutdown pool;
+      (* one umbrella "campaign" span closes over setup, every round
+         and the teardown just done, so the profile can attribute the
+         engine's full extent even where no finer span runs; then flush
+         whatever the workers buffered (shutdown's join has already
+         fenced them) and release the timeline if we own it *)
+      if Obs.Timeline.on () then begin
+        Obs.Timeline.record ~kind:"campaign" ~t0:campaign_tk
+          ~t1:(Obs.Timeline.tick ());
+        Obs.Timeline.drain ()
+      end;
+      if tl_owner then Obs.Timeline.disable ())
   @@ fun () ->
   (match resumed with
   | Some (dir, sn) ->
@@ -527,9 +545,11 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
   in
   while !work <> [] && continue_ok () do
     incr rounds;
+    let round_tk = if Obs.Timeline.on () then Obs.Timeline.tick () else 0 in
     (* dispatch: probe the cache on the main domain, then build one
        fused task per work item *)
     let classified =
+      Obs.Timeline.span "dispatch" @@ fun () ->
       List.map
         (fun w ->
           match w with
@@ -660,8 +680,17 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
           merge_pairs rest
         end
     in
-    merge_pairs (List.combine !work results);
-    if continue_ok () then schedule () else work := []
+    Obs.Timeline.span "merge" (fun () ->
+        merge_pairs (List.combine !work results));
+    if continue_ok () then schedule () else work := [];
+    (* drain first, then record the round span: the drain cost itself
+       lands inside this round's window (it is flushed by the next
+       round's drain, or the final one), so round spans tile the loop
+       and the profile can attribute ~all wall time to named spans *)
+    if Obs.Timeline.on () then begin
+      Obs.Timeline.drain ();
+      Obs.Timeline.record ~kind:"round" ~t0:round_tk ~t1:(Obs.Timeline.tick ())
+    end
   done;
   (* final flush: whatever stopped the campaign — budget, signal, or a
      drained work list — leave a snapshot the next run can pick up *)

@@ -235,4 +235,7 @@ let run_raw config =
 
 let run config =
   Obs.Metrics.incr m_runs;
+  (* Prof.time also records an "exec" timeline span — on campaign worker
+     domains too — so every concolic execution shows on the profile
+     Gantt without further instrumentation here. *)
   Obs.Prof.time "exec" (fun () -> run_raw config)

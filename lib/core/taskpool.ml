@@ -39,11 +39,14 @@ let run_claimed t ~worker ~tasks_run b i =
   t.task_seq <- seq + 1;
   Mutex.unlock t.mu;
   let t0 = Unix.gettimeofday () in
+  let tk0 = if Obs.Timeline.on () then Obs.Timeline.tick () else 0 in
   let outcome =
     match b.thunks.(i) () with
     | v -> Done v
     | exception e -> Raised (e, Printexc.get_raw_backtrace ())
   in
+  if Obs.Timeline.on () then
+    Obs.Timeline.record ~kind:"task" ~t0:tk0 ~t1:(Obs.Timeline.tick ());
   let dt = Unix.gettimeofday () -. t0 in
   incr tasks_run;
   if Obs.Sink.active () then
@@ -54,6 +57,9 @@ let run_claimed t ~worker ~tasks_run b i =
   if b.completed = Array.length b.thunks then Condition.broadcast t.done_cv
 
 let worker_loop t ~worker =
+  (* spans from this domain carry the pool worker index, not the raw
+     (reused) Domain.self id, so profiles line up with worker_* events *)
+  Obs.Timeline.set_domain worker;
   let tasks_run = ref 0 in
   Mutex.lock t.mu;
   let rec loop () =
@@ -66,7 +72,10 @@ let worker_loop t ~worker =
         run_claimed t ~worker ~tasks_run b i;
         loop ()
       | Some _ | None ->
+        let tk0 = if Obs.Timeline.on () then Obs.Timeline.tick () else 0 in
         Condition.wait t.work_cv t.mu;
+        if Obs.Timeline.on () then
+          Obs.Timeline.record ~kind:"idle" ~t0:tk0 ~t1:(Obs.Timeline.tick ());
         loop ()
   in
   loop ();
@@ -117,9 +126,12 @@ let map t f xs =
       b.cursor <- i + 1;
       run_claimed t ~worker:0 ~tasks_run b i
     done;
+    let tk0 = if Obs.Timeline.on () then Obs.Timeline.tick () else 0 in
     while b.completed < n do
       Condition.wait t.done_cv t.mu
     done;
+    if Obs.Timeline.on () then
+      Obs.Timeline.record ~kind:"barrier" ~t0:tk0 ~t1:(Obs.Timeline.tick ());
     t.batch <- None;
     Mutex.unlock t.mu;
     Array.to_list b.results
@@ -134,5 +146,5 @@ let shutdown t =
   t.stop <- true;
   Condition.broadcast t.work_cv;
   Mutex.unlock t.mu;
-  List.iter Domain.join t.domains;
+  Obs.Timeline.span "join" (fun () -> List.iter Domain.join t.domains);
   t.domains <- []

@@ -632,6 +632,12 @@ let m_faults = Obs.Metrics.counter "interp.faults"
 let m_steps = Obs.Metrics.histogram "interp.steps_per_run"
 
 let run hooks (program : Ast.program) =
+  (* Timed as one "interp" span per simulated process. The interpreter
+     runs inside a scheduler fiber, so the interval covers the process
+     lifetime including suspensions at MPI calls; spans of concurrently
+     scheduled ranks overlap on the same domain, which the profile's
+     interval-union accounting handles. *)
+  let tk0 = if Obs.Timeline.on () then Obs.Timeline.tick () else 0 in
   let st = { hooks; program; steps = 0; func = program.Ast.entry } in
   let result =
     match
@@ -650,4 +656,6 @@ let run hooks (program : Ast.program) =
   Obs.Metrics.incr m_runs;
   Obs.Metrics.observe_int m_steps st.steps;
   if Result.is_error result then Obs.Metrics.incr m_faults;
+  if Obs.Timeline.on () then
+    Obs.Timeline.record ~kind:"interp" ~t0:tk0 ~t1:(Obs.Timeline.tick ());
   result

@@ -68,6 +68,7 @@ type t =
   | Coll_done of { comm : int; signature : string; ranks : int list }
   | Rank_blocked of { rank : int; comm : int; kind : string; peer : int }
   | Deadlock_witness of { rank : int; comm : int; kind : string; peer : int }
+  | Span of { domain : int; kind : string; t0 : int; t1 : int }
 
 let kind_name = function
   | Campaign_start _ -> "campaign_start"
@@ -94,6 +95,7 @@ let kind_name = function
   | Coll_done _ -> "coll_done"
   | Rank_blocked _ -> "rank_blocked"
   | Deadlock_witness _ -> "deadlock_witness"
+  | Span _ -> "span"
 
 let fields = function
   | Campaign_start { target; iterations; seed; nprocs } ->
@@ -232,6 +234,13 @@ let fields = function
       ("comm", Json.Int comm);
       ("kind", Json.Str kind);
       ("peer", Json.Int peer);
+    ]
+  | Span { domain; kind; t0; t1 } ->
+    [
+      ("domain", Json.Int domain);
+      ("kind", Json.Str kind);
+      ("t0", Json.Int t0);
+      ("t1", Json.Int t1);
     ]
 
 let to_json ?t ev =
@@ -415,4 +424,10 @@ let of_json j =
     let* kind = str "kind" in
     let* peer = int "peer" in
     Ok (Deadlock_witness { rank; comm; kind; peer })
+  | "span" ->
+    let* domain = int "domain" in
+    let* kind = str "kind" in
+    let* t0 = int "t0" in
+    let* t1 = int "t1" in
+    Ok (Span { domain; kind; t0; t1 })
   | other -> Error (Printf.sprintf "unknown event kind %s" other)

@@ -110,6 +110,12 @@ type t =
           on [peer] (a missing collective participant, or the sender it
           receives/waits from; -1 when unknowable). The full set of
           witness edges names the wait-for cycle. *)
+  | Span of { domain : int; kind : string; t0 : int; t1 : int }
+      (** one timed interval from the {!Timeline}: work of [kind] ran on
+          [domain] (pool worker index; 0 = main) from monotonic tick
+          [t0] to [t1], in nanoseconds since the timeline was enabled.
+          The profile fold ([compi-cli profile]) is built entirely from
+          these. *)
 
 val kind_name : t -> string
 (** The wire name, i.e. the ["ev"] field of the JSON encoding. *)

@@ -45,6 +45,8 @@ type branch_stat = {
 
 type witness_edge = { we_rank : int; we_kind : string; we_peer : int; we_comm : int }
 
+type span = { sp_domain : int; sp_kind : string; sp_t0 : int; sp_t1 : int }
+
 type t = {
   events : int;
   census : (string * int) list;
@@ -83,6 +85,7 @@ type t = {
   witness : (witness_edge * int) list;
   faults : (int * int * string * string) list;
   restarts : (string * int) list;
+  spans : span list;
 }
 
 let bump tbl key n =
@@ -111,6 +114,7 @@ let fold events =
   let witness = Hashtbl.create 16 in
   let faults = ref [] in
   let restarts = Hashtbl.create 8 in
+  let spans = ref [] in
   List.iter
     (fun ev ->
       bump census (Event.kind_name ev) 1;
@@ -177,6 +181,8 @@ let fold events =
       | Event.Fault { iteration; rank; kind; detail } ->
         faults := (iteration, rank, kind, detail) :: !faults
       | Event.Restart { reason; _ } -> bump restarts reason 1
+      | Event.Span { domain; kind; t0; t1 } ->
+        spans := { sp_domain = domain; sp_kind = kind; sp_t0 = t0; sp_t1 = t1 } :: !spans
       | Event.Iter_start _ | Event.Negation _ | Event.Coverage_delta _
       | Event.Worker_spawn _ | Event.Worker_task _ | Event.Worker_exit _
       | Event.Checkpoint_write _ | Event.Checkpoint_load _ -> ())
@@ -246,6 +252,12 @@ let fold events =
     witness = sorted_assoc witness;
     faults = List.rev !faults;
     restarts = sorted_assoc restarts;
+    spans =
+      List.sort
+        (fun a b ->
+          compare (a.sp_t0, a.sp_domain, a.sp_t1, a.sp_kind)
+            (b.sp_t0, b.sp_domain, b.sp_t1, b.sp_kind))
+        !spans;
   }
 
 let of_lines lines =
@@ -378,11 +390,12 @@ let ascii_curve ?(width = 60) ?(height = 12) points =
     Buffer.contents buf
 
 (* Census rows whose counts depend on scheduling noise (worker identity,
-   checkpoint cadence/paths), not on what the campaign computed. *)
+   checkpoint cadence/paths, timing spans), not on what the campaign
+   computed. *)
 let unstable_kind k =
   match k with
   | "worker_spawn" | "worker_task" | "worker_exit" | "checkpoint_write"
-  | "checkpoint_load" -> true
+  | "checkpoint_load" | "span" -> true
   | _ -> false
 
 let stable_census t = List.filter (fun (k, _) -> not (unstable_kind k)) t.census
@@ -822,6 +835,494 @@ let to_html ?(stable = false) ?(branch_label = string_of_int) t =
     pf "<h2>Restarts</h2>\n<ul>\n";
     List.iter (fun (reason, n) -> pf "<li>%s ×%d</li>\n" (esc reason) n) t.restarts;
     pf "</ul>\n"
+  end;
+  pf "</body>\n</html>\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Profile fold: where the nanoseconds went                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The span vocabulary this build understands. Wait kinds are time a
+   domain provably spent not working (parked on a condition variable or
+   a lock); busy kinds are work, possibly nested (a "round" contains
+   "merge", an "exec" contains "schedule"). Unknown kinds — a newer
+   producer — are skipped and counted, mirroring the event-kind triage. *)
+let span_wait_kind = function
+  | "idle" | "barrier" | "join" | "cache.lock.wait" -> true
+  | _ -> false
+
+let span_busy_kind = function
+  | "campaign" | "task" | "exec" | "solve" | "solver.call" | "interp" | "schedule"
+  | "strategy" | "checkpoint" | "report" | "round" | "dispatch" | "merge"
+  | "cache.probe" | "cache.lock.hold" -> true
+  | _ -> false
+
+(* Structural umbrellas: they tile the main domain so attribution can
+   reach ~100%, but counting them as work would make domain 0 look
+   always-busy and every round's critical path equal its wall. They
+   contribute to coverage/attribution and the per-kind table only. *)
+let span_struct_kind = function "round" | "campaign" -> true | _ -> false
+
+(* Integer interval lists [(lo, hi)], hi exclusive. [ivs_norm] sorts,
+   drops empties, and merges overlaps into a disjoint ascending list —
+   the form the other operations expect. *)
+let ivs_norm ivs =
+  match List.sort compare (List.filter (fun (a, b) -> b > a) ivs) with
+  | [] -> []
+  | first :: rest ->
+    let merged, last =
+      List.fold_left
+        (fun (acc, (pa, pb)) (a, b) ->
+          if a <= pb then (acc, (pa, max pb b)) else ((pa, pb) :: acc, (a, b)))
+        ([], first) rest
+    in
+    List.rev (last :: merged)
+
+let ivs_len ivs = List.fold_left (fun acc (a, b) -> acc + (b - a)) 0 ivs
+
+(* [ivs_sub a b]: the parts of [a] not covered by [b]; both disjoint
+   ascending. *)
+let ivs_sub a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ -> List.rev acc
+    | rest, [] -> List.rev_append acc rest
+    | (a0, a1) :: ar, (b0, b1) :: br ->
+      if b1 <= a0 then go acc a br
+      else if a1 <= b0 then go ((a0, a1) :: acc) ar b
+      else
+        let acc = if a0 < b0 then (a0, b0) :: acc else acc in
+        if a1 > b1 then go acc ((b1, a1) :: ar) br else go acc ar b
+  in
+  go [] a b
+
+let ivs_clip (lo, hi) ivs =
+  List.filter_map
+    (fun (a, b) ->
+      let a = max a lo and b = min b hi in
+      if b > a then Some (a, b) else None)
+    ivs
+
+type domain_prof = {
+  dp_domain : int;
+  dp_spans : int;
+  dp_busy_ns : int;
+  dp_wait_ns : int;
+  dp_util : float;
+}
+
+type round_prof = {
+  rp_index : int;
+  rp_wall_ns : int;
+  rp_crit_ns : int;
+  rp_crit_domain : int;
+  rp_stall_ns : int;
+}
+
+type profile = {
+  pf_spans : int;
+  pf_unknown : (string * int) list;
+  pf_wall_ns : int;
+  pf_kinds : (string * (int * int)) list;
+  pf_domains : domain_prof list;
+  pf_barrier_ns : int;
+  pf_idle_ns : int;
+  pf_join_ns : int;
+  pf_lock_wait_ns : int;
+  pf_lock_hold_ns : int;
+  pf_lock_acqs : int;
+  pf_probe_ns : int;
+  pf_probes : int;
+  pf_lock_hist : (int * int) list;
+  pf_rounds : round_prof list;
+  pf_attributed_pct : float;
+}
+
+(* Power-of-two bucket: 0 for <= 0 ns, else the smallest e >= 1 with
+   ns <= 2^e. *)
+let ns_bucket ns =
+  if ns <= 0 then 0
+  else begin
+    let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+    bits 0 (ns - 1) |> max 1
+  end
+
+let empty_profile =
+  {
+    pf_spans = 0;
+    pf_unknown = [];
+    pf_wall_ns = 0;
+    pf_kinds = [];
+    pf_domains = [];
+    pf_barrier_ns = 0;
+    pf_idle_ns = 0;
+    pf_join_ns = 0;
+    pf_lock_wait_ns = 0;
+    pf_lock_hold_ns = 0;
+    pf_lock_acqs = 0;
+    pf_probe_ns = 0;
+    pf_probes = 0;
+    pf_lock_hist = [];
+    pf_rounds = [];
+    pf_attributed_pct = 0.0;
+  }
+
+let profile t =
+  let known, unknown_spans =
+    List.partition (fun s -> span_busy_kind s.sp_kind || span_wait_kind s.sp_kind) t.spans
+  in
+  let unknown = Hashtbl.create 4 in
+  List.iter (fun s -> bump unknown s.sp_kind 1) unknown_spans;
+  let pf_unknown = sorted_assoc unknown in
+  match known with
+  | [] -> { empty_profile with pf_unknown }
+  | _ :: _ ->
+    let t_min = List.fold_left (fun acc s -> min acc s.sp_t0) max_int known in
+    let t_max = List.fold_left (fun acc s -> max acc s.sp_t1) t_min known in
+    let wall = max 1 (t_max - t_min) in
+    let kinds = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let c, ns = Option.value (Hashtbl.find_opt kinds s.sp_kind) ~default:(0, 0) in
+        Hashtbl.replace kinds s.sp_kind (c + 1, ns + max 0 (s.sp_t1 - s.sp_t0)))
+      known;
+    let kind_total k =
+      match Hashtbl.find_opt kinds k with Some (_, ns) -> ns | None -> 0
+    in
+    let kind_count k =
+      match Hashtbl.find_opt kinds k with Some (c, _) -> c | None -> 0
+    in
+    let domains =
+      List.sort_uniq compare (List.map (fun s -> s.sp_domain) known)
+    in
+    (* exclusive busy = union(busy \ structural) minus union(wait): a
+       domain blocked on the merge barrier or holding no task is not
+       busy, so per-domain utilization can never exceed 1; umbrella
+       spans ("round", "campaign") are excluded or domain 0 would look
+       always-busy. *)
+    let excl_busy_of d =
+      let mine = List.filter (fun s -> s.sp_domain = d) known in
+      let iv p = ivs_norm (List.filter_map (fun s -> if p s.sp_kind then Some (s.sp_t0, s.sp_t1) else None) mine) in
+      let busy = iv (fun k -> span_busy_kind k && not (span_struct_kind k)) in
+      (ivs_sub busy (iv span_wait_kind), iv span_wait_kind, List.length mine)
+    in
+    let per_domain = List.map (fun d -> (d, excl_busy_of d)) domains in
+    let pf_domains =
+      List.map
+        (fun (d, (busy, wait, nspans)) ->
+          let busy_ns = ivs_len busy in
+          {
+            dp_domain = d;
+            dp_spans = nspans;
+            dp_busy_ns = busy_ns;
+            dp_wait_ns = ivs_len wait;
+            dp_util = float_of_int busy_ns /. float_of_int wall;
+          })
+        per_domain
+    in
+    let lock_waits = List.filter (fun s -> s.sp_kind = "cache.lock.wait") known in
+    let lock_hist = Hashtbl.create 8 in
+    List.iter (fun s -> bump lock_hist (ns_bucket (s.sp_t1 - s.sp_t0)) 1) lock_waits;
+    (* critical path per round: the longest exclusive-busy time any one
+       domain accumulated inside the round window; the remainder of the
+       round's wall is stall no schedule could have hidden. *)
+    let rounds =
+      List.filter (fun s -> s.sp_kind = "round") known
+      |> List.sort (fun a b -> compare (a.sp_t0, a.sp_t1) (b.sp_t0, b.sp_t1))
+    in
+    let pf_rounds =
+      List.mapi
+        (fun i r ->
+          let w = (r.sp_t0, r.sp_t1) in
+          let crit_domain, crit =
+            List.fold_left
+              (fun (bd, bn) (d, (busy, _, _)) ->
+                let n = ivs_len (ivs_clip w busy) in
+                if n > bn then (d, n) else (bd, bn))
+              (-1, -1) per_domain
+          in
+          let wall_r = max 0 (r.sp_t1 - r.sp_t0) in
+          {
+            rp_index = i + 1;
+            rp_wall_ns = wall_r;
+            rp_crit_ns = max 0 crit;
+            rp_crit_domain = crit_domain;
+            rp_stall_ns = max 0 (wall_r - max 0 crit);
+          })
+        rounds
+    in
+    (* attribution: how much of the global extent the main domain's
+       named spans cover — the >= 95% acceptance gate for the
+       instrumentation itself *)
+    let main_cover =
+      ivs_len
+        (ivs_norm
+           (List.filter_map
+              (fun s -> if s.sp_domain = 0 then Some (s.sp_t0, s.sp_t1) else None)
+              known))
+    in
+    {
+      pf_spans = List.length known;
+      pf_unknown;
+      pf_wall_ns = wall;
+      pf_kinds =
+        sorted_assoc kinds
+        |> List.sort (fun (ka, (_, na)) (kb, (_, nb)) -> compare (nb, ka) (na, kb));
+      pf_domains;
+      pf_barrier_ns = kind_total "barrier";
+      pf_idle_ns = kind_total "idle";
+      pf_join_ns = kind_total "join";
+      pf_lock_wait_ns = kind_total "cache.lock.wait";
+      pf_lock_hold_ns = kind_total "cache.lock.hold";
+      pf_lock_acqs = kind_count "cache.lock.wait";
+      pf_probe_ns = kind_total "cache.probe";
+      pf_probes = kind_count "cache.probe";
+      pf_lock_hist = sorted_assoc lock_hist;
+      pf_rounds;
+      pf_attributed_pct = 100.0 *. float_of_int main_cover /. float_of_int wall;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Profile renderers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ns_to_s ns = float_of_int ns /. 1e9
+
+(* Under [stable], absolute durations collapse to power-of-two tick
+   buckets ("~2^30ns") and percentages round to whole points, so the
+   numbers that survive are reproducible in shape across reruns of the
+   same campaign; without it, raw seconds. *)
+let dur ~stable ns =
+  if stable then Printf.sprintf "~2^%dns" (ns_bucket ns)
+  else Printf.sprintf "%.3fs" (ns_to_s ns)
+
+let share ~stable num den =
+  let p = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den in
+  if stable then Printf.sprintf "%3.0f%%" p else Printf.sprintf "%5.1f%%" p
+
+let profile_text ?(stable = false) t =
+  let p = profile t in
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  if p.pf_spans = 0 then begin
+    pf "no spans in trace";
+    (match p.pf_unknown with
+    | [] -> pf " (run the campaign with --trace-events to record them)\n"
+    | u ->
+      pf "; %d span(s) of unknown kind skipped: %s\n"
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 u)
+        (String.concat ", " (List.map (fun (k, n) -> Printf.sprintf "%s (%d)" k n) u)));
+    Buffer.contents b
+  end
+  else begin
+    pf "spans: %d across %d domain(s), wall %s\n" p.pf_spans
+      (List.length p.pf_domains) (dur ~stable p.pf_wall_ns);
+    pf "attributed to named spans on the main domain: %s of wall\n"
+      (share ~stable
+         (int_of_float (float_of_int p.pf_wall_ns *. p.pf_attributed_pct /. 100.0))
+         p.pf_wall_ns);
+    if p.pf_unknown <> [] then
+      pf "skipped %d span(s) of unknown kind: %s\n"
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 p.pf_unknown)
+        (String.concat ", "
+           (List.map (fun (k, n) -> Printf.sprintf "%s (%d)" k n) p.pf_unknown));
+    pf "\nper-kind totals (nested spans count toward every enclosing kind):\n";
+    pf "  %-16s %8s %12s %7s\n" "kind" "count" "total" "% wall";
+    List.iter
+      (fun (k, (c, ns)) ->
+        pf "  %-16s %8d %12s %7s\n" k c (dur ~stable ns) (share ~stable ns p.pf_wall_ns))
+      p.pf_kinds;
+    pf "\nper-worker utilization (exclusive busy time / wall):\n";
+    pf "  %-6s %12s %12s %6s\n" "domain" "busy" "wait" "util";
+    List.iter
+      (fun d ->
+        let u = int_of_float (d.dp_util *. 100.0) in
+        let bar = String.make (max 0 (min 30 (u * 30 / 100))) '#' in
+        pf "  %-6d %12s %12s %5d%%  |%-30s|\n" d.dp_domain (dur ~stable d.dp_busy_ns)
+          (dur ~stable d.dp_wait_ns) u bar)
+      p.pf_domains;
+    pf "\nstalls and contention:\n";
+    pf "  merge-barrier stall (main waiting on workers): %s (%s of wall)\n"
+      (dur ~stable p.pf_barrier_ns)
+      (share ~stable p.pf_barrier_ns p.pf_wall_ns);
+    pf "  worker idle (no task claimable): %s\n" (dur ~stable p.pf_idle_ns);
+    pf "  pool join: %s\n" (dur ~stable p.pf_join_ns);
+    pf "  cache-lock wait: %s across %d acquisition(s); hold %s; probe %s over %d probe(s)\n"
+      (dur ~stable p.pf_lock_wait_ns) p.pf_lock_acqs (dur ~stable p.pf_lock_hold_ns)
+      (dur ~stable p.pf_probe_ns) p.pf_probes;
+    if p.pf_lock_hist <> [] then begin
+      pf "  cache-lock wait histogram (power-of-two ns buckets):\n";
+      List.iter
+        (fun (e, n) ->
+          if e = 0 then pf "    %-10s %8d\n" "0ns" n
+          else pf "    <=2^%-6d %8d\n" e n)
+        p.pf_lock_hist
+    end;
+    if p.pf_rounds <> [] then begin
+      let nr = List.length p.pf_rounds in
+      let tot f = List.fold_left (fun acc r -> acc + f r) 0 p.pf_rounds in
+      let wall_t = tot (fun r -> r.rp_wall_ns) in
+      let crit_t = tot (fun r -> r.rp_crit_ns) in
+      let stall_t = tot (fun r -> r.rp_stall_ns) in
+      pf "\nrounds: %d; critical path %s of round wall (stall %s)\n" nr
+        (share ~stable crit_t wall_t) (share ~stable stall_t wall_t);
+      if not stable then begin
+        let slowest =
+          List.sort (fun a b -> compare (b.rp_wall_ns, a.rp_index) (a.rp_wall_ns, b.rp_index)) p.pf_rounds
+        in
+        pf "  slowest rounds:\n";
+        pf "    %5s %12s %12s %12s %6s\n" "round" "wall" "crit" "stall" "on";
+        List.iteri
+          (fun i r ->
+            if i < 5 then
+              pf "    %5d %12s %12s %12s %6d\n" r.rp_index (dur ~stable r.rp_wall_ns)
+                (dur ~stable r.rp_crit_ns) (dur ~stable r.rp_stall_ns) r.rp_crit_domain)
+          slowest
+      end
+    end;
+    Buffer.contents b
+  end
+
+(* Gantt colors: a fixed palette indexed by a deterministic hash of the
+   kind name, so the same kind is the same color in every report. *)
+let span_color kind =
+  let palette =
+    [|
+      "#4878cf"; "#6acc65"; "#d65f5f"; "#b47cc7"; "#c4ad66"; "#77bedb";
+      "#ee854a"; "#8c613c"; "#dc7ec0"; "#797979"; "#82c6e2"; "#d5bb67";
+    |]
+  in
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) kind;
+  palette.(!h mod Array.length palette)
+
+let profile_html ?(stable = false) t =
+  let p = profile t in
+  let b = Buffer.create 16384 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  pf "<title>compi campaign profile</title>\n";
+  pf
+    "<style>\nbody{font-family:system-ui,sans-serif;margin:2em auto;max-width:76em;\
+     padding:0 1em;color:#222}\nh1,h2{border-bottom:1px solid #ddd;padding-bottom:.2em}\n\
+     table{border-collapse:collapse;margin:.6em 0}\n\
+     th,td{border:1px solid #ccc;padding:.25em .6em;text-align:right;\
+     font-variant-numeric:tabular-nums}\nth{background:#f4f4f4}\n\
+     td.l,th.l{text-align:left}\n\
+     .ubar{display:inline-block;height:.8em;background:#4878cf}\n\
+     .utrack{display:inline-block;width:200px;height:.8em;background:#eee}\n\
+     .legend span{display:inline-block;margin-right:1em}\n\
+     .swatch{display:inline-block;width:.8em;height:.8em;margin-right:.3em;\
+     vertical-align:middle}\n</style>\n</head>\n<body>\n";
+  pf "<h1>compi campaign profile</h1>\n";
+  if p.pf_spans = 0 then pf "<p>no spans in this trace</p>\n"
+  else begin
+    pf "<p>%d spans across %d domain(s) · wall %s · %s of wall attributed on the \
+        main domain</p>\n"
+      p.pf_spans (List.length p.pf_domains) (dur ~stable p.pf_wall_ns)
+      (share ~stable
+         (int_of_float (float_of_int p.pf_wall_ns *. p.pf_attributed_pct /. 100.0))
+         p.pf_wall_ns);
+    (* utilization bars *)
+    pf "<h2>Per-worker utilization</h2>\n<table>\n";
+    pf "<tr><th>domain</th><th>busy</th><th>wait</th><th>util</th><th class=\"l\">\
+        </th></tr>\n";
+    List.iter
+      (fun d ->
+        let u = d.dp_util *. 100.0 in
+        pf
+          "<tr><th>%d</th><td>%s</td><td>%s</td><td>%.0f%%</td>\
+           <td class=\"l\"><span class=\"utrack\"><span class=\"ubar\" \
+           style=\"width:%.0f%%\"></span></span></td></tr>\n"
+          d.dp_domain (dur ~stable d.dp_busy_ns) (dur ~stable d.dp_wait_ns) u
+          (Float.min 100.0 u))
+      p.pf_domains;
+    pf "</table>\n";
+    (* stalls *)
+    pf "<h2>Stalls and contention</h2>\n<table>\n";
+    pf "<tr><th class=\"l\">source</th><th>total</th><th>%% wall</th></tr>\n";
+    List.iter
+      (fun (label, ns) ->
+        pf "<tr><td class=\"l\">%s</td><td>%s</td><td>%s</td></tr>\n" label
+          (dur ~stable ns) (share ~stable ns p.pf_wall_ns))
+      [
+        ("merge-barrier stall", p.pf_barrier_ns);
+        ("worker idle", p.pf_idle_ns);
+        ("pool join", p.pf_join_ns);
+        ("cache-lock wait", p.pf_lock_wait_ns);
+        ("cache-lock hold", p.pf_lock_hold_ns);
+      ];
+    pf "</table>\n";
+    (* gantt *)
+    let w = 1000 and row_h = 22 and label_w = 60 in
+    let nd = List.length p.pf_domains in
+    let h = (nd * row_h) + 30 in
+    let spans =
+      List.filter
+        (fun s -> span_busy_kind s.sp_kind || span_wait_kind s.sp_kind)
+        t.spans
+    in
+    let t_min =
+      List.fold_left (fun acc s -> min acc s.sp_t0) max_int spans
+    in
+    let px tk =
+      let raw =
+        float_of_int (tk - t_min) /. float_of_int p.pf_wall_ns *. float_of_int w
+      in
+      (* stable mode buckets ticks onto a 1000-step grid *)
+      if stable then Float.round raw else raw
+    in
+    pf "<h2>Timeline</h2>\n";
+    pf
+      "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\" \
+       aria-label=\"span timeline\">\n"
+      (w + label_w + 10) h (w + label_w + 10) h;
+    List.iteri
+      (fun row d ->
+        let y = row * row_h in
+        pf "<text x=\"2\" y=\"%d\" font-size=\"11\">domain %d</text>\n"
+          (y + (row_h / 2) + 4) d.dp_domain;
+        pf "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#eee\"/>\n" label_w
+          (y + row_h) (w + label_w) (y + row_h);
+        List.iter
+          (fun s ->
+            if s.sp_domain = d.dp_domain then begin
+              let x0 = px s.sp_t0 and x1 = px s.sp_t1 in
+              let wd = Float.max 0.5 (x1 -. x0) in
+              pf
+                "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" \
+                 fill=\"%s\" fill-opacity=\"0.8\"><title>%s</title></rect>\n"
+                (float_of_int label_w +. x0)
+                (y + 3) wd (row_h - 6) (span_color s.sp_kind) (esc s.sp_kind)
+            end)
+          spans)
+      p.pf_domains;
+    pf "</svg>\n";
+    let legend_kinds = List.map fst p.pf_kinds in
+    pf "<p class=\"legend\">";
+    List.iter
+      (fun k ->
+        pf "<span><span class=\"swatch\" style=\"background:%s\"></span>%s</span>"
+          (span_color k) (esc k))
+      legend_kinds;
+    pf "</p>\n";
+    (* kind table *)
+    pf "<h2>Per-kind totals</h2>\n<table>\n";
+    pf "<tr><th class=\"l\">kind</th><th>count</th><th>total</th><th>%% wall</th></tr>\n";
+    List.iter
+      (fun (k, (c, ns)) ->
+        pf "<tr><td class=\"l\">%s</td><td>%d</td><td>%s</td><td>%s</td></tr>\n" (esc k)
+          c (dur ~stable ns) (share ~stable ns p.pf_wall_ns))
+      p.pf_kinds;
+    pf "</table>\n";
+    if p.pf_rounds <> [] then begin
+      let nr = List.length p.pf_rounds in
+      let tot f = List.fold_left (fun acc r -> acc + f r) 0 p.pf_rounds in
+      pf "<p>%d round(s): critical path %s of round wall, stall %s</p>\n" nr
+        (share ~stable (tot (fun r -> r.rp_crit_ns)) (tot (fun r -> r.rp_wall_ns)))
+        (share ~stable (tot (fun r -> r.rp_stall_ns)) (tot (fun r -> r.rp_wall_ns)))
+    end
   end;
   pf "</body>\n</html>\n";
   Buffer.contents b

@@ -40,6 +40,13 @@ type branch_stat = {
 
 type witness_edge = { we_rank : int; we_kind : string; we_peer : int; we_comm : int }
 
+type span = {
+  sp_domain : int;  (** pool worker index; 0 = main domain *)
+  sp_kind : string;  (** e.g. ["exec"], ["barrier"], ["cache.lock.wait"] *)
+  sp_t0 : int;  (** begin tick, ns since the timeline was enabled *)
+  sp_t1 : int;  (** end tick, ns *)
+}
+
 type t = {
   events : int;
   census : (string * int) list;  (** kind → count, sorted by kind *)
@@ -78,6 +85,7 @@ type t = {
   witness : (witness_edge * int) list;  (** deduplicated wait-for edges *)
   faults : (int * int * string * string) list;  (** iter, rank, kind, detail *)
   restarts : (string * int) list;  (** reason → count *)
+  spans : span list;  (** timeline spans, sorted by (t0, domain, t1, kind) *)
 }
 
 val fold : Event.t list -> t
@@ -123,3 +131,75 @@ val to_html : ?stable:bool -> ?branch_label:(int -> string) -> t -> string
 (** Self-contained HTML report (inline CSS + SVG, no scripts, no
     timestamps): coverage curve, solver/cache breakdown, per-branch hit
     table, comm-matrix heatmap, lineage summary, deadlock witnesses. *)
+
+(** {2 Profile fold}
+
+    Everything below is a pure function of {!t}[.spans]: where the
+    campaign's nanoseconds went, per domain and per round. *)
+
+val span_wait_kind : string -> bool
+(** Time a domain provably spent not working: ["idle"], ["barrier"],
+    ["join"], ["cache.lock.wait"]. *)
+
+val span_busy_kind : string -> bool
+(** Work kinds this build understands (["task"], ["exec"], ["solve"],
+    ["round"], …). A span kind that is neither busy nor wait comes from
+    a newer producer and is skipped-and-counted. *)
+
+type domain_prof = {
+  dp_domain : int;
+  dp_spans : int;  (** spans recorded on this domain *)
+  dp_busy_ns : int;
+      (** exclusive busy: union(busy) minus union(wait); structural
+          umbrella spans ([round], [campaign]) are excluded *)
+  dp_wait_ns : int;  (** union of wait intervals *)
+  dp_util : float;  (** busy / global wall; always in [0, 1] *)
+}
+
+type round_prof = {
+  rp_index : int;  (** 1-based round number *)
+  rp_wall_ns : int;
+  rp_crit_ns : int;  (** longest single-domain exclusive-busy in the round *)
+  rp_crit_domain : int;  (** the domain carrying the critical path *)
+  rp_stall_ns : int;  (** wall − crit: latency no schedule could hide *)
+}
+
+type profile = {
+  pf_spans : int;  (** known-kind spans folded *)
+  pf_unknown : (string * int) list;  (** skipped kinds, sorted *)
+  pf_wall_ns : int;  (** global extent: max t1 − min t0 (≥ 1) *)
+  pf_kinds : (string * (int * int)) list;
+      (** kind → (count, total ns), descending by total *)
+  pf_domains : domain_prof list;  (** ascending domain id *)
+  pf_barrier_ns : int;  (** main waiting on the merge barrier *)
+  pf_idle_ns : int;  (** workers parked with nothing claimable *)
+  pf_join_ns : int;
+  pf_lock_wait_ns : int;  (** solver-cache lock acquisition wait *)
+  pf_lock_hold_ns : int;
+  pf_lock_acqs : int;
+  pf_probe_ns : int;
+  pf_probes : int;
+  pf_lock_hist : (int * int) list;
+      (** lock-wait histogram: power-of-two exponent → count; bucket [e]
+          is the smallest e ≥ 1 with wait ≤ 2^e ns, bucket 0 holds ≤ 0 *)
+  pf_rounds : round_prof list;
+  pf_attributed_pct : float;
+      (** % of wall covered by named spans on the main domain — the
+          instrumentation-completeness gauge *)
+}
+
+val profile : t -> profile
+(** Pure and deterministic; an empty span list yields a zeroed profile
+    (with [pf_unknown] still populated). *)
+
+val profile_text : ?stable:bool -> t -> string
+(** Text breakdown: per-kind totals, per-worker utilization bars,
+    merge-barrier stall, cache-lock wait histogram, per-round critical
+    path. Under [stable], absolute durations collapse to power-of-two
+    buckets and percentages to whole points, so reruns over the same
+    trace are byte-identical and shapes are comparable across hosts. *)
+
+val profile_html : ?stable:bool -> t -> string
+(** Self-contained HTML profile: utilization bars, stall table, SVG
+    Gantt timeline (one row per domain, colored by kind), per-kind
+    totals. No scripts, no timestamps. *)

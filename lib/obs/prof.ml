@@ -8,7 +8,13 @@
    (runner, scheduler); there [time] degrades to a plain call so the
    shared stack is never touched concurrently. Phase totals thus account
    main-domain work only; cross-domain work is visible through the
-   worker_task events and the campaign's own wall-clock accounting. *)
+   worker_task events and the campaign's own wall-clock accounting.
+
+   Every timed phase also records a {!Timeline} span under the phase
+   name — on any domain, since span buffers are per-domain — so when
+   the timeline is enabled the existing phase vocabulary ("exec",
+   "solve", "schedule", …) shows up on the profile Gantt without
+   touching the instrumented call sites. *)
 
 type entry = { mutable total : float; mutable self : float; mutable count : int }
 type frame = { fname : string; start : float; mutable child : float }
@@ -26,7 +32,7 @@ let entry name =
     e
 
 let time name f =
-  if not (Domain.is_main_domain ()) then f ()
+  if not (Domain.is_main_domain ()) then Timeline.span name f
   else begin
   let fr = { fname = name; start = now (); child = 0.0 } in
   stack := fr :: !stack;
@@ -43,7 +49,7 @@ let time name f =
       e.total <- e.total +. elapsed;
       e.self <- e.self +. Float.max 0.0 (elapsed -. fr.child);
       e.count <- e.count + 1)
-    f
+    (fun () -> Timeline.span name f)
   end
 
 let totals () =

@@ -10,7 +10,10 @@
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time phase f] runs [f] and charges its wall time to [phase].
-    Exception-safe; re-entrant (recursive phases accumulate). *)
+    Exception-safe; re-entrant (recursive phases accumulate). When the
+    {!Timeline} is enabled, additionally records a [phase] span on the
+    calling domain — on worker domains too, where the phase-total
+    accounting itself is skipped. *)
 
 val totals : unit -> (string * float * float * int) list
 (** [(phase, total_s, self_s, count)] sorted by phase name. *)

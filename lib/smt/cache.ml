@@ -20,10 +20,18 @@
    attempt under the same budget is equally cheap to re-refuse, and a
    raised budget should get its chance.
 
-   Ownership: the cache is not synchronized. The parallel campaign
-   engine keeps it on the main domain and probes/updates it only at
-   deterministic points (candidate dispatch and ordered merge), which is
-   also what makes campaigns reproducible regardless of worker count. *)
+   Ownership: [find]/[add] are serialized under one process-wide mutex.
+   The parallel campaign engine still probes/updates only from the main
+   domain at deterministic points (candidate dispatch and ordered
+   merge) — that scheduling discipline, not the lock, is what makes
+   campaigns reproducible regardless of worker count — but the lock
+   makes the structure safe for any caller and lets the timeline
+   account acquisition wait against hold time (the contention numbers
+   [compi-cli profile] reports). The mutex lives at module level, not
+   in [t]: campaign snapshots marshal the whole cache record
+   (Checkpoint.save), and Marshal rejects the custom block a Mutex.t
+   is. One global lock is exact for the single shared cache a campaign
+   owns, and merely coarser when tests build several. *)
 
 type outcome = Sat of Model.t | Unsat
 
@@ -102,8 +110,29 @@ let create ?(capacity = default_capacity) () =
 
 let entries t = Tbl.length t.table
 
+let lock = Mutex.create ()
+
+let locked f =
+  if Obs.Timeline.on () then begin
+    let t0 = Obs.Timeline.tick () in
+    Mutex.lock lock;
+    let t1 = Obs.Timeline.tick () in
+    Obs.Timeline.record ~kind:"cache.lock.wait" ~t0 ~t1;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Timeline.record ~kind:"cache.lock.hold" ~t0:t1
+          ~t1:(Obs.Timeline.tick ());
+        Mutex.unlock lock)
+      f
+  end
+  else begin
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  end
+
 let find t k =
-  let r = Tbl.find_opt t.table k in
+  locked @@ fun () ->
+  let r = Obs.Timeline.span "cache.probe" (fun () -> Tbl.find_opt t.table k) in
   (match r with
   | Some _ ->
     t.hits <- t.hits + 1;
@@ -118,6 +147,7 @@ let find t k =
   r
 
 let add t k outcome =
+  locked @@ fun () ->
   if not (Tbl.mem t.table k) then begin
     let dropped = ref 0 in
     while Tbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do

@@ -13,10 +13,15 @@
     [cache.evictions] counters, the [cache.entries] gauge, and — when a
     sink is active — the [cache_lookup]/[cache_evict] events.
 
-    Not synchronized: the parallel campaign engine owns the cache on the
-    main domain and touches it only at deterministic points (dispatch
-    and ordered merge), which keeps campaign results independent of the
-    worker count. *)
+    [find]/[add] are serialized under a process-wide mutex (module
+    level, so snapshots of the cache record stay marshallable). The
+    parallel campaign engine still touches the cache only from the main
+    domain at deterministic points (dispatch and ordered merge) — that
+    discipline, not the lock, keeps campaign results independent of the
+    worker count. When the {!Obs.Timeline} is enabled, each acquisition
+    records [cache.lock.wait]/[cache.lock.hold] spans and each probe a
+    [cache.probe] span — the contention numbers [compi-cli profile]
+    reports. *)
 
 type outcome = Sat of Model.t | Unsat
 

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over two BENCH_*.json files.
+
+    python3 scripts/bench_diff.py OLD.json NEW.json [--tolerance 0.25]
+
+Compares a baseline bench document against a freshly generated one and
+exits non-zero when NEW regresses beyond the tolerance. Two shapes are
+understood, sniffed from the document itself:
+
+  * BENCH_parallel.json — a top-level "configs" list. Rows are matched
+    on (jobs, solver_cache); a regression is wall_s beyond the
+    tolerance, a cache hit-rate drop of more than 0.10 absolute, or a
+    row whose identical_report flag went false (the determinism
+    invariant is never a matter of tolerance).
+  * BENCH_microbench.json — a top-level "metrics" object. Every
+    bench.*.ns_per_run gauge present in both documents is compared
+    against the tolerance, and bench.span_overhead.ratio (when
+    recorded) must stay within its own 1.05x budget.
+
+Timing noise is real: the default tolerance is deliberately loose, and
+speedups are reported but never gated (a faster NEW is not an error).
+Structural mismatches — a config present in OLD but gone from NEW, or
+documents of different shapes — are errors too: silently comparing
+nothing must not pass.
+"""
+
+import argparse
+import json
+import sys
+
+HIT_RATE_DROP = 0.10
+SPAN_OVERHEAD_BUDGET = 1.05
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+
+def shape(doc):
+    if isinstance(doc, dict) and isinstance(doc.get("configs"), list):
+        return "parallel"
+    if isinstance(doc, dict) and isinstance(doc.get("metrics"), dict):
+        return "microbench"
+    return None
+
+
+def fmt_delta(old, new):
+    if old <= 0:
+        return "n/a"
+    return f"{100.0 * (new - old) / old:+.1f}%"
+
+
+def diff_parallel(old, new, tol, out):
+    regressions = []
+    old_rows = {(c.get("jobs"), c.get("solver_cache")): c for c in old["configs"]}
+    new_rows = {(c.get("jobs"), c.get("solver_cache")): c for c in new["configs"]}
+    out.append(f"{'config':>14} {'old wall':>10} {'new wall':>10} {'delta':>8} "
+               f"{'old hit':>8} {'new hit':>8}")
+    for key in sorted(old_rows, key=lambda k: (str(k[0]), str(k[1]))):
+        label = f"jobs={key[0]} cache={'on' if key[1] else 'off'}"
+        if key not in new_rows:
+            regressions.append(f"config {label} missing from NEW")
+            continue
+        o, n = old_rows[key], new_rows[key]
+        ow, nw = o.get("wall_s", 0.0), n.get("wall_s", 0.0)
+        oh, nh = o.get("cache_hit_rate", 0.0), n.get("cache_hit_rate", 0.0)
+        out.append(f"{label:>14} {ow:>9.3f}s {nw:>9.3f}s {fmt_delta(ow, nw):>8} "
+                   f"{100 * oh:>7.1f}% {100 * nh:>7.1f}%")
+        if ow > 0 and nw > ow * (1.0 + tol):
+            regressions.append(
+                f"{label}: wall_s {ow:.3f} -> {nw:.3f} "
+                f"({fmt_delta(ow, nw)} > +{100 * tol:.0f}% tolerance)")
+        if oh - nh > HIT_RATE_DROP:
+            regressions.append(
+                f"{label}: cache hit rate dropped {oh:.2f} -> {nh:.2f} "
+                f"(more than {HIT_RATE_DROP:.2f} absolute)")
+        if not n.get("identical_report", False):
+            regressions.append(f"{label}: identical_report is false in NEW")
+    if not new.get("identical_reports", False):
+        regressions.append("NEW identical_reports flag is false")
+    return regressions
+
+
+def diff_microbench(old, new, tol, out):
+    regressions = []
+    om, nm = old["metrics"], new["metrics"]
+    gauges = sorted(
+        k for k in om
+        if k.startswith("bench.") and k.endswith(".ns_per_run")
+        and isinstance(om[k], (int, float)))
+    if not gauges:
+        regressions.append("OLD has no bench.*.ns_per_run gauges to compare")
+    out.append(f"{'gauge':<52} {'old':>12} {'new':>12} {'delta':>8}")
+    for k in gauges:
+        if k not in nm or not isinstance(nm[k], (int, float)):
+            regressions.append(f"gauge {k} missing from NEW")
+            continue
+        o, n = float(om[k]), float(nm[k])
+        out.append(f"{k:<52} {o:>10.0f}ns {n:>10.0f}ns {fmt_delta(o, n):>8}")
+        if o > 0 and n > o * (1.0 + tol):
+            regressions.append(
+                f"{k}: {o:.0f}ns -> {n:.0f}ns "
+                f"({fmt_delta(o, n)} > +{100 * tol:.0f}% tolerance)")
+    ratio = nm.get("bench.span_overhead.ratio")
+    if isinstance(ratio, (int, float)):
+        out.append(f"{'bench.span_overhead.ratio':<52} "
+                   f"{'':>12} {ratio:>11.3f}x {'':>8}")
+        if ratio > SPAN_OVERHEAD_BUDGET:
+            regressions.append(
+                f"span overhead ratio {ratio:.3f} exceeds the "
+                f"{SPAN_OVERHEAD_BUDGET}x budget")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional slowdown before a timing counts as a "
+             "regression (default 0.25 = +25%%)")
+    args = parser.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    os_, ns_ = shape(old), shape(new)
+    if os_ is None or ns_ is None or os_ != ns_:
+        sys.exit(f"error: cannot compare shapes {os_!r} ({args.old}) and "
+                 f"{ns_!r} ({args.new})")
+
+    out = [f"bench_diff: {args.old} vs {args.new} "
+           f"({os_}, tolerance +{100 * args.tolerance:.0f}%)"]
+    diff = diff_parallel if os_ == "parallel" else diff_microbench
+    regressions = diff(old, new, args.tolerance, out)
+    print("\n".join(out))
+    if regressions:
+        for r in regressions:
+            print(f"REGRESSION: {r}", file=sys.stderr)
+        print(f"{len(regressions)} regression(s)", file=sys.stderr)
+        return 1
+    print("ok: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,8 @@ that don't exist:
   3. CLI flags like `--jobs` that bin/compi_cli.ml does not define.
 
 With `--exe PATH` (a built compi_cli executable) it additionally runs
-`PATH <cmd> --help` for each audited subcommand (run, explain, report)
+`PATH <cmd> --help` for each audited subcommand (run, explain, report,
+profile)
 and cross-checks the live help text: the checkpoint/resume and
 observatory flags must exist in the binary AND be documented, and every
 flag the help mentions must also be found by the source-level regex
@@ -52,6 +53,7 @@ REQUIRED_FLAGS = {
     "run": {"--checkpoint", "--checkpoint-every", "--resume", "--trace-events"},
     "explain": {"--branch", "--testcase", "--target"},
     "report": {"--out", "--stable", "--target"},
+    "profile": {"--out", "--stable"},
 }
 
 

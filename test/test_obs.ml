@@ -138,6 +138,7 @@ let sample_events : Obs.Event.t list =
     Coll_done { comm = 3; signature = "allreduce:max"; ranks = [ 0; 1; 2; 3 ] };
     Rank_blocked { rank = 2; comm = 0; kind = "recv"; peer = -1 };
     Deadlock_witness { rank = 1; comm = 0; kind = "collective:barrier"; peer = 3 };
+    Span { domain = 1; kind = "cache.lock.wait"; t0 = 1_000; t1 = 2_500 };
   ]
 
 let test_event_roundtrip () =
@@ -145,7 +146,7 @@ let test_event_roundtrip () =
   let kinds =
     List.sort_uniq String.compare (List.map Obs.Event.kind_name sample_events)
   in
-  Alcotest.(check int) "all 24 event kinds sampled" 24 (List.length kinds);
+  Alcotest.(check int) "all 25 event kinds sampled" 25 (List.length kinds);
   List.iter
     (fun ev ->
       let wire = Obs.Json.to_string (Obs.Event.to_json ~t:1.25 ev) in
@@ -205,6 +206,66 @@ let test_histogram_buckets () =
   Alcotest.(check int) "3 observations" 3 (Obs.Metrics.histogram_count h);
   Alcotest.(check (float 1e280)) "sum tracks" (float_of_int max_int +. 1e300)
     (Obs.Metrics.histogram_sum h)
+
+let test_histogram_snapshot () =
+  let get_hist name =
+    match Obs.Json.member "metrics" (Obs.Metrics.snapshot_json ()) with
+    | None -> Alcotest.fail "snapshot has no metrics object"
+    | Some m -> (
+      match Obs.Json.member name m with
+      | Some h -> h
+      | None -> Alcotest.failf "histogram %s missing from snapshot" name)
+  in
+  let buckets h =
+    match Obs.Json.member "buckets" h with
+    | Some b -> Option.get (Obs.Json.to_list b)
+    | None -> Alcotest.fail "no buckets field"
+  in
+  let int_field k j = Option.get (Obs.Json.to_int (Option.get (Obs.Json.member k j))) in
+  let float_field k j =
+    Option.get (Obs.Json.to_float (Option.get (Obs.Json.member k j)))
+  in
+  (* zero-count snapshot: count 0, empty bucket list, null min/max *)
+  let _ = Obs.Metrics.histogram "test.snap.empty" in
+  let h = get_hist "test.snap.empty" in
+  Alcotest.(check int) "empty count" 0 (int_field "count" h);
+  Alcotest.(check int) "empty buckets" 0 (List.length (buckets h));
+  Alcotest.(check bool) "empty min is null" true
+    (Obs.Json.member "min" h = Some Obs.Json.Null);
+  Alcotest.(check bool) "empty max is null" true
+    (Obs.Json.member "max" h = Some Obs.Json.Null);
+  (* negative and zero samples all land in the one underflow bucket,
+     whose lo exports as null (-inf is not representable in JSON) *)
+  let neg = Obs.Metrics.histogram "test.snap.neg" in
+  Obs.Metrics.observe neg 0.0;
+  Obs.Metrics.observe neg (-5.0);
+  Obs.Metrics.observe_int neg (-1);
+  let h = get_hist "test.snap.neg" in
+  Alcotest.(check int) "neg count" 3 (int_field "count" h);
+  (match buckets h with
+  | [ b ] ->
+    Alcotest.(check int) "underflow n" 3 (int_field "n" b);
+    Alcotest.(check bool) "underflow lo is null" true
+      (Obs.Json.member "lo" b = Some Obs.Json.Null);
+    Alcotest.(check (float 0.0)) "underflow hi" 0.0 (float_field "hi" b)
+  | bs -> Alcotest.failf "expected one underflow bucket, got %d" (List.length bs));
+  Alcotest.(check (float 1e-9)) "neg min" (-5.0) (float_field "min" h);
+  Alcotest.(check (float 1e-9)) "neg max" 0.0 (float_field "max" h);
+  (* single-bucket saturation: 1000 identical samples export exactly one
+     bucket holding all of them, with the value inside its bounds *)
+  let sat = Obs.Metrics.histogram "test.snap.sat" in
+  for _ = 1 to 1000 do
+    Obs.Metrics.observe sat 3.0
+  done;
+  let h = get_hist "test.snap.sat" in
+  Alcotest.(check int) "sat count" 1000 (int_field "count" h);
+  (match buckets h with
+  | [ b ] ->
+    Alcotest.(check int) "sat bucket n" 1000 (int_field "n" b);
+    let lo = float_field "lo" b and hi = float_field "hi" b in
+    Alcotest.(check bool) "3.0 inside [lo, hi)" true (lo <= 3.0 && 3.0 < hi)
+  | bs -> Alcotest.failf "expected one saturated bucket, got %d" (List.length bs));
+  Alcotest.(check (float 1e-6)) "sat sum" 3000.0 (Obs.Metrics.histogram_sum sat)
 
 let test_metrics_registry () =
   let c = Obs.Metrics.counter "test.reg.c" in
@@ -300,6 +361,7 @@ let suite =
         Alcotest.test_case "event round-trip (all kinds)" `Quick test_event_roundtrip;
         Alcotest.test_case "event decode rejects junk" `Quick test_event_of_json_rejects;
         Alcotest.test_case "histogram bucket edges" `Quick test_histogram_buckets;
+        Alcotest.test_case "histogram snapshot edge cases" `Quick test_histogram_snapshot;
         Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
         Alcotest.test_case "buffer sink JSONL shape" `Quick test_buffer_sink;
         Alcotest.test_case "sinks do not perturb campaigns" `Quick

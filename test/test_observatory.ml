@@ -109,6 +109,7 @@ let all_kind_samples : Obs.Event.t list =
     Coll_done { comm = 0; signature = "barrier"; ranks = [ 0; 1; 2; 3 ] };
     Rank_blocked { rank = 2; comm = 0; kind = "recv"; peer = 0 };
     Deadlock_witness { rank = 1; comm = 0; kind = "recv"; peer = 2 };
+    Span { domain = 1; kind = "exec"; t0 = 1_000; t1 = 2_000 };
   ]
 
 let test_roundtrip_fold_every_kind () =
@@ -119,8 +120,8 @@ let test_roundtrip_fold_every_kind () =
   Alcotest.(check int) "no skips" 0 (List.length f.Obs.Fold.unknown_kinds);
   Alcotest.(check int) "no malformed" 0 f.Obs.Fold.malformed;
   Alcotest.(check int) "all lines folded" (List.length lines) f.Obs.Fold.events;
-  (* every one of the 24 kinds appears in the census *)
-  Alcotest.(check int) "24 kinds in census" 24 (List.length f.Obs.Fold.census);
+  (* every one of the 25 kinds appears in the census *)
+  Alcotest.(check int) "25 kinds in census" 25 (List.length f.Obs.Fold.census);
   (* spot-check the aggregation paths fed by the new kinds *)
   Alcotest.(check int) "matrix has the matched pair" 1
     (List.length f.Obs.Fold.matrix);
@@ -128,6 +129,7 @@ let test_roundtrip_fold_every_kind () =
   Alcotest.(check int) "witness edge kept" 1 (List.length f.Obs.Fold.witness);
   Alcotest.(check int) "deadlock counted" 1 f.Obs.Fold.deadlocks;
   Alcotest.(check int) "lineage node kept" 1 (List.length f.Obs.Fold.lineage);
+  Alcotest.(check int) "span kept" 1 (List.length f.Obs.Fold.spans);
   Alcotest.(check (list (pair string int))) "restart reasons" [ ("stagnation", 1) ]
     f.Obs.Fold.restarts
 

@@ -1,0 +1,274 @@
+(* The span timeline and the profile fold built on it: live recording
+   through drain into a sink, the interval accounting's invariants
+   (utilization bounds, critical path, lock histogram), unknown-kind
+   triage, renderer determinism, and the zero-cost-when-off guarantee. *)
+
+(* substring search, to keep the test deps at alcotest alone *)
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let span_line ~domain ~kind ~t0 ~t1 =
+  Obs.Json.to_string
+    (Obs.Event.to_json ~t:0.0 (Obs.Event.Span { domain; kind; t0; t1 }))
+
+let fold_of_spans spans =
+  Obs.Fold.of_lines
+    (List.map (fun (domain, kind, t0, t1) -> span_line ~domain ~kind ~t0 ~t1) spans)
+
+(* Record through the real machinery: enable, nest spans, drain into a
+   buffer sink, fold the JSONL back. *)
+let test_live_roundtrip () =
+  let buf = Buffer.create 1024 in
+  Obs.Sink.with_sink (Obs.Sink.Buffer_sink buf) (fun () ->
+      Obs.Timeline.enable ();
+      Fun.protect ~finally:Obs.Timeline.disable (fun () ->
+          let got =
+            Obs.Timeline.span "exec" (fun () ->
+                Obs.Timeline.span "solve" (fun () -> 41 + 1))
+          in
+          Alcotest.(check int) "span returns the result" 42 got;
+          Obs.Timeline.record ~kind:"idle" ~t0:1 ~t1:5;
+          Alcotest.(check bool) "spans pending before drain" true
+            (Obs.Timeline.pending () >= 3);
+          Obs.Timeline.drain ();
+          Alcotest.(check int) "drained" 0 (Obs.Timeline.pending ())));
+  let f =
+    Obs.Fold.of_lines (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  let spans = f.Obs.Fold.spans in
+  Alcotest.(check int) "three spans folded" 3 (List.length spans);
+  let find kind = List.find (fun s -> s.Obs.Fold.sp_kind = kind) spans in
+  let outer = find "exec" and inner = find "solve" in
+  Alcotest.(check bool) "inner nests inside outer" true
+    (outer.Obs.Fold.sp_t0 <= inner.Obs.Fold.sp_t0
+    && inner.Obs.Fold.sp_t1 <= outer.Obs.Fold.sp_t1);
+  Alcotest.(check int) "main domain" 0 outer.Obs.Fold.sp_domain;
+  Alcotest.(check bool) "monotone span" true
+    (inner.Obs.Fold.sp_t0 <= inner.Obs.Fold.sp_t1)
+
+(* A span raised through must still be recorded and re-raised. *)
+let test_span_exception_safe () =
+  let buf = Buffer.create 256 in
+  Obs.Sink.with_sink (Obs.Sink.Buffer_sink buf) (fun () ->
+      Obs.Timeline.enable ();
+      Fun.protect ~finally:Obs.Timeline.disable (fun () ->
+          (try Obs.Timeline.span "exec" (fun () -> failwith "boom")
+           with Failure _ -> ());
+          Obs.Timeline.drain ()));
+  let f = Obs.Fold.of_lines (String.split_on_char '\n' (Buffer.contents buf)) in
+  Alcotest.(check int) "raising span still recorded" 1
+    (List.length f.Obs.Fold.spans)
+
+let test_unknown_kind_skipped () =
+  let f =
+    fold_of_spans
+      [
+        (0, "exec", 0, 100);
+        (0, "mystery.v9", 10, 20);
+        (0, "mystery.v9", 30, 40);
+        (1, "idle", 0, 80);
+      ]
+  in
+  let p = Obs.Fold.profile f in
+  Alcotest.(check int) "known spans counted" 2 p.Obs.Fold.pf_spans;
+  Alcotest.(check (list (pair string int)))
+    "unknown kind skipped and counted"
+    [ ("mystery.v9", 2) ]
+    p.Obs.Fold.pf_unknown;
+  (* skip note must surface in the text rendering *)
+  let txt = Obs.Fold.profile_text f in
+  Alcotest.(check bool) "skip note rendered" true
+    (contains ~affix:"mystery.v9" txt)
+
+let test_utilization_bounds () =
+  let f =
+    fold_of_spans
+      [
+        (* overlapping busy spans + a wait overlapping both *)
+        (0, "exec", 0, 100);
+        (0, "interp", 50, 150);
+        (0, "barrier", 80, 120);
+        (* a worker that only waited *)
+        (1, "idle", 0, 150);
+      ]
+  in
+  let p = Obs.Fold.profile f in
+  Alcotest.(check int) "wall is the global extent" 150 p.Obs.Fold.pf_wall_ns;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d utilization <= 1" d.Obs.Fold.dp_domain)
+        true
+        (d.Obs.Fold.dp_util >= 0.0 && d.Obs.Fold.dp_util <= 1.0))
+    p.Obs.Fold.pf_domains;
+  let d0 = List.find (fun d -> d.Obs.Fold.dp_domain = 0) p.Obs.Fold.pf_domains in
+  (* busy union [0,150] minus wait [80,120] = 110 exclusive ns *)
+  Alcotest.(check int) "exclusive busy subtracts waits" 110 d0.Obs.Fold.dp_busy_ns;
+  Alcotest.(check int) "wait accounted" 40 d0.Obs.Fold.dp_wait_ns;
+  let d1 = List.find (fun d -> d.Obs.Fold.dp_domain = 1) p.Obs.Fold.pf_domains in
+  Alcotest.(check int) "pure-wait domain has no busy" 0 d1.Obs.Fold.dp_busy_ns
+
+(* Umbrella spans attribute wall but must not count as work, or the
+   critical path would always equal the round wall. *)
+let test_round_critical_path () =
+  let f =
+    fold_of_spans
+      [
+        (0, "round", 0, 1000);
+        (0, "merge", 600, 1000);
+        (1, "task", 0, 600);
+        (1, "idle", 600, 1000);
+        (2, "task", 100, 400);
+      ]
+  in
+  let p = Obs.Fold.profile f in
+  (match p.Obs.Fold.pf_rounds with
+  | [ r ] ->
+    Alcotest.(check int) "round wall" 1000 r.Obs.Fold.rp_wall_ns;
+    Alcotest.(check int) "critical path is the busiest domain" 600
+      r.Obs.Fold.rp_crit_ns;
+    Alcotest.(check int) "carried by domain 1" 1 r.Obs.Fold.rp_crit_domain;
+    Alcotest.(check int) "stall is the unhideable remainder" 400
+      r.Obs.Fold.rp_stall_ns
+  | rs -> Alcotest.failf "expected 1 round, got %d" (List.length rs));
+  (* attribution counts the umbrella: domain 0's round span covers all *)
+  Alcotest.(check (float 0.01)) "full attribution" 100.0
+    p.Obs.Fold.pf_attributed_pct
+
+let test_lock_wait_histogram () =
+  let waits = [ 0; 1; 2; 3; 4; 1500 ] in
+  let f =
+    fold_of_spans
+      ((0, "exec", 0, 4000)
+      :: List.mapi (fun i d -> (0, "cache.lock.wait", i * 10, (i * 10) + d)) waits)
+  in
+  let p = Obs.Fold.profile f in
+  (* 0 -> bucket 0; 1,2 -> bucket 1; 3,4 -> bucket 2; 1500 -> bucket 11 *)
+  Alcotest.(check (list (pair int int)))
+    "power-of-two buckets"
+    [ (0, 1); (1, 2); (2, 2); (11, 1) ]
+    p.Obs.Fold.pf_lock_hist;
+  Alcotest.(check int) "acquisitions counted" 6 p.Obs.Fold.pf_lock_acqs
+
+let test_profile_renderers_deterministic () =
+  let spans =
+    [
+      (0, "round", 0, 900);
+      (0, "dispatch", 0, 100);
+      (0, "merge", 500, 900);
+      (0, "barrier", 100, 480);
+      (1, "task", 120, 470);
+      (1, "cache.lock.wait", 470, 475);
+      (1, "idle", 480, 900);
+    ]
+  in
+  let f = fold_of_spans spans in
+  let t1 = Obs.Fold.profile_text ~stable:true f in
+  let t2 = Obs.Fold.profile_text ~stable:true f in
+  Alcotest.(check string) "stable text is byte-identical" t1 t2;
+  let h1 = Obs.Fold.profile_html ~stable:true f in
+  let h2 = Obs.Fold.profile_html ~stable:true f in
+  Alcotest.(check string) "stable html is byte-identical" h1 h2;
+  (* stable text never contains raw second values *)
+  Alcotest.(check bool) "no raw seconds under --stable" false
+    (contains ~affix:"0.000s" t1);
+  (* the diagnostic vocabulary the CI smoke greps for *)
+  List.iter
+    (fun phrase ->
+      Alcotest.(check bool) (phrase ^ " present") true
+        (contains ~affix:phrase t1))
+    [ "per-worker utilization"; "merge-barrier stall"; "cache-lock wait" ];
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (affix ^ " in html") true
+        (contains ~affix h1))
+    [ "<svg"; "</html>"; "Per-worker utilization" ]
+
+(* With the timeline off, span/record must not touch the minor heap —
+   the instrumented hot paths run at full speed in untraced campaigns. *)
+let test_zero_alloc_when_off () =
+  Alcotest.(check bool) "timeline off" false (Obs.Timeline.on ());
+  let f = Sys.opaque_identity (fun () -> ()) in
+  (* warm both paths so any one-time setup is done *)
+  Obs.Timeline.span "warm" f;
+  Obs.Timeline.record ~kind:"warm" ~t0:0 ~t1:0;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 50_000 do
+    Obs.Timeline.span "bench" f;
+    Obs.Timeline.record ~kind:"bench" ~t0:0 ~t1:0
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  (* the Gc.minor_words brackets box a couple of floats; the loop body
+     itself must contribute nothing *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no allocation on the disabled path (%.0f words)" dw)
+    true (dw < 256.0)
+
+(* End to end: a real jobs-2 campaign traced through a buffer sink must
+   yield a profile that attributes (nearly) all wall time, keeps every
+   utilization in bounds, and reports the contention tables. *)
+let test_live_campaign_profile () =
+  let info = Targets.Registry.instrument (Targets.Catalog.find_exn "toy-fig1") in
+  let settings =
+    {
+      Compi.Campaign.default_settings with
+      Compi.Campaign.base =
+        {
+          Compi.Driver.default_settings with
+          Compi.Driver.iterations = 30;
+          dfs_phase_iters = 12;
+          initial_nprocs = 2;
+          seed = 11;
+        };
+      jobs = 2;
+      solver_cache = true;
+    }
+  in
+  let buf = Buffer.create 65536 in
+  Obs.Sink.with_sink (Obs.Sink.Buffer_sink buf) (fun () ->
+      ignore (Compi.Campaign.run ~settings info));
+  Alcotest.(check bool) "campaign released the timeline" false (Obs.Timeline.on ());
+  let f = Obs.Fold.of_lines (String.split_on_char '\n' (Buffer.contents buf)) in
+  let p = Obs.Fold.profile f in
+  Alcotest.(check bool) "spans recorded" true (p.Obs.Fold.pf_spans > 0);
+  Alcotest.(check int) "both domains present" 2 (List.length p.Obs.Fold.pf_domains);
+  Alcotest.(check bool)
+    (Printf.sprintf "attribution >= 95%% (got %.1f)" p.Obs.Fold.pf_attributed_pct)
+    true
+    (p.Obs.Fold.pf_attributed_pct >= 95.0);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "live utilization <= 1" true (d.Obs.Fold.dp_util <= 1.0))
+    p.Obs.Fold.pf_domains;
+  Alcotest.(check bool) "rounds profiled" true (p.Obs.Fold.pf_rounds <> []);
+  Alcotest.(check bool) "cache probed under the lock" true (p.Obs.Fold.pf_probes > 0);
+  let txt = Obs.Fold.profile_text f in
+  List.iter
+    (fun phrase ->
+      Alcotest.(check bool) (phrase ^ " present") true
+        (contains ~affix:phrase txt))
+    [ "per-worker utilization"; "merge-barrier stall"; "cache-lock wait" ]
+
+let suite =
+  [
+    ( "timeline",
+      [
+        Alcotest.test_case "live record/drain round-trip" `Quick test_live_roundtrip;
+        Alcotest.test_case "span is exception-safe" `Quick test_span_exception_safe;
+        Alcotest.test_case "unknown span kinds skipped+counted" `Quick
+          test_unknown_kind_skipped;
+        Alcotest.test_case "utilization bounded by interval union" `Quick
+          test_utilization_bounds;
+        Alcotest.test_case "round critical path and stall" `Quick
+          test_round_critical_path;
+        Alcotest.test_case "lock-wait histogram buckets" `Quick
+          test_lock_wait_histogram;
+        Alcotest.test_case "profile renderers deterministic" `Quick
+          test_profile_renderers_deterministic;
+        Alcotest.test_case "zero allocation when off" `Quick test_zero_alloc_when_off;
+        Alcotest.test_case "live jobs-2 campaign profile" `Quick
+          test_live_campaign_profile;
+      ] );
+  ]
