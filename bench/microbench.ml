@@ -197,6 +197,99 @@ let span_overhead_check () =
     exit 1
   end
 
+(* Compiled-vs-interpreted executor pair: the same hot kernel straight
+   through Interp.run and Compile.run — no scheduler, no path log — so
+   the ratio isolates the executor itself. Direct min-of-reps timing
+   for the same reason as [span_overhead_check]: a gated ratio needs
+   matched workloads, and min-of-reps is robust to scheduler noise.
+   Gate: the compiled executor must be at least 2x faster (hard fail),
+   with 5x the target the docs advertise (warn below it). *)
+let exec_mode_check () =
+  Util.print_header "Executor: interpreter vs closure-compiled";
+  let open Minic in
+  let p =
+    (* shaped like the paper's numeric targets: a stencil-ish sweep
+       with realistic identifier lengths (the interpreter hashes each
+       name on every access), nested loops, data-dependent branches,
+       and a helper called per cell (the interpreter builds a fresh
+       hashtable frame per call; the compiled executor, three arrays) *)
+    let open Builder in
+    program
+      [
+        func "update"
+          [ ("load", Ast.Tint); ("level", Ast.Tint) ]
+          [
+            if_ (v "load" >: v "level")
+              [ ret (v "level" +: v "load" -: i 1) ]
+              [ ret (v "level" -: v "load" +: i 1) ];
+          ];
+        func "main" []
+          ([
+             input "bias" ~default:3;
+             decl "level" (v "bias");
+             decl "load" (i 0);
+             decl_arr "grid" (i 16);
+           ]
+          @ for_ "step" (i 0) (i 100)
+              ([
+                 aset "grid" (v "step" %: i 16)
+                   ((v "step" *: i 3) -: (v "level" *: i 2) +: (v "step" %: i 7));
+               ]
+              @ for_ "cell" (i 0) (i 16)
+                  [
+                    assign "load"
+                      ((((idx "grid" (v "cell") *: i 3) +: (v "step" *: v "cell"))
+                       %: i 17)
+                      +: (((idx "grid" ((v "cell" +: v "step") %: i 16) -: v "level")
+                          *: i 2)
+                         %: i 9)
+                      +: (((v "step" *: i 5) -: (v "cell" *: i 3)) %: i 11));
+                    if_ (v "load" >: v "level")
+                      [ assign "level" (v "level" +: v "load" -: i 1) ]
+                      [ assign "level" (v "level" -: v "load" +: i 1) ];
+                  ]
+              @ [ call_assign "level" "update" [ v "load"; v "level" ] ]));
+      ]
+  in
+  let info = Branchinfo.instrument (Check.check_exn p) in
+  let cp = Compile.compile info.Branchinfo.program in
+  let hooks = Interp.plain_hooks () in
+  let time_ns name exec =
+    let n = 60 and reps = 5 in
+    (match exec () with Ok () -> () | Error _ -> assert false);
+    (* quiesce the heap so the ratio is not hostage to whatever GC
+       state the bechamel phase left behind *)
+    Gc.compact ();
+    let w0 = Gc.minor_words () in
+    ignore (exec ());
+    Printf.printf "  %-45s %12.0f minor words/run\n%!" (name ^ " allocation")
+      (Gc.minor_words () -. w0);
+    let time_n () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to n do
+        ignore (exec ())
+      done;
+      1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int n
+    in
+    let ns = List.fold_left Float.min infinity (List.init reps (fun _ -> time_n ())) in
+    Obs.Metrics.set (Obs.Metrics.gauge (Printf.sprintf "bench.%s.ns_per_run" name)) ns;
+    Printf.printf "  %-45s %12.0f ns/run\n%!" name ns;
+    ns
+  in
+  let interp_ns = time_ns "interp" (fun () -> Interp.run hooks info.Branchinfo.program) in
+  let compiled_ns = time_ns "compiled" (fun () -> Compile.run cp hooks) in
+  let speedup = interp_ns /. compiled_ns in
+  Obs.Metrics.set (Obs.Metrics.gauge "bench.exec_mode.speedup") speedup;
+  Printf.printf "  %-45s %12.1fx\n%!" "compiled speedup" speedup;
+  if speedup < 2.0 then begin
+    Printf.eprintf "FAIL: compiled executor only %.2fx over the interpreter (< 2x)\n"
+      speedup;
+    exit 1
+  end
+  else if speedup < 5.0 then
+    Printf.eprintf "WARN: compiled executor %.2fx over the interpreter (target >= 5x)\n"
+      speedup
+
 let run () =
   Util.print_header "Micro-benchmarks (Bechamel, ns/run)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
@@ -214,4 +307,5 @@ let run () =
         Printf.printf "  %-45s %12.0f ns/run\n%!" name est
       | Some _ | None -> Printf.printf "  %-45s %12s\n%!" name "n/a")
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  exec_mode_check ();
   span_overhead_check ()

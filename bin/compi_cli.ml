@@ -74,27 +74,33 @@ let show_cmd =
 (* test / random                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let iterations_arg =
-  Arg.(value & opt int 500 & info [ "iterations"; "I" ] ~docv:"N" ~doc:"Iteration budget")
+(* The campaign flags are shared between subcommands; [?docs] lets the
+   [run] subcommand sort them into its grouped help sections while
+   [test]/[random]/[test-file] keep the flat default layout. *)
+let iterations_arg ?docs () =
+  Arg.(
+    value & opt int 500
+    & info [ "iterations"; "I" ] ?docs ~docv:"N" ~doc:"Iteration budget")
 
-let time_arg =
+let time_arg ?docs () =
   Arg.(
     value
     & opt (some float) None
-    & info [ "time" ] ~docv:"SECONDS" ~doc:"Wall-clock budget (overrides iterations)")
+    & info [ "time" ] ?docs ~docv:"SECONDS" ~doc:"Wall-clock budget (overrides iterations)")
 
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed")
+let seed_arg ?docs () =
+  Arg.(value & opt int 42 & info [ "seed" ] ?docs ~docv:"SEED" ~doc:"Random seed")
 
-let nprocs_arg =
+let nprocs_arg ?docs () =
   Arg.(
     value
     & opt (some int) None
-    & info [ "nprocs"; "n" ] ~docv:"N" ~doc:"Initial number of processes")
+    & info [ "nprocs"; "n" ] ?docs ~docv:"N" ~doc:"Initial number of processes")
 
-let cap_arg =
+let cap_arg ?docs () =
   Arg.(
     value & opt_all kv_conv []
-    & info [ "cap" ] ~docv:"INPUT=CAP" ~doc:"Override an input's cap (repeatable)")
+    & info [ "cap" ] ?docs ~docv:"INPUT=CAP" ~doc:"Override an input's cap (repeatable)")
 
 let no_reduce_arg =
   Arg.(value & flag & info [ "no-reduce" ] ~doc:"Disable constraint-set reduction")
@@ -108,7 +114,7 @@ let no_fwk_arg =
     & info [ "no-fwk" ]
         ~doc:"Disable the MPI framework: fixed focus and process count, focus-only coverage")
 
-let strategy_arg =
+let strategy_arg ?docs () =
   let choices =
     Arg.enum
       [
@@ -116,10 +122,27 @@ let strategy_arg =
         ("cfg", `Cfg); ("generational", `Generational);
       ]
   in
-  Arg.(value & opt choices `Dfs & info [ "strategy" ] ~docv:"STRATEGY"
+  Arg.(value & opt choices `Dfs & info [ "strategy" ] ?docs ~docv:"STRATEGY"
          ~doc:"Search strategy: $(b,dfs) (two-phase BoundedDFS, the COMPI default), \
                $(b,random-branch), $(b,uniform), $(b,cfg), or $(b,generational) \
                (SAGE-style, beyond the paper)")
+
+let exec_mode_arg ?docs () =
+  let choices =
+    Arg.enum
+      [
+        ("compiled", Compi.Runner.Exec_compiled); ("interp", Compi.Runner.Exec_interp);
+      ]
+  in
+  Arg.(
+    value & opt choices Compi.Runner.Exec_compiled
+    & info [ "exec-mode" ] ?docs ~docv:"interp|compiled"
+        ~doc:
+          "How each simulated process executes the target: $(b,compiled) (default) \
+           compiles it to closures once per campaign; $(b,interp) keeps the \
+           tree-walking interpreter as the differential oracle. The two modes are \
+           observationally identical — same verdicts, coverage, path logs and \
+           telemetry — so reports and checkpoints carry across")
 
 let settings_of (t : Targets.Registry.t) iterations time seed nprocs caps no_reduce one_way
     no_fwk strategy =
@@ -186,18 +209,18 @@ let report (r : Compi.Driver.result) =
 (* telemetry plumbing                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let trace_events_arg =
+let trace_events_arg ?docs () =
   Arg.(
     value
     & opt (some string) None
-    & info [ "trace-events" ] ~docv:"FILE.jsonl"
+    & info [ "trace-events" ] ?docs ~docv:"FILE.jsonl"
         ~doc:"Stream structured telemetry events to $(docv) as JSON Lines")
 
-let metrics_arg =
+let metrics_arg ?docs () =
   Arg.(
     value
     & opt (some string) None
-    & info [ "metrics" ] ~docv:"FILE.json"
+    & info [ "metrics" ] ?docs ~docv:"FILE.json"
         ~doc:"Write the metrics registry snapshot (counters, histograms, phase totals) \
               to $(docv) when the campaign ends")
 
@@ -331,18 +354,26 @@ let test_cmd =
   Cmd.v
     (Cmd.info "test" ~doc:"Run a COMPI concolic-testing campaign on a target")
     Term.(
-      const run $ target_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg $ cap_arg
-      $ no_reduce_arg $ one_way_arg $ no_fwk_arg $ strategy_arg $ save_arg $ csv_arg
-      $ curve_arg $ uncovered_arg $ annotate_arg $ trace_events_arg $ metrics_arg)
+      const run $ target_arg $ iterations_arg () $ time_arg () $ seed_arg ()
+      $ nprocs_arg () $ cap_arg () $ no_reduce_arg $ one_way_arg $ no_fwk_arg
+      $ strategy_arg () $ save_arg $ csv_arg $ curve_arg $ uncovered_arg $ annotate_arg
+      $ trace_events_arg () $ metrics_arg ())
 
 (* ------------------------------------------------------------------ *)
 (* run: a campaign with telemetry-first ergonomics                     *)
 (* ------------------------------------------------------------------ *)
 
+(* run --help groups its many flags by subsystem; these are the section
+   headings (scripts/check_docs.py asserts the live help carries them). *)
+let s_execution = "EXECUTION OPTIONS"
+let s_parallelism = "PARALLELISM OPTIONS"
+let s_checkpoint = "CHECKPOINT OPTIONS"
+let s_telemetry = "TELEMETRY OPTIONS"
+
 let jobs_arg =
   Arg.(
     value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
+    & info [ "jobs"; "j" ] ~docs:s_parallelism ~docv:"N"
         ~doc:
           "Worker domains for the parallel campaign engine. Campaign results are \
            identical for every value (under an iteration budget); $(docv) only \
@@ -351,7 +382,7 @@ let jobs_arg =
 let batch_arg =
   Arg.(
     value & opt int 4
-    & info [ "batch" ] ~docv:"N"
+    & info [ "batch" ] ~docs:s_parallelism ~docv:"N"
         ~doc:
           "Negation candidates dispatched per round. Independent of $(b,--jobs): \
            changing the batch changes the search trajectory, changing the job \
@@ -361,14 +392,14 @@ let solver_cache_arg =
   let choice = Arg.enum [ ("on", true); ("off", false) ] in
   Arg.(
     value & opt choice true
-    & info [ "solver-cache" ] ~docv:"on|off"
+    & info [ "solver-cache" ] ~docs:s_parallelism ~docv:"on|off"
         ~doc:"Counterexample cache in front of the solver (default $(b,on))")
 
 let coverage_report_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "coverage-report" ] ~docv:"FILE"
+    & info [ "coverage-report" ] ~docs:s_telemetry ~docv:"FILE"
         ~doc:
           "Write the canonical coverage report to $(docv) — byte-identical across \
            $(b,--jobs) values; CI diffs it")
@@ -377,7 +408,7 @@ let checkpoint_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "checkpoint" ] ~docv:"DIR"
+    & info [ "checkpoint" ] ~docs:s_checkpoint ~docv:"DIR"
         ~doc:
           "Write crash-safe campaign snapshots under $(docv) (periodically, on \
            SIGINT/SIGTERM, and at exit); resume later with $(b,--resume)")
@@ -385,7 +416,7 @@ let checkpoint_arg =
 let checkpoint_every_arg =
   Arg.(
     value & opt int 50
-    & info [ "checkpoint-every" ] ~docv:"N"
+    & info [ "checkpoint-every" ] ~docs:s_checkpoint ~docv:"N"
         ~doc:
           "Snapshot cadence in iterations (default $(b,50); $(b,0) keeps only the \
            at-exit snapshot). Only meaningful with $(b,--checkpoint)")
@@ -393,7 +424,7 @@ let checkpoint_every_arg =
 let resume_arg =
   Arg.(
     value & flag
-    & info [ "resume" ]
+    & info [ "resume" ] ~docs:s_checkpoint
         ~doc:
           "Resume the campaign from the snapshot under $(b,--checkpoint) and \
            continue toward the (possibly larger) budget; the finished campaign is \
@@ -404,13 +435,15 @@ let run_cmd =
     Arg.(
       required
       & opt (some target_conv) None
-      & info [ "target" ] ~docv:"TARGET" ~doc:"Target program (see $(b,compi-cli list))")
+      & info [ "target" ] ~docs:s_execution ~docv:"TARGET"
+          ~doc:"Target program (see $(b,compi-cli list))")
   in
-  let run t iterations time seed nprocs caps strategy jobs batch solver_cache
+  let run t iterations time seed nprocs caps strategy exec_mode jobs batch solver_cache
       checkpoint checkpoint_every resume coverage_report trace_events metrics =
     let info, base =
       settings_of t iterations time seed nprocs caps false false false strategy
     in
+    let base = { base with Compi.Driver.exec_mode } in
     let settings =
       {
         Compi.Campaign.default_settings with
@@ -432,9 +465,10 @@ let run_cmd =
         exit 1
     in
     report result.Compi.Campaign.summary;
-    Printf.printf "engine          %d round(s), %d execution(s), %d solver call(s), %d job(s)\n"
+    Printf.printf "engine          %d round(s), %d execution(s), %d solver call(s), %d job(s), %s executor\n"
       result.Compi.Campaign.rounds result.Compi.Campaign.executed
-      result.Compi.Campaign.solver_calls jobs;
+      result.Compi.Campaign.solver_calls jobs
+      (Compi.Runner.exec_mode_name exec_mode);
     (match checkpoint with
     | Some dir ->
       Printf.printf "checkpoint      %s (%d write(s))%s\n"
@@ -465,18 +499,40 @@ let run_cmd =
       Printf.printf "coverage report written to %s\n" path
     | None -> ()
   in
+  let man =
+    [
+      `S s_execution;
+      `P
+        "What runs and for how long: the target, the iteration/time budget, the \
+         search strategy, the executor ($(b,--exec-mode)) and the initial process \
+         count.";
+      `S s_parallelism;
+      `P
+        "The parallel campaign engine: worker domains, dispatch batch and the \
+         solver cache. None of these change the campaign's result.";
+      `S s_checkpoint;
+      `P "Crash-safe snapshots and resumption.";
+      `S s_telemetry;
+      `P
+        "Structured event streams, metrics snapshots and canonical reports for \
+         $(b,compi-cli explain)/$(b,report)/$(b,profile).";
+    ]
+  in
   Cmd.v
-    (Cmd.info "run"
+    (Cmd.info "run" ~man
        ~doc:
          "Run a COMPI campaign on the parallel engine ($(b,--jobs), \
           $(b,--solver-cache)) with structured telemetry \
           ($(b,--trace-events)/$(b,--metrics)); like $(b,test) but the target is \
           named with $(b,--target)")
     Term.(
-      const run $ target_opt_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg
-      $ cap_arg $ strategy_arg $ jobs_arg $ batch_arg $ solver_cache_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ coverage_report_arg
-      $ trace_events_arg $ metrics_arg)
+      const run $ target_opt_arg $ iterations_arg ~docs:s_execution ()
+      $ time_arg ~docs:s_execution () $ seed_arg ~docs:s_execution ()
+      $ nprocs_arg ~docs:s_execution () $ cap_arg ~docs:s_execution ()
+      $ strategy_arg ~docs:s_execution () $ exec_mode_arg ~docs:s_execution ()
+      $ jobs_arg $ batch_arg $ solver_cache_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg $ coverage_report_arg $ trace_events_arg ~docs:s_telemetry ()
+      $ metrics_arg ~docs:s_telemetry ())
 
 (* ------------------------------------------------------------------ *)
 (* replay: saved test cases, or a JSONL telemetry trace                *)
@@ -792,7 +848,8 @@ let random_cmd =
   Cmd.v
     (Cmd.info "random" ~doc:"Run the random-testing baseline on a target")
     Term.(
-      const run $ target_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg $ cap_arg)
+      const run $ target_arg $ iterations_arg () $ time_arg () $ seed_arg ()
+      $ nprocs_arg () $ cap_arg ())
 
 (* ------------------------------------------------------------------ *)
 (* exec: one concrete run                                              *)
@@ -861,7 +918,8 @@ let exec_cmd =
   Cmd.v
     (Cmd.info "exec" ~doc:"Execute a target once with concrete inputs")
     Term.(
-      const run $ target_arg $ nprocs_arg $ exec_inputs_arg $ trace_arg $ trace_jsonl_arg)
+      const run $ target_arg $ nprocs_arg () $ exec_inputs_arg $ trace_arg
+      $ trace_jsonl_arg)
 
 (* ------------------------------------------------------------------ *)
 (* test-file: campaigns on Mini-C source files                          *)
@@ -902,7 +960,8 @@ let test_file_cmd =
     (Cmd.info "test-file"
        ~doc:"Parse a Mini-C source file and run a COMPI campaign on it")
     Term.(
-      const run $ path_arg $ iterations_arg $ time_arg $ seed_arg $ nprocs_arg $ cap_arg)
+      const run $ path_arg $ iterations_arg () $ time_arg () $ seed_arg ()
+      $ nprocs_arg () $ cap_arg ())
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

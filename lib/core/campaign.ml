@@ -197,6 +197,12 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
       cap_overrides = s.Driver.cap_overrides;
       step_limit = s.Driver.step_limit;
       max_procs = s.Driver.max_procs;
+      (* compiled once here, then shared read-only by every worker
+         domain; per-run state lives in per-run frames. Deliberately NOT
+         part of the checkpoint fingerprint: the two exec modes are
+         observationally identical, so a snapshot written under either
+         resumes under either. *)
+      compiled = Runner.prepare ~target:label s.Driver.exec_mode info;
     }
   in
   let cache =

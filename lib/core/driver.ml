@@ -34,6 +34,9 @@ type settings = {
       (* ablation hook for section III-C: when false the focus never
          follows re-solved rank variables (process count still follows
          sw), so derived rank values are silently dropped *)
+  exec_mode : Runner.exec_mode;
+      (* compiled (default) or interpreted execution; the interpreter
+         stays available as the differential oracle *)
 }
 
 let default_settings =
@@ -59,6 +62,7 @@ let default_settings =
     random_hi = 64;
     stagnation_restart = Some 250;
     resolve_conflicts = true;
+    exec_mode = Runner.Exec_compiled;
   }
 
 type bug = {
@@ -220,6 +224,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
       cap_overrides = settings.cap_overrides;
       step_limit = settings.step_limit;
       max_procs = settings.max_procs;
+      compiled = Runner.prepare ~target:label settings.exec_mode info;
     }
   in
   Obs.Sink.emit

@@ -48,6 +48,10 @@ type settings = {
   resolve_conflicts : bool;
       (** ablation hook: disable the section III-C conflict resolution so
           the focus never follows derived rank values *)
+  exec_mode : Runner.exec_mode;
+      (** [Exec_compiled] (default): compile the target to closures once
+          per campaign; [Exec_interp] keeps the tree-walking interpreter
+          as the differential oracle *)
 }
 
 val default_settings : settings

@@ -1,6 +1,18 @@
 open Minic
 open Concolic
 
+(* How each simulated process executes the target: the closure-compiled
+   program (default; compiled once per campaign via [prepare]) or the
+   tree-walking interpreter (the differential oracle). *)
+type exec_mode = Exec_interp | Exec_compiled
+
+let exec_mode_name = function Exec_interp -> "interp" | Exec_compiled -> "compiled"
+
+let exec_mode_of_name = function
+  | "interp" -> Some Exec_interp
+  | "compiled" -> Some Exec_compiled
+  | _ -> None
+
 type config = {
   info : Branchinfo.t;
   inputs : (string * int) list;
@@ -17,6 +29,10 @@ type config = {
   symbolic : bool;
       (* false: every process runs light instrumentation — pure random
          testing needs no symbolic execution at all *)
+  compiled : Compile.t option;
+      (* closure-compiled program shared read-only across runs (and
+         worker domains); None runs the interpreter. Built once per
+         campaign by [prepare]. *)
   on_event : Mpisim.Trace.event -> unit;
 }
 
@@ -35,8 +51,33 @@ let default_config ~info =
     step_limit = 2_000_000;
     max_procs = Mpisim.Scheduler.default_max_procs;
     symbolic = true;
+    compiled = None;
     on_event = (fun _ -> ());
   }
+
+(* Compile the target once, under the "compile" profile phase, so
+   `compi-cli profile` attributes compile cost separately from run
+   cost. Returns the value to put in [config.compiled]. *)
+let prepare ?(target = "") mode (info : Branchinfo.t) =
+  match mode with
+  | Exec_interp -> None
+  | Exec_compiled ->
+    let t0 = Unix.gettimeofday () in
+    let cp =
+      Obs.Prof.time "compile" (fun () -> Compile.compile info.Branchinfo.program)
+    in
+    let time_s = Unix.gettimeofday () -. t0 in
+    if Obs.Sink.active () then
+      Obs.Sink.emit
+        (Obs.Event.Compile
+           {
+             target;
+             funcs = Compile.funcs cp;
+             conds = Compile.conds cp;
+             slots = Compile.slots cp;
+             time_s;
+           });
+    Some cp
 
 type result = {
   execution : Execution.t;
@@ -136,6 +177,11 @@ let m_log_bytes = Obs.Metrics.histogram "runner.focus_log_bytes"
 
 let run_raw config =
   let program = config.info.Branchinfo.program in
+  let exec =
+    match config.compiled with
+    | Some cp -> fun hooks -> Compile.run cp hooks
+    | None -> fun hooks -> Interp.run hooks program
+  in
   let focus = config.focus in
   let symtab = Symtab.create () in
   let focus_log = Pathlog.create ~reduce:config.reduce in
@@ -161,7 +207,7 @@ let run_raw config =
               ~mpi ~symtab:shadow_tab ~log ~cover:covers.(rank)
           end
         in
-        Interp.run hooks program)
+        exec hooks)
   with
   | exception Mpisim.Scheduler.Platform_limit n -> Error (`Platform_limit n)
   | sched ->

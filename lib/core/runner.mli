@@ -9,6 +9,17 @@
     of Table IV. Branch coverage is recorded across all processes
     ("one focus and all recorders"). *)
 
+type exec_mode = Exec_interp | Exec_compiled
+(** How each simulated process executes the target: the tree-walking
+    interpreter (the differential oracle) or the closure-compiled
+    executor (default; see [lib/minic/compile.ml] and
+    docs/INTERNALS.md). *)
+
+val exec_mode_name : exec_mode -> string
+(** ["interp"] / ["compiled"] — the [--exec-mode] vocabulary. *)
+
+val exec_mode_of_name : string -> exec_mode option
+
 type config = {
   info : Minic.Branchinfo.t;  (** instrumented program *)
   inputs : (string * int) list;  (** marked program-input values *)
@@ -25,13 +36,24 @@ type config = {
   symbolic : bool;
       (** [false]: every process runs the light build — used by the pure
           random-testing baseline, which needs no symbolic execution *)
+  compiled : Minic.Compile.t option;
+      (** closure-compiled program, shared read-only across runs and
+          worker domains; [None] executes through the interpreter.
+          Build it once per campaign with {!prepare}. *)
   on_event : Mpisim.Trace.event -> unit;
       (** communication-trace sink (default: ignore) *)
 }
 
 val default_config : info:Minic.Branchinfo.t -> config
 (** 8 processes, focus 0, reduction and two-way on, framework on,
-    process cap 16 — the paper's defaults. *)
+    process cap 16 — the paper's defaults. [compiled] is [None]; cheap
+    one-off runs (unit tests) interpret, campaigns call {!prepare}. *)
+
+val prepare : ?target:string -> exec_mode -> Minic.Branchinfo.t -> Minic.Compile.t option
+(** Compile the target once for a campaign (the [Exec_compiled] mode);
+    [Exec_interp] returns [None]. Compilation is timed under the
+    ["compile"] {!Obs.Prof} phase and emits an {!Obs.Event.Compile}
+    event, so compile cost is attributed separately from run cost. *)
 
 type result = {
   execution : Concolic.Execution.t;  (** the focus's concolic record *)

@@ -10,6 +10,7 @@ let outcome_of_name = function
 
 type t =
   | Campaign_start of { target : string; iterations : int; seed : int; nprocs : int }
+  | Compile of { target : string; funcs : int; conds : int; slots : int; time_s : float }
   | Campaign_end of {
       iterations_run : int;
       covered : int;
@@ -72,6 +73,7 @@ type t =
 
 let kind_name = function
   | Campaign_start _ -> "campaign_start"
+  | Compile _ -> "compile"
   | Campaign_end _ -> "campaign_end"
   | Iter_start _ -> "iter_start"
   | Iter_end _ -> "iter_end"
@@ -104,6 +106,14 @@ let fields = function
       ("iterations", Json.Int iterations);
       ("seed", Json.Int seed);
       ("nprocs", Json.Int nprocs);
+    ]
+  | Compile { target; funcs; conds; slots; time_s } ->
+    [
+      ("target", Json.Str target);
+      ("funcs", Json.Int funcs);
+      ("conds", Json.Int conds);
+      ("slots", Json.Int slots);
+      ("time_s", Json.Float time_s);
     ]
   | Campaign_end { iterations_run; covered; reachable; bugs; wall_s } ->
     [
@@ -279,6 +289,13 @@ let of_json j =
     let* seed = int "seed" in
     let* nprocs = int "nprocs" in
     Ok (Campaign_start { target; iterations; seed; nprocs })
+  | "compile" ->
+    let* target = str "target" in
+    let* funcs = int "funcs" in
+    let* conds = int "conds" in
+    let* slots = int "slots" in
+    let* time_s = flt "time_s" in
+    Ok (Compile { target; funcs; conds; slots; time_s })
   | "campaign_end" ->
     let* iterations_run = int "iterations_run" in
     let* covered = int "covered" in

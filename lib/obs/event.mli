@@ -12,6 +12,11 @@ val outcome_name : solver_outcome -> string
 
 type t =
   | Campaign_start of { target : string; iterations : int; seed : int; nprocs : int }
+  | Compile of { target : string; funcs : int; conds : int; slots : int; time_s : float }
+      (** the target was compiled to closures (once per campaign):
+          [funcs]/[conds]/[slots] are compiled-program sizes, [time_s]
+          the compile cost that [compi-cli profile] attributes to the
+          ["compile"] phase rather than to run time *)
   | Campaign_end of {
       iterations_run : int;
       covered : int;

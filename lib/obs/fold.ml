@@ -185,7 +185,7 @@ let fold events =
         spans := { sp_domain = domain; sp_kind = kind; sp_t0 = t0; sp_t1 = t1 } :: !spans
       | Event.Iter_start _ | Event.Negation _ | Event.Coverage_delta _
       | Event.Worker_spawn _ | Event.Worker_task _ | Event.Worker_exit _
-      | Event.Checkpoint_write _ | Event.Checkpoint_load _ -> ())
+      | Event.Checkpoint_write _ | Event.Checkpoint_load _ | Event.Compile _ -> ())
     events;
   let lineage = List.sort (fun a b -> compare a.ln_test b.ln_test) !lineage in
   let first_for_branch = Hashtbl.create 64 in
@@ -853,9 +853,9 @@ let span_wait_kind = function
   | _ -> false
 
 let span_busy_kind = function
-  | "campaign" | "task" | "exec" | "solve" | "solver.call" | "interp" | "schedule"
-  | "strategy" | "checkpoint" | "report" | "round" | "dispatch" | "merge"
-  | "cache.probe" | "cache.lock.hold" -> true
+  | "campaign" | "task" | "exec" | "solve" | "solver.call" | "interp" | "compiled"
+  | "compile" | "schedule" | "strategy" | "checkpoint" | "report" | "round"
+  | "dispatch" | "merge" | "cache.probe" | "cache.lock.hold" -> true
   | _ -> false
 
 (* Structural umbrellas: they tile the main domain so attribution can

@@ -14,8 +14,11 @@ understood, sniffed from the document itself:
     invariant is never a matter of tolerance).
   * BENCH_microbench.json — a top-level "metrics" object. Every
     bench.*.ns_per_run gauge present in both documents is compared
-    against the tolerance, and bench.span_overhead.ratio (when
-    recorded) must stay within its own 1.05x budget.
+    against the tolerance (this covers the bench.interp.* /
+    bench.compiled.* executor pair), bench.span_overhead.ratio (when
+    recorded) must stay within its own 1.05x budget, and
+    bench.exec_mode.speedup carries the compiled-executor gate: hard
+    regression below 2x, an informational warning below the 5x target.
 
 Timing noise is real: the default tolerance is deliberately loose, and
 speedups are reported but never gated (a faster NEW is not an error).
@@ -30,6 +33,8 @@ import sys
 
 HIT_RATE_DROP = 0.10
 SPAN_OVERHEAD_BUDGET = 1.05
+EXEC_SPEEDUP_FLOOR = 2.0   # hard gate, mirrors bench/microbench.ml
+EXEC_SPEEDUP_TARGET = 5.0  # informational target per ROADMAP
 
 
 def load(path):
@@ -113,6 +118,18 @@ def diff_microbench(old, new, tol, out):
             regressions.append(
                 f"span overhead ratio {ratio:.3f} exceeds the "
                 f"{SPAN_OVERHEAD_BUDGET}x budget")
+    speedup = nm.get("bench.exec_mode.speedup")
+    if isinstance(speedup, (int, float)):
+        out.append(f"{'bench.exec_mode.speedup':<52} "
+                   f"{'':>12} {speedup:>11.1f}x {'':>8}")
+        if speedup < EXEC_SPEEDUP_FLOOR:
+            regressions.append(
+                f"compiled executor speedup {speedup:.2f}x is below the "
+                f"{EXEC_SPEEDUP_FLOOR}x floor")
+        elif speedup < EXEC_SPEEDUP_TARGET:
+            out.append(
+                f"warn: compiled executor speedup {speedup:.1f}x is below "
+                f"the {EXEC_SPEEDUP_TARGET}x target (not gated)")
     return regressions
 
 

@@ -8,7 +8,11 @@ that don't exist:
      (external URLs and #anchors are skipped);
   2. inline-code file references like `lib/core/campaign.ml` that don't
      resolve (globs like `examples/programs/*.mc` must match something);
-  3. CLI flags like `--jobs` that bin/compi_cli.ml does not define.
+  3. CLI flags like `--jobs` that bin/compi_cli.ml does not define;
+  4. telemetry vocabulary drift: every event kind `lib/obs/event.ml`
+     can emit must have a `### `kind`` section in docs/TELEMETRY.md,
+     and every `Obs.Prof.time "phase"` string used by lib/ or bin/
+     must appear in TELEMETRY.md's phase list.
 
 With `--exe PATH` (a built compi_cli executable) it additionally runs
 `PATH <cmd> --help` for each audited subcommand (run, explain, report,
@@ -50,11 +54,68 @@ BUILTIN_FLAGS = {"--help", "--version"}
 # documented — the checkpoint/resume surface the CI matrix exercises,
 # and the observatory surface the explain/report smoke job drives.
 REQUIRED_FLAGS = {
-    "run": {"--checkpoint", "--checkpoint-every", "--resume", "--trace-events"},
+    "run": {"--checkpoint", "--checkpoint-every", "--resume", "--trace-events",
+            "--exec-mode"},
     "explain": {"--branch", "--testcase", "--target"},
     "report": {"--out", "--stable", "--target"},
     "profile": {"--out", "--stable"},
 }
+
+
+def event_kinds():
+    """Kind strings the `kind_name` function in lib/obs/event.ml emits."""
+    src = open(os.path.join(ROOT, "lib", "obs", "event.ml")).read()
+    m = re.search(r"let kind_name = function\n(.*?)\n\n", src, re.S)
+    if not m:
+        return None
+    return set(re.findall(r'->\s*"([a-z_]+)"', m.group(1)))
+
+
+def prof_phases():
+    """Phase strings passed to Obs.Prof.time anywhere in lib/ or bin/."""
+    phases = set()
+    for pat in ("lib/**/*.ml", "bin/**/*.ml"):
+        for path in glob.glob(os.path.join(ROOT, pat), recursive=True):
+            src = open(path).read()
+            phases.update(re.findall(r'Prof\.time\s+"([a-z._]+)"', src))
+    return phases
+
+
+def check_telemetry_vocab(errors):
+    """TELEMETRY.md must document every event kind and profile phase."""
+    path = os.path.join(ROOT, "docs", "TELEMETRY.md")
+    if not os.path.exists(path):
+        errors.append("missing documentation file: docs/TELEMETRY.md")
+        return
+    text = open(path).read()
+    kinds = event_kinds()
+    if kinds is None:
+        errors.append("cannot parse kind_name from lib/obs/event.ml "
+                      "(audit regex rotted)")
+    else:
+        headings = set(re.findall(r"^### `([a-z_]+)`", text, re.M))
+        for kind in sorted(kinds - headings):
+            errors.append(
+                f"docs/TELEMETRY.md: event kind {kind!r} (lib/obs/event.ml) "
+                f"has no `### `{kind}`` section")
+        for kind in sorted(headings - kinds):
+            errors.append(
+                f"docs/TELEMETRY.md: documents event kind {kind!r} that "
+                f"lib/obs/event.ml cannot emit")
+        count = re.search(r"one of the (\d+) names", text)
+        if count and int(count.group(1)) != len(kinds):
+            errors.append(
+                f"docs/TELEMETRY.md: says 'one of the {count.group(1)} names' "
+                f"but lib/obs/event.ml defines {len(kinds)} kinds")
+    phase_doc = re.search(r"^Phases: (.*?)(?:^\n|\Z)", text, re.M | re.S)
+    doc_phases = set(re.findall(r"`([a-z._]+)`", phase_doc.group(1))) \
+        if phase_doc else set()
+    if not phase_doc:
+        errors.append("docs/TELEMETRY.md: no 'Phases:' list to audit")
+    for phase in sorted(prof_phases() - doc_phases):
+        errors.append(
+            f"docs/TELEMETRY.md: profile phase {phase!r} (Obs.Prof.time "
+            f"call site) missing from the Phases list")
 
 
 def cli_flags():
@@ -152,6 +213,7 @@ def main():
             errors.append(
                 f"missing documentation file: {os.path.relpath(path, ROOT)}"
             )
+    check_telemetry_vocab(errors)
     if args.exe:
         for cmd, required in sorted(REQUIRED_FLAGS.items()):
             check_cmd_help(args.exe, cmd, required, flags, doc_flags, errors)

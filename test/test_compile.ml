@@ -1,0 +1,441 @@
+(* Differential tests for the closure-compiled executor (Minic.Compile):
+   it must be observationally identical to the tree-walking interpreter
+   on every program — same verdict, same hook event stream (inputs,
+   branches with their symbolic constraints, function entries), in both
+   heavy and light modes — and identical through the full Runner stack
+   (coverage, path logs, MPI traces) and a live parallel campaign. *)
+
+open Minic
+open Builder
+
+let instrument p = Branchinfo.instrument (Check.check_exn p)
+
+(* Every observable an executor produces through the hook surface,
+   rendered to strings so Alcotest diffs read well. The first element
+   is the verdict; the rest is the chronological event stream. *)
+let observe ?step_limit exec mode (info : Branchinfo.t) ~inputs =
+  let gen = Smt.Varid.make_gen () in
+  let trace = ref [] in
+  let push s = trace := s :: !trace in
+  let hooks = Interp.plain_hooks ?step_limit () in
+  let hooks =
+    {
+      hooks with
+      Interp.mode;
+      input_value =
+        (fun d ->
+          match List.assoc_opt d.Ast.iname inputs with
+          | Some value -> value
+          | None -> d.Ast.default);
+      on_input =
+        (fun d concrete ->
+          push (Printf.sprintf "input %s=%d" d.Ast.iname concrete);
+          if mode = Interp.Heavy then Some (Smt.Linexp.var (Smt.Varid.fresh gen))
+          else None);
+      on_branch =
+        (fun ~id ~taken ~constr ->
+          push
+            (Printf.sprintf "branch %d %c %s" id
+               (if taken then 'T' else 'F')
+               (match constr with
+               | None -> "concrete"
+               | Some c -> Format.asprintf "%a" Smt.Constr.pp c)));
+      on_func_enter = (fun fn -> push ("enter " ^ fn));
+    }
+  in
+  let verdict =
+    match exec hooks info.Branchinfo.program with
+    | Ok () -> "ok"
+    | Error f -> Fault.to_string f
+  in
+  verdict :: List.rev !trace
+
+let interp_exec hooks program = Interp.run hooks program
+let compiled_exec cp hooks _program = Compile.run cp hooks
+
+let mode_name = function Interp.Heavy -> "heavy" | Interp.Light -> "light"
+
+let differential ?step_limit ?(inputs = []) name p =
+  let info = instrument p in
+  let cp = Compile.compile info.Branchinfo.program in
+  List.iter
+    (fun mode ->
+      let want = observe ?step_limit interp_exec mode info ~inputs in
+      let got = observe ?step_limit (compiled_exec cp) mode info ~inputs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s (%s)" name (mode_name mode))
+        want got)
+    [ Interp.Heavy; Interp.Light ]
+
+(* ------------------------------------------------------------------ *)
+(* Hand-picked programs covering the tricky equivalence corners        *)
+(* ------------------------------------------------------------------ *)
+
+let test_arith_and_branches () =
+  differential ~inputs:[ ("n", 7) ] "arith"
+    (program
+       [
+         func "main" []
+           [
+             input "n" ~default:3;
+             decl "x" ((v "n" *: i 2) +: i 1);
+             if_ (v "x" >: i 10) [ assign "x" (v "x" -: v "n") ] [ assign "x" (i 0) ];
+             decl "q" (v "x" /: i 2);
+             decl "r" (v "x" %: i 3);
+             if_ (v "q" =: v "r") [] [ assign "x" (v "q" +: v "r") ];
+           ];
+       ])
+
+let test_fault_fpe () =
+  differential ~inputs:[ ("n", 0) ] "fpe"
+    (program
+       [ func "main" [] [ input "n" ~default:0; decl "x" (i 1 /: v "n") ] ])
+
+let test_fault_segv () =
+  differential ~inputs:[ ("n", 9) ] "segv"
+    (program
+       [
+         func "main" []
+           [
+             input "n" ~default:9;
+             decl_arr "a" (i 4);
+             aset "a" (v "n") (i 1);
+           ];
+       ])
+
+let test_fault_assert_and_exit () =
+  differential ~inputs:[ ("n", 1) ] "assert"
+    (program
+       [ func "main" [] [ input "n" ~default:1; assert_ (v "n" =: i 0) "boom" ] ]);
+  differential "exit"
+    (program
+       [ func "main" [] [ decl "x" (i 1); exit_ (i 0); assign "x" (i 2) ] ])
+
+let test_arrays_and_len () =
+  differential ~inputs:[ ("n", 2) ] "arrays"
+    (program
+       [
+         func "fill" [ ("a", Ast.Tint); ("k", Ast.Tint) ]
+           [ aset "a" (v "k") (v "k" *: i 10) ];
+         func "main" []
+           [
+             input "n" ~default:2;
+             decl_arr "a" (i 5);
+             call "fill" [ v "a"; v "n" ];
+             decl "x" (idx "a" (v "n"));
+             decl "l" (len "a");
+             if_ (v "x" =: v "n" *: i 10) [] [ assert_ (i 0) "by ref" ];
+             if_ (v "l" =: i 5) [] [ assert_ (i 0) "len" ];
+           ];
+       ])
+
+let test_recursion_and_shadow_through_call () =
+  differential ~inputs:[ ("n", 5) ] "recursion"
+    (program
+       [
+         func "fact" [ ("n", Ast.Tint) ]
+           [
+             if_ (v "n" <=: i 1) [ ret (i 1) ] [];
+             decl "r" (i 0);
+             call_assign "r" "fact" [ v "n" -: i 1 ];
+             ret (v "n" *: v "r");
+           ];
+         func "id" [ ("x", Ast.Tint) ] [ ret (v "x") ];
+         func "main" []
+           [
+             input "n" ~default:5;
+             decl "r" (i 0);
+             call_assign "r" "fact" [ i 6 ];
+             decl "y" (i 0);
+             call_assign "y" "id" [ v "n" +: i 1 ];
+             (* shadow must flow through id: this branch is symbolic *)
+             if_ (v "y" >: i 3) [] [];
+             if_ (v "r" =: i 720) [] [ assert_ (i 0) "6!" ];
+           ];
+       ])
+
+let test_floats_and_bitwise () =
+  differential "floats"
+    (program
+       [
+         func "main" []
+           [
+             declf "x" (f 1.5 +: f 2.5);
+             declf "y" (v "x" /: f 0.0);
+             if_ (v "y" >: f 1000.0) [] [];
+             decl "a" (i 6);
+             decl "b"
+               (Ast.Binop
+                  ( Ast.Bitor,
+                    Ast.Binop (Ast.Bitand, v "a", i 3),
+                    Ast.Binop
+                      ( Ast.Add,
+                        Ast.Binop (Ast.Bitxor, v "a", i 1),
+                        Ast.Binop (Ast.Shl, v "a", i 2) ) ));
+             decl "c" (Ast.Binop (Ast.Shr, v "b", i 1));
+             if_ (v "c" >=: i 0) [] [];
+           ];
+       ])
+
+let test_while_and_nonlinear () =
+  differential ~inputs:[ ("n", 4) ] "while"
+    (program
+       [
+         func "main" []
+           [
+             input "n" ~default:4;
+             decl "x" (v "n");
+             while_ (v "x" >: i 0) [ assign "x" (v "x" -: i 1) ];
+             (* nonlinear: shadow concretizes, branch goes concrete *)
+             decl "sq" (v "n" *: v "n");
+             if_ (v "sq" >: i 10) [] [];
+             if_ (lognot (v "x")) [] [];
+           ];
+       ])
+
+let test_step_limit () =
+  differential ~step_limit:100 "step limit"
+    (program [ func "main" [] [ decl "x" (i 1); while_ (v "x") [] ] ])
+
+(* A compiled program is immutable: two runs from the same compile must
+   produce identical observations (no cross-run state leak). *)
+let test_compiled_reuse () =
+  let p =
+    program
+      [
+        func "main" []
+          [
+            input "n" ~default:3;
+            decl_arr "a" (i 4);
+            aset "a" (i 0) (v "n");
+            if_ (idx "a" (i 0) >: i 1) [ aset "a" (i 1) (i 7) ] [];
+          ];
+      ]
+  in
+  let info = instrument p in
+  let cp = Compile.compile info.Branchinfo.program in
+  let run () = observe (compiled_exec cp) Interp.Heavy info ~inputs:[ ("n", 3) ] in
+  Alcotest.(check (list string)) "second run identical" (run ()) (run ())
+
+let test_compile_metadata () =
+  let p =
+    program
+      [
+        func "helper" [ ("x", Ast.Tint) ] [ ret (v "x") ];
+        func "main" [] [ decl "a" (i 1); if_ (v "a") [] [] ];
+      ]
+  in
+  let info = instrument p in
+  let cp = Compile.compile info.Branchinfo.program in
+  Alcotest.(check int) "funcs" 2 (Compile.funcs cp);
+  Alcotest.(check int) "conds" 1 (Compile.conds cp);
+  Alcotest.(check bool) "slots counted" true (Compile.slots cp >= 2);
+  Alcotest.(check bool) "program kept" true
+    (Compile.program cp == info.Branchinfo.program)
+
+(* ------------------------------------------------------------------ *)
+(* Full Runner stack: targets and the .mc corpus under N processes     *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a Runner result exposes, as strings: per-rank verdicts,
+   coverage, the focus path log, deadlocks, leaks and the full MPI
+   communication trace. *)
+let runner_observe exec_mode (info : Branchinfo.t) ~step_limit ~nprocs =
+  let tracer = Mpisim.Trace.create () in
+  let config =
+    {
+      (Compi.Runner.default_config ~info) with
+      Compi.Runner.nprocs;
+      step_limit;
+      compiled = Compi.Runner.prepare exec_mode info;
+      on_event = Mpisim.Trace.collector tracer;
+    }
+  in
+  match Compi.Runner.run config with
+  | Error (`Platform_limit n) -> [ Printf.sprintf "platform limit %d" n ]
+  | Ok r ->
+    let outcome = function Ok () -> "ok" | Error f -> Fault.to_string f in
+    [
+      String.concat ";" (Array.to_list (Array.map outcome r.Compi.Runner.outcomes));
+      String.concat ","
+        (List.map string_of_int
+           (Concolic.Coverage.branch_list r.Compi.Runner.coverage));
+      String.concat ","
+        (Array.to_list
+           (Array.map
+              (fun (br, c) -> Printf.sprintf "%d:%s" br (Format.asprintf "%a" Smt.Constr.pp c))
+              r.Compi.Runner.execution.Concolic.Execution.constraints));
+      String.concat ","
+        (List.map
+           (fun (c, t) -> Printf.sprintf "%d%c" c (if t then 'T' else 'F'))
+           r.Compi.Runner.focus_tail);
+      string_of_int r.Compi.Runner.constraint_set_size;
+      String.concat "," (List.map string_of_int r.Compi.Runner.deadlocked);
+      string_of_int r.Compi.Runner.leaked_messages;
+      Mpisim.Trace.to_jsonl tracer;
+    ]
+
+let runner_differential name info ~step_limit ~nprocs =
+  Alcotest.(check (list string))
+    name
+    (runner_observe Compi.Runner.Exec_interp info ~step_limit ~nprocs)
+    (runner_observe Compi.Runner.Exec_compiled info ~step_limit ~nprocs)
+
+let test_targets_differential () =
+  List.iter
+    (fun (t : Targets.Registry.t) ->
+      let info = Targets.Registry.instrument t in
+      runner_differential t.Targets.Registry.name info
+        ~step_limit:t.Targets.Registry.tuning.Targets.Registry.step_limit ~nprocs:4)
+    (Targets.Catalog.all ())
+
+(* dune runs tests from the build sandbox; walk up to the source root *)
+let corpus_dir () =
+  let rec find dir =
+    let candidate = Filename.concat dir "examples/programs" in
+    if Sys.file_exists candidate then Some candidate
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find parent
+  in
+  find (Sys.getcwd ())
+
+let example_programs () =
+  match corpus_dir () with
+  | None -> []
+  | Some dir -> (
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".mc")
+    |> List.sort String.compare
+    |> List.filter_map (fun n ->
+           let src =
+             In_channel.with_open_text (Filename.concat dir n) In_channel.input_all
+           in
+           match Parse.program src with
+           | Error _ -> None
+           | Ok program -> (
+             match Check.check program with
+             | _ :: _ -> None
+             | [] -> Some (n, Branchinfo.instrument (Opt.simplify_program program)))))
+
+let test_corpus_differential () =
+  let programs = example_programs () in
+  Alcotest.(check bool) "corpus present" true (List.length programs >= 3);
+  List.iter
+    (fun (name, info) ->
+      runner_differential name info ~step_limit:2_000_000 ~nprocs:4)
+    programs
+
+(* A live parallel campaign must be byte-identical across exec modes
+   (and the report is already jobs-invariant, so jobs=2 covers the
+   shared-compiled-program-across-domains path). *)
+let campaign exec_mode ~jobs info =
+  let settings =
+    {
+      Compi.Campaign.default_settings with
+      Compi.Campaign.base =
+        {
+          Compi.Driver.default_settings with
+          Compi.Driver.iterations = 40;
+          dfs_phase_iters = 12;
+          initial_nprocs = 2;
+          seed = 11;
+          exec_mode;
+        };
+      jobs;
+    }
+  in
+  Compi.Campaign.run ~settings info
+
+let test_campaign_modes_identical () =
+  let info = Targets.Registry.instrument (Targets.Catalog.find_exn "toy-fig1") in
+  List.iter
+    (fun jobs ->
+      let ri = campaign Compi.Runner.Exec_interp ~jobs info in
+      let rc = campaign Compi.Runner.Exec_compiled ~jobs info in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d report identical across exec modes" jobs)
+        (Compi.Campaign.coverage_report ri)
+        (Compi.Campaign.coverage_report rc);
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d same execution count" jobs)
+        ri.Compi.Campaign.executed rc.Compi.Campaign.executed)
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: random programs agree under both executors                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_compile_matches_interp =
+  QCheck.Test.make ~name:"compile: differential vs interp on random programs"
+    ~count:150
+    QCheck.(
+      make
+        Gen.(
+          let* d = int_range (-10) 10 in
+          let* steps =
+            list_size (int_range 1 8)
+              (triple (int_range 0 6) (int_range (-9) 9) (int_range (-9) 9))
+          in
+          return (d, steps)))
+    (fun (d, steps) ->
+      let step k (op, a, b) =
+        match op with
+        | 0 -> [ assign "x" (v "x" +: (v "n" *: i a)) ]
+        | 1 -> [ assign "x" (v "x" -: i b) ]
+        | 2 ->
+          [
+            if_ (v "x" <: i a)
+              [ assign "x" (v "x" +: i 1) ]
+              [ assign "x" (v "x" -: i 1) ];
+          ]
+        | 3 ->
+          let kv = Printf.sprintf "k%d" k in
+          for_ kv (i 0) (i (abs a mod 4)) [ assign "x" (v "x" +: v kv) ]
+        | 4 -> [ assign "x" (v "x" /: i b) ] (* faults when b = 0 *)
+        | 5 -> [ aset "arr" (v "x" %: i 5) (v "x") ] (* may segfault *)
+        | _ -> [ assign "x" (v "x" *: v "x") ] (* nonlinear: concretizes *)
+      in
+      let stmts = List.concat (List.mapi step steps) in
+      let p =
+        program
+          [
+            func "main" []
+              ([ input "n" ~default:d; decl "x" (v "n"); decl_arr "arr" (i 5) ]
+              @ stmts
+              @ [ if_ (v "x" >: i 0) [] [] ]);
+          ]
+      in
+      let info = instrument p in
+      let cp = Compile.compile info.Branchinfo.program in
+      List.for_all
+        (fun mode ->
+          observe interp_exec mode info ~inputs:[ ("n", d) ]
+          = observe (compiled_exec cp) mode info ~inputs:[ ("n", d) ])
+        [ Interp.Heavy; Interp.Light ])
+
+let unit_tests =
+  [
+    ("arith and branches", `Quick, test_arith_and_branches);
+    ("fpe fault", `Quick, test_fault_fpe);
+    ("segfault", `Quick, test_fault_segv);
+    ("assert and exit", `Quick, test_fault_assert_and_exit);
+    ("arrays by reference and len", `Quick, test_arrays_and_len);
+    ("recursion and shadow through call", `Quick, test_recursion_and_shadow_through_call);
+    ("floats and bitwise", `Quick, test_floats_and_bitwise);
+    ("while and nonlinear", `Quick, test_while_and_nonlinear);
+    ("step limit", `Quick, test_step_limit);
+    ("compiled reuse", `Quick, test_compiled_reuse);
+    ("compile metadata", `Quick, test_compile_metadata);
+    ("all targets under runner", `Quick, test_targets_differential);
+    ("mc corpus under runner", `Quick, test_corpus_differential);
+    ("campaign identical across modes", `Quick, test_campaign_modes_identical);
+  ]
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_compile_matches_interp ]
+
+let suite = [ ("compile:unit", unit_tests); ("compile:property", property_tests) ]

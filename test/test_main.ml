@@ -7,6 +7,7 @@ let () =
          Test_timeline.suite;
          Test_smt.suite;
          Test_minic.suite;
+         Test_compile.suite;
          Test_mpisim.suite;
          Test_concolic.suite;
          Test_compi.suite;
