@@ -1,16 +1,18 @@
-(* Parallel campaign engine: wall time vs worker count, solver-cache
+(* Pipelined campaign engine: wall time vs worker count, solver-cache
    effect, and the determinism guarantee checked end to end.
 
    Runs the same campaign at --jobs 1/2/4/8 (cache on), plus a jobs=1
-   cache-off baseline, and writes BENCH_parallel.json. Speedups are
-   whatever the machine gives: on a single-core container the parallel
-   runs only add coordination overhead, so the JSON records
-   [recommended_domains] (Domain.recommended_domain_count) alongside
-   the times and each row's actual [pool_size] — compare speedup
-   against the cores, not against the job count. The
-   [identical_reports] flag is the important invariant either way:
-   every configuration must produce a byte-identical canonical
-   coverage report.
+   cache-off baseline, on two targets of realistic task granularity
+   (susy-hmc and hpl), and writes BENCH_parallel.json. The pool is
+   sized to [min jobs cores]: asking for more domains than the host
+   has cores measures scheduler thrash, not the engine, so a row whose
+   requested [jobs] exceeds [cores] runs with a clamped pool and is
+   flagged [oversubscribed] — scripts/bench_diff.py skips the speedup
+   gate on those rows. Each row also records [queue_depth] (the peak
+   claimed-but-unmerged pipeline depth) and [utilization]
+   (worker busy time / (wall * pool size)). The [identical_reports]
+   flag is the important invariant either way: every configuration of
+   a target must produce a byte-identical canonical coverage report.
 
    Under --profile, one extra jobs-4 run is traced (spans included) to
    BENCH_parallel_trace.jsonl and its profile printed — the raw
@@ -44,7 +46,7 @@ let measure ~target ~iterations ~jobs ~cache =
   let wall = Unix.gettimeofday () -. t0 in
   (r, wall)
 
-let profiled_run ~target ~iterations =
+let profiled_run ~target ~iterations ~jobs =
   let oc = open_out trace_file in
   Obs.Sink.install (Obs.Sink.Channel_sink oc);
   Fun.protect
@@ -55,34 +57,47 @@ let profiled_run ~target ~iterations =
       (* the campaign owns the timeline: it enables on seeing the
          active sink and drains/disables on the way out *)
       let info = Util.instrumented target in
-      let settings = campaign_settings ~target ~iterations ~jobs:4 ~cache:true in
+      let settings = campaign_settings ~target ~iterations ~jobs ~cache:true in
       ignore (Compi.Campaign.run ~settings ~label:target info));
   let f =
     Obs.Fold.of_lines (In_channel.with_open_text trace_file In_channel.input_lines)
   in
-  Printf.printf "\n-- span profile of one traced --jobs 4 run (%s) --\n%s" trace_file
-    (Obs.Fold.profile_text f)
+  Printf.printf "\n-- span profile of one traced --jobs %d run (%s) --\n%s" jobs
+    trace_file (Obs.Fold.profile_text f)
 
-let run (scale : Util.scale) =
-  Util.print_header "Parallel campaign engine: jobs scaling + solver cache";
-  let target = "susy-hmc" in
-  let iterations = Util.scaled_iters scale 150 in
-  let cores = Domain.recommended_domain_count () in
-  Printf.printf "target %s, %d iterations, %d core(s) available\n" target iterations
-    cores;
-  Printf.printf "%6s %9s %8s %10s %10s %8s\n" "jobs" "wall(s)" "speedup" "hit rate"
-    "solver" "report";
-  (* one repetition per configuration beyond reps is averaged *)
-  let reps = max 1 scale.Util.reps in
+(* All configurations of one target: jobs scaling (cache on) plus the
+   jobs-1 cache-off baseline. Returns the rows and whether every
+   configuration reproduced the jobs-1 report byte for byte. *)
+let run_target ~cores ~reps ~target ~iterations =
+  Printf.printf "\ntarget %s, %d iterations\n" target iterations;
+  Printf.printf "%6s %5s %9s %8s %7s %5s %10s %10s %8s\n" "jobs" "pool" "wall(s)"
+    "speedup" "util" "depth" "hit rate" "solver" "report";
   let timed jobs cache =
-    let runs = Util.repeat reps (fun _ -> measure ~target ~iterations ~jobs ~cache) in
+    (* honor the host: a pool wider than the core count measures
+       oversubscription thrash, not the engine *)
+    let pool = min jobs cores in
+    let runs =
+      Util.repeat reps (fun _ -> measure ~target ~iterations ~jobs:pool ~cache)
+    in
     let r, _ = List.hd runs in
-    let wall = Util.mean (List.map snd runs) in
-    (r, wall)
+    let wall = Util.median (List.map snd runs) in
+    (* utilization is a per-run ratio (that run's busy over that run's
+       wall), medianed across reps — dividing one rep's busy time by
+       another rep's wall can exceed 100% *)
+    let util =
+      Util.median
+        (List.map
+           (fun (r, w) ->
+             if w <= 0.0 then 0.0
+             else r.Compi.Campaign.worker_busy_s /. (w *. float_of_int pool))
+           runs)
+    in
+    (r, wall, util, pool)
   in
-  let base_result, base_wall = timed 1 true in
+  let base = timed 1 true in
+  let base_result, base_wall, _, _ = base in
   let base_report = Compi.Campaign.coverage_report base_result in
-  let row ~label jobs (r, wall) =
+  let row ~label jobs (r, wall, utilization, pool) =
     let hit_rate, hits, misses =
       match r.Compi.Campaign.cache with
       | Some cs ->
@@ -93,19 +108,25 @@ let run (scale : Util.scale) =
       | None -> (0.0, 0, 0)
     in
     let identical = Compi.Campaign.coverage_report r = base_report in
-    Printf.printf "%6s %9.3f %7.2fx %9.0f%% %10d %8s\n" label wall (base_wall /. wall)
-      (100.0 *. hit_rate)
+    let oversubscribed = jobs > cores in
+    Printf.printf "%6s %5d %9.3f %7.2fx %6.0f%% %5d %9.0f%% %10d %8s%s\n" label pool
+      wall (base_wall /. wall) (100.0 *. utilization)
+      r.Compi.Campaign.queue_depth (100.0 *. hit_rate)
       r.Compi.Campaign.solver_calls
-      (if identical then "same" else "DIFFERS");
-    ( label,
+      (if identical then "same" else "DIFFERS")
+      (if oversubscribed then "  (oversubscribed)" else "");
+    ( identical,
       Obs.Json.Obj
         [
+          ("target", Obs.Json.Str target);
           ("jobs", Obs.Json.Int jobs);
-          (* Taskpool.create clamps to >= 1; record what actually ran *)
-          ("pool_size", Obs.Json.Int (max 1 jobs));
+          ("pool_size", Obs.Json.Int pool);
+          ("oversubscribed", Obs.Json.Bool oversubscribed);
           ("solver_cache", Obs.Json.Bool (r.Compi.Campaign.cache <> None));
           ("wall_s", Obs.Json.Float wall);
           ("speedup_vs_jobs1", Obs.Json.Float (base_wall /. wall));
+          ("queue_depth", Obs.Json.Int r.Compi.Campaign.queue_depth);
+          ("utilization", Obs.Json.Float utilization);
           ("cache_hits", Obs.Json.Int hits);
           ("cache_misses", Obs.Json.Int misses);
           ("cache_hit_rate", Obs.Json.Float hit_rate);
@@ -118,38 +139,60 @@ let run (scale : Util.scale) =
   let scaling_rows =
     List.map
       (fun jobs ->
-        let measured = if jobs = 1 then (base_result, base_wall) else timed jobs true in
+        let measured = if jobs = 1 then base else timed jobs true in
         row ~label:(string_of_int jobs) jobs measured)
       job_counts
   in
   let off_row = row ~label:"1*" 1 (timed 1 false) (* cache off baseline *) in
   let rows = scaling_rows @ [ off_row ] in
-  let all_identical =
-    List.for_all
-      (fun (_, j) ->
-        match Obs.Json.member "identical_report" j with
-        | Some (Obs.Json.Bool b) -> b
-        | Some _ | None -> false)
-      rows
+  let all_identical = List.for_all fst rows in
+  Printf.printf "determinism (%s): all configurations byte-identical: %b\n" target
+    all_identical;
+  (List.map snd rows, all_identical)
+
+let run (scale : Util.scale) =
+  Util.print_header "Pipelined campaign engine: jobs scaling + solver cache";
+  let targets =
+    [ ("susy-hmc", Util.scaled_iters scale 300); ("hpl", Util.scaled_iters scale 120) ]
   in
-  Printf.printf "determinism: all configurations byte-identical: %b\n" all_identical;
+  let cores = Domain.recommended_domain_count () in
+  let reps = max 1 scale.Util.reps in
+  Printf.printf "%d core(s) available, %d rep(s) per configuration\n" cores reps;
+  let per_target =
+    List.map
+      (fun (target, iterations) -> run_target ~cores ~reps ~target ~iterations)
+      targets
+  in
+  let all_identical = List.for_all snd per_target in
+  let rows = List.concat_map fst per_target in
   Util.compare_line ~label:"jobs-count invariance"
     ~paper:"(engine extension, beyond the paper)"
     ~measured:(if all_identical then "byte-identical reports" else "MISMATCH");
   let doc =
     Obs.Json.Obj
       [
-        ("target", Obs.Json.Str target);
-        ("iterations", Obs.Json.Int iterations);
+        ( "targets",
+          Obs.Json.List
+            (List.map
+               (fun (target, iterations) ->
+                 Obs.Json.Obj
+                   [
+                     ("target", Obs.Json.Str target);
+                     ("iterations", Obs.Json.Int iterations);
+                   ])
+               targets) );
         ("cores", Obs.Json.Int cores);
         ("recommended_domains", Obs.Json.Int (Domain.recommended_domain_count ()));
         ("reps", Obs.Json.Int reps);
         ("identical_reports", Obs.Json.Bool all_identical);
-        ("configs", Obs.Json.List (List.map snd rows));
+        ("configs", Obs.Json.List rows);
       ]
   in
   Out_channel.with_open_text "BENCH_parallel.json" (fun oc ->
       Out_channel.output_string oc (Obs.Json.to_string doc);
       Out_channel.output_char oc '\n');
   Printf.printf "results written to BENCH_parallel.json\n%!";
-  if !Util.profile_mode then profiled_run ~target ~iterations
+  if !Util.profile_mode then begin
+    let target, iterations = List.hd targets in
+    profiled_run ~target ~iterations ~jobs:(min 4 cores)
+  end

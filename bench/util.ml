@@ -68,6 +68,16 @@ let print_row fmt = Printf.printf fmt
 let rate (r : Compi.Driver.result) = 100.0 *. r.Compi.Driver.coverage_rate
 
 let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+
+(* Median is the robust choice for wall-clock rows: one descheduled rep
+   shifts the mean by its full overshoot but leaves the median alone. *)
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let nth k = List.nth sorted k in
+    if n mod 2 = 1 then nth (n / 2) else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
 let fmax xs = List.fold_left Float.max neg_infinity xs
 let imax xs = List.fold_left max min_int xs
 

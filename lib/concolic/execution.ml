@@ -29,21 +29,30 @@ let solve_negation ?budget ?canonical t i =
     ~target:negated cs
 
 (* The canonical identity of the solve that [solve_negation t i] would
-   perform: the dependency closure of the negated constraint — exactly
-   what the incremental solver re-solves — keyed with the run's domains.
-   Closure membership is order-insensitive after Cache.key sorts it. *)
-let negation_key t i =
+   perform, computed once: the dependency closure of the negated
+   constraint — exactly what the incremental solver re-solves — keyed
+   with the run's domains, plus the closure's variable set. Building the
+   closure and sorting it dominate the cost of the cheap incremental
+   solves, so the campaign derives the key, the miss-path solve, and the
+   hit-path replay all from this one value. *)
+type prepared = { p_key : Smt.Cache.key; p_vars : Smt.Varid.Set.t }
+
+let prepare_negation t i =
   let negated, cs = negation_problem t i in
-  let closure, _vars =
+  let closure, vars =
     Smt.Constr.dependency_closure ~seed:(Smt.Constr.vars negated) cs
   in
-  Smt.Cache.key ~domains:t.domains closure
+  { p_key = Smt.Cache.key ~vars ~domains:t.domains closure; p_vars = vars }
 
-let closure_vars t i =
-  let negated, cs = negation_problem t i in
-  snd (Smt.Constr.dependency_closure ~seed:(Smt.Constr.vars negated) cs)
+let prepared_key p = p.p_key
 
-let apply_cached t i outcome =
+let solve_prepared ?budget t p =
+  Smt.Solver.solve_prepared ?budget ~domains:t.domains ~prev:t.model
+    ~closure:(Smt.Cache.key_constrs p.p_key) ~vars:p.p_vars ()
+
+let negation_key t i = (prepare_negation t i).p_key
+
+let replay ~vars t outcome =
   match (outcome : Smt.Cache.outcome) with
   | Smt.Cache.Unsat -> Error `Unsat
   | Smt.Cache.Sat cached ->
@@ -51,7 +60,7 @@ let apply_cached t i outcome =
        [cached] is a pure function of the key, so merging it over this
        run's concrete model and diffing against it reproduces the live
        result even though the verdict was found under another run. *)
-    let resolved = closure_vars t i in
+    let resolved = vars in
     let fresh =
       Smt.Varid.Set.fold
         (fun v acc ->
@@ -68,3 +77,7 @@ let apply_cached t i outcome =
         resolved;
         changed;
       }
+
+let apply_prepared t p outcome = replay ~vars:p.p_vars t outcome
+
+let apply_cached t i outcome = replay ~vars:(prepare_negation t i).p_vars t outcome

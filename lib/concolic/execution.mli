@@ -45,11 +45,43 @@ val solve_negation :
     bindings are a pure function of {!negation_key} — required wherever
     the result may be cached and replayed into a different run. *)
 
+type prepared
+(** The canonical identity of one negation solve, computed once: the
+    {!Smt.Cache.key} plus the dependency closure's variable set. The
+    closure walk and canonicalizing sort dominate the cost of the cheap
+    incremental solves, so the cache-on campaign path prepares each
+    candidate once and derives the probe, the miss solve, and the hit
+    replay from the same value instead of recomputing the closure for
+    each. *)
+
+val prepare_negation : t -> int -> prepared
+(** Negate the constraint at position [i], take the dependency closure
+    within the path prefix plus [t.extra], and canonicalize it with the
+    run's domains. *)
+
+val prepared_key : prepared -> Smt.Cache.key
+
+val solve_prepared :
+  ?budget:int ->
+  t ->
+  prepared ->
+  (Smt.Solver.incremental_result, [ `Unsat | `Unknown ]) result
+(** Exactly [solve_negation ~canonical:true] for the prepared candidate,
+    reusing its closure — no second dependency walk or sort. *)
+
+val apply_prepared :
+  t ->
+  prepared ->
+  Smt.Cache.outcome ->
+  (Smt.Solver.incremental_result, [ `Unsat | `Unknown ]) result
+(** {!apply_cached} for a prepared candidate, reusing its variable set. *)
+
 val negation_key : t -> int -> Smt.Cache.key
-(** The cache identity of the solve [solve_negation t i] performs: the
-    dependency closure of the negated constraint within the path prefix
-    and [t.extra], canonicalized with the run's domains. Two executions
-    with structurally identical paths produce equal keys. *)
+(** [prepared_key (prepare_negation t i)] — the cache identity of the
+    solve [solve_negation t i] performs: the dependency closure of the
+    negated constraint within the path prefix and [t.extra],
+    canonicalized with the run's domains. Two executions with
+    structurally identical paths produce equal keys. *)
 
 val apply_cached :
   t ->

@@ -5,17 +5,21 @@ open Concolic
 
    The sequential driver interleaves "execute the pending test" and
    "derive the next test" in one loop, so each iteration depends on the
-   previous one. This engine restructures the campaign into rounds: a
-   work list of independent items — fresh tests to execute, or branch
-   negations to attempt — is mapped over a {!Taskpool} of worker
-   domains, and the results are merged back on the main domain {e in
-   work-list order}, which is where iteration ids are assigned. Because
-   the work list of every round is a pure function of the merged state
-   (strategy, coverage, RNG) and the merge ignores completion order,
-   the campaign trajectory is identical for any worker count: [--jobs]
-   buys wall-clock time, never different results. Determinism holds
-   under an iteration budget; a wall-clock [time_budget] cuts rounds
-   off at a machine-speed-dependent point.
+   previous one. This engine restructures the campaign into a
+   deterministic pipeline: each round's work list of independent items
+   — fresh tests to execute, or branch negations to attempt — is
+   published to a {!Taskpool} of persistent worker domains, and the
+   main domain consumes results {e in work-list order as they stream
+   in}, merging item k while the pool is still solving/executing items
+   k+1, k+2, … Iteration ids are assigned at the merge. There is no
+   round barrier: the only wait is the in-order consumer blocking on
+   the single result it needs next (the [queue.wait] span). Because the
+   work list of every round is a pure function of the merged state
+   (strategy, coverage, RNG) and the merge order ignores completion
+   order, the campaign trajectory is identical for any worker count:
+   [--jobs] buys wall-clock time, never different results. Determinism
+   holds under an iteration budget; a wall-clock [time_budget] cuts
+   rounds off at a machine-speed-dependent point.
 
    The solver cache lives on the main domain only. Each negation is
    probed at dispatch (before its task is queued) and verdicts are
@@ -80,6 +84,8 @@ type result = {
   cache : Smt.Cache.stats option;
   interrupted : bool;  (* a SIGINT/SIGTERM stopped the campaign early *)
   checkpoints_written : int;
+  queue_depth : int;  (* peak claimed-but-unmerged pipeline depth *)
+  worker_busy_s : float;  (* cumulative task wall time across all domains *)
 }
 
 (* --- work items and task outcomes --------------------------------- *)
@@ -238,7 +244,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         [ Sys.sigint; Sys.sigterm ]
   in
   (* Any exception out of a round (a worker failure re-raised by
-     Taskpool.map, a solver bug on the main domain) must still stop and
+     Taskpool.next, a solver bug on the main domain) must still stop and
      join the spawned domains — otherwise they block on the pool's
      condition variable forever and the runtime hangs at exit waiting
      for them. *)
@@ -302,6 +308,8 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
   let forced = ref (snap_field (fun sn -> sn.Checkpoint.ck_forced) []) in
   let stagnated_round = ref (snap_field (fun sn -> sn.Checkpoint.ck_stagnated_round) false) in
   let checkpoints_written = ref 0 in
+  (* peak pipeline depth across rounds, for the result record *)
+  let max_depth = ref 0 in
   let fresh_strategy () =
     match (s.Driver.strategy, !derived_bound) with
     | Driver.Two_phase_dfs, Some bound ->
@@ -564,10 +572,13 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
             match cache with
             | None -> `Miss (cand, None)
             | Some c -> (
-              let k = Execution.negation_key cand.Strategy.record cand.Strategy.index in
-              match Smt.Cache.find c k with
-              | Some outcome -> `Hit (cand, outcome)
-              | None -> `Miss (cand, Some k))))
+              (* one canonicalization per candidate: the prepared value
+                 carries the key for the probe below AND the closure the
+                 miss-path solve / hit-path replay run on *)
+              let p = Execution.prepare_negation cand.Strategy.record cand.Strategy.index in
+              match Smt.Cache.find c (Execution.prepared_key p) with
+              | Some outcome -> `Hit (cand, p, outcome)
+              | None -> `Miss (cand, Some p))))
         !work
     in
     let thunks =
@@ -575,10 +586,10 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         (fun w () ->
           match w with
           | `Fresh p -> D_fresh (p, exec p)
-          | `Hit (cand, outcome) -> (
+          | `Hit (cand, p, outcome) -> (
             (* replay the cached verdict; no solver call *)
             let index = cand.Strategy.index in
-            match Execution.apply_cached cand.Strategy.record index outcome with
+            match Execution.apply_prepared cand.Strategy.record p outcome with
             | Error (`Unsat | `Unknown) ->
               D_negated
                 { index; solved = false; key = None; solve_s = 0.0; outcome = N_unsat }
@@ -592,13 +603,21 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
                   solve_s = 0.0;
                   outcome = N_sat { fresh = sr.Smt.Solver.fresh; next; run = exec next };
                 })
-          | `Miss (cand, key) -> (
+          | `Miss (cand, prep) -> (
             let index = cand.Strategy.index in
+            let key = Option.map Execution.prepared_key prep in
             let t0 = Unix.gettimeofday () in
             let outcome =
               Obs.Prof.time "solve" (fun () ->
-                  Execution.solve_negation ~budget:s.Driver.solver_budget ~canonical:true
-                    cand.Strategy.record index)
+                  match prep with
+                  | Some p ->
+                    (* cache on: the dispatch-time key already holds the
+                       canonical closure — solve it directly *)
+                    Execution.solve_prepared ~budget:s.Driver.solver_budget
+                      cand.Strategy.record p
+                  | None ->
+                    Execution.solve_negation ~budget:s.Driver.solver_budget
+                      ~canonical:true cand.Strategy.record index)
             in
             let solve_s = Unix.gettimeofday () -. t0 in
             match outcome with
@@ -620,74 +639,102 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
                 }))
         classified
     in
-    let results = Taskpool.map pool (fun f -> f ()) thunks in
-    (* merge: work-list order, budget-gated. [solver_calls] is counted
-       here, not at dispatch, so the stat covers exactly the solves
-       whose verdicts entered the merged trajectory — results discarded
-       at the budget edge only show up in [speculated]. A budget (or
-       stop-request) cut records the un-merged tail in [work_remaining]
-       so the final checkpoint can resume mid-round. *)
-    let rec merge_pairs = function
-      | [] -> work_remaining := []
-      | (w, item) :: rest ->
-        if not (continue_ok ()) then begin
-          work_remaining := w :: List.map fst rest;
-          List.iter
-            (fun (_, it) ->
-              match it with
-              | D_fresh (_, Ok _) | D_negated { outcome = N_sat { run = Ok _; _ }; _ } ->
-                incr speculated
-              | D_fresh (_, Error _) | D_negated _ -> ())
-            ((w, item) :: rest)
-        end
-        else begin
-          (match item with
-          | D_fresh (p, res) -> merge_exec p ~solve_s:0.0 res
-          | D_negated { index; solved; key; solve_s; outcome } -> (
-            if solved then incr solver_calls;
-            (* D_negated always pairs with W_negate: recover the
-               candidate for the lineage record *)
-            (match w with
-            | W_negate cand ->
-              let o =
-                match outcome with
-                | N_unsat -> Obs.Event.Unsat
-                | N_unknown -> Obs.Event.Unknown
-                | N_sat _ -> Obs.Event.Sat
-              in
-              Driver.emit_lineage_negation ~cand ~outcome:o ~cached:(not solved)
-            | W_fresh _ -> ());
-            let insert verdict =
-              match (cache, key) with
-              | Some c, Some k -> Smt.Cache.add c k verdict
-              | (Some _ | None), _ -> ()
-            in
+    (* pipeline: publish the batch and merge results in work-list order
+       as they stream in — the merge of item k overlaps the
+       solve/execute of items k+1, k+2, … still running on the pool.
+       [solver_calls] is counted at merge, not dispatch, so the stat
+       covers exactly the solves whose verdicts entered the merged
+       trajectory — results discarded at the budget edge only show up
+       in [speculated]. A budget (or stop-request) cut records the
+       un-merged tail in [work_remaining] so the final checkpoint can
+       resume mid-round; the tail's tasks are still drained to
+       completion (executions there count as speculated) so the pool is
+       quiescent and the tally matches the old round-barrier engine's
+       at every cut point. *)
+    let inflight_tk = if Obs.Timeline.on () then Obs.Timeline.tick () else 0 in
+    let st = Taskpool.stream pool thunks in
+    let merge_one w item =
+      match item with
+      | D_fresh (p, res) -> merge_exec p ~solve_s:0.0 res
+      | D_negated { index; solved; key; solve_s; outcome } -> (
+        if solved then incr solver_calls;
+        (* D_negated always pairs with W_negate: recover the candidate
+           for the lineage record *)
+        (match w with
+        | W_negate cand ->
+          let o =
             match outcome with
-            | N_unsat ->
-              insert Smt.Cache.Unsat;
-              if Obs.Sink.active () then
-                Obs.Sink.emit
-                  (Obs.Event.Negation { iteration = !iter; index; sat = false });
-              incr barren
-            | N_unknown ->
-              if Obs.Sink.active () then
-                Obs.Sink.emit
-                  (Obs.Event.Negation { iteration = !iter; index; sat = false });
-              incr barren
-            | N_sat { fresh; next; run } ->
-              insert (Smt.Cache.Sat fresh);
-              if Obs.Sink.active () then
-                Obs.Sink.emit
-                  (Obs.Event.Negation { iteration = !iter; index; sat = true });
-              barren := 0;
-              merge_exec next ~solve_s run));
-          work_remaining := List.map fst rest;
-          maybe_checkpoint ();
-          merge_pairs rest
-        end
+            | N_unsat -> Obs.Event.Unsat
+            | N_unknown -> Obs.Event.Unknown
+            | N_sat _ -> Obs.Event.Sat
+          in
+          Driver.emit_lineage_negation ~cand ~outcome:o ~cached:(not solved)
+        | W_fresh _ -> ());
+        (* verdicts publish here, on the main domain at the ordered
+           merge position — the cache's single-writer protocol *)
+        let insert verdict =
+          match (cache, key) with
+          | Some c, Some k -> Smt.Cache.add c k verdict
+          | (Some _ | None), _ -> ()
+        in
+        match outcome with
+        | N_unsat ->
+          insert Smt.Cache.Unsat;
+          if Obs.Sink.active () then
+            Obs.Sink.emit
+              (Obs.Event.Negation { iteration = !iter; index; sat = false });
+          incr barren
+        | N_unknown ->
+          if Obs.Sink.active () then
+            Obs.Sink.emit
+              (Obs.Event.Negation { iteration = !iter; index; sat = false });
+          incr barren
+        | N_sat { fresh; next; run } ->
+          insert (Smt.Cache.Sat fresh);
+          if Obs.Sink.active () then
+            Obs.Sink.emit
+              (Obs.Event.Negation { iteration = !iter; index; sat = true });
+          barren := 0;
+          merge_exec next ~solve_s run)
     in
-    Obs.Timeline.span "merge" (fun () ->
-        merge_pairs (List.combine !work results));
+    let count_speculated = function
+      | D_fresh (_, Ok _) | D_negated { outcome = N_sat { run = Ok _; _ }; _ } ->
+        incr speculated
+      | D_fresh (_, Error _) | D_negated _ -> ()
+    in
+    let rec merge_stream = function
+      | [] -> work_remaining := []
+      | w :: rest -> (
+        match Taskpool.next st with
+        | None -> assert false (* stream has exactly one item per work entry *)
+        | Some item ->
+          if not (continue_ok ()) then begin
+            work_remaining := w :: rest;
+            count_speculated item;
+            let rec drain () =
+              match Taskpool.next st with
+              | Some it ->
+                count_speculated it;
+                drain ()
+              | None -> ()
+            in
+            drain ()
+          end
+          else begin
+            Obs.Timeline.span "merge" (fun () -> merge_one w item);
+            work_remaining := rest;
+            maybe_checkpoint ();
+            merge_stream rest
+          end)
+    in
+    merge_stream !work;
+    if Taskpool.max_inflight st > !max_depth then
+      max_depth := Taskpool.max_inflight st;
+    (* one umbrella per round over the streaming window: publication of
+       the batch through consumption of its last result *)
+    if Obs.Timeline.on () then
+      Obs.Timeline.record ~kind:"inflight" ~t0:inflight_tk
+        ~t1:(Obs.Timeline.tick ());
     if continue_ok () then schedule () else work := [];
     (* drain first, then record the round span: the drain cost itself
        lands inside this round's window (it is flushed by the next
@@ -738,6 +785,8 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
     cache = Option.map Smt.Cache.stats cache;
     interrupted = !stop;
     checkpoints_written = !checkpoints_written;
+    queue_depth = !max_depth;
+    worker_busy_s = Taskpool.busy_seconds pool;
   }
 
 (* Canonical, timing-free rendering of a campaign outcome. Two runs of

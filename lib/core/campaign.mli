@@ -1,17 +1,20 @@
-(** Parallel campaign engine: rounds of concurrent test execution with
-    a deterministic merge.
+(** Parallel campaign engine: a deterministic pipeline of concurrent
+    test execution with an in-order streaming merge.
 
-    Restructures the sequential {!Driver} loop into rounds. Each round
-    the strategy yields a batch of negation candidates (plus any queued
-    restart tests); every item becomes one fused task — solve the
-    negation if needed, derive the next test, execute it — mapped over
-    a {!Taskpool} of worker domains. The main domain then merges the
-    results {e in work-list order}: iteration ids, coverage, bugs,
-    strategy observations and restart decisions are all assigned there,
-    so the campaign trajectory is a pure function of the settings, not
-    of the worker count. [--jobs 4] and [--jobs 1] produce
-    byte-identical {!coverage_report}s (under an iteration budget; a
-    wall-clock budget cuts off at a machine-dependent point).
+    Restructures the sequential {!Driver} loop into pipelined rounds.
+    Each round the strategy yields a batch of negation candidates (plus
+    any queued restart tests); every item becomes one fused task —
+    solve the negation if needed, derive the next test, execute it —
+    published to a {!Taskpool} of persistent worker domains. The main
+    domain consumes results {e in work-list order as they stream in},
+    merging item k while the pool is still working on items k+1, k+2, …
+    — there is no round barrier. Iteration ids, coverage, bugs,
+    strategy observations and restart decisions are all assigned at the
+    merge, so the campaign trajectory is a pure function of the
+    settings, not of the worker count or completion order. [--jobs 4]
+    and [--jobs 1] produce byte-identical {!coverage_report}s (under an
+    iteration budget; a wall-clock budget cuts off at a
+    machine-dependent point).
 
     A {!Smt.Cache} in front of the solver lives on the main domain:
     probed when a candidate is dispatched, verdict inserted when it is
@@ -79,6 +82,13 @@ type result = {
       (** a SIGINT/SIGTERM stopped the campaign before its budget; the
           final checkpoint (when enabled) holds the cut point *)
   checkpoints_written : int;  (** snapshots committed this run *)
+  queue_depth : int;
+      (** peak pipeline depth: the most tasks ever claimed by the pool
+          but not yet merged, across all rounds — 0 when nothing ran *)
+  worker_busy_s : float;
+      (** cumulative wall time spent inside tasks across all domains;
+          [worker_busy_s / (wall_time * pool size)] is the pool
+          utilization bench reports quote *)
 }
 
 val run : ?settings:settings -> ?label:string -> Minic.Branchinfo.t -> result

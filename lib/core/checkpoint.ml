@@ -49,8 +49,11 @@ type snapshot = {
 }
 
 (* version 2: [Driver.pending] gained [p_origin] and [Execution.t]
-   gained [exec_id] — v1 snapshots marshal a different layout *)
-let version = 2
+   gained [exec_id] — v1 snapshots marshal a different layout.
+   version 3: [Smt.Cache.t] became a sharded table (array of shard
+   records instead of one table/queue pair), so [ck_cache] marshals a
+   different layout than v2 *)
+let version = 3
 let magic = "COMPI-CKPT"
 let file ~dir = Filename.concat dir "campaign.ckpt"
 let corpus_file ~dir = Filename.concat dir "corpus.txt"

@@ -45,16 +45,30 @@ type ctx = {
          condition closure, read by If/While right after — a register
          rather than a tuple return so the light build's hot path
          allocates nothing per branch *)
+  mutable ret : (Value.t * Smt.Linexp.t option) option;
+  mutable returning : bool;
+      (* return register: a [return] statement stores its value and
+         sets the flag instead of raising. Every statement closure
+         invokes its continuation in tail position, so simply {e not}
+         invoking it unwinds the whole closure chain back to the
+         call site, which consumes the flag — same control flow the
+         old Return_exn bought, minus the exception raise (and its
+         allocation) on the hot path *)
+  pools : frame list array;
+      (* per-function free lists of recycled frames, indexed by
+         [cf_index]. Per-run state: the compiled program is shared
+         read-only across domains, so frames must never hang off a
+         [cfunc] *)
 }
 
 type ecode = ctx -> frame -> Value.t
 type ccode = ctx -> frame -> bool
 type scode = ctx -> frame -> unit
 
-exception Return_exn of (Value.t * Smt.Linexp.t option) option
 exception Exit_exn of int
 
 type cfunc = {
+  cf_index : int;  (* position in the variant's function table, keys [pools] *)
   cf_params : (int * Ast.ctype) list;  (* slot of each parameter, in order *)
   cf_nslots : int;
   cf_slots : (string, int) Hashtbl.t;
@@ -1242,18 +1256,24 @@ and compile_stmt env (stmt : Ast.stmt) (k : scode) : scode =
       | None -> type_error c none_msg);
       k c f
   | Ast.Return None ->
+    (* set the return register and fall off the closure chain (no [k]):
+       every enclosing statement's continuation call is in tail
+       position, so control lands back at the call site *)
     fun c _f ->
       tick c;
-      raise (Return_exn None)
+      c.ret <- None;
+      c.returning <- true
   | Ast.Return (Some e) ->
     let ce = compile_expr env e in
     if env.heavy then fun c f ->
       tick c;
       let v = ce c f in
-      raise (Return_exn (Some (v, c.sh)))
+      c.ret <- Some (v, c.sh);
+      c.returning <- true
     else fun c f ->
       tick c;
-      raise (Return_exn (Some (ce c f, None)))
+      c.ret <- Some (ce c f, None);
+      c.returning <- true
   | Ast.Assert (cond, message) ->
     (* the constraint is discarded, so even the heavy tree uses the
        light condition compiler (shadow computation is pure) *)
@@ -1331,19 +1351,39 @@ and compile_call env name args : ctx -> frame -> (Value.t * Smt.Linexp.t option)
              cf.cf_params args)
       in
       let heavy = env.heavy in
+      let idx = cf.cf_index in
+      let nslots = cf.cf_nslots in
       fun c f ->
-        let nf = make_frame heavy cf.cf_nslots in
+        let nf =
+          match c.pools.(idx) with
+          | fr :: rest ->
+            c.pools.(idx) <- rest;
+            fr
+          | [] -> make_frame heavy nslots
+        in
         Array.iter (fun b -> b c f nf) binders;
         let saved = c.func in
         c.func <- name;
         c.hooks.Interp.on_func_enter name;
+        cf.cf_body c nf;
         let result =
-          match cf.cf_body c nf with
-          | () -> None
-          | exception Return_exn r -> r
+          if c.returning then begin
+            c.returning <- false;
+            let r = c.ret in
+            c.ret <- None;
+            r
+          end
+          else None
         in
-        (* not restored on a fault, matching the interpreter's reports *)
+        (* not restored on a fault, matching the interpreter's reports;
+           a fault (or exit) also skips the frame recycle below — the
+           execution is over, the frame is garbage *)
         c.func <- saved;
+        (* recycle: clearing [bnd] is enough to make the frame fresh —
+           every read is bnd-guarded and every bind rewrites val (and
+           shadow, in heavy frames) before setting its bit *)
+        Array.fill nf.bnd 0 nslots false;
+        c.pools.(idx) <- nf :: c.pools.(idx);
         result
     end
 
@@ -1357,6 +1397,7 @@ let compile_variant ~heavy (program : Ast.program) : entrycode * int * int =
   let funcs = Hashtbl.create 16 in
   (* pass 1: register every function (first definition wins, matching
      Ast.find_func) so calls resolve regardless of definition order *)
+  let next_index = ref 0 in
   let uniq =
     List.filter_map
       (fun fn ->
@@ -1366,7 +1407,14 @@ let compile_variant ~heavy (program : Ast.program) : entrycode * int * int =
           let cf_params =
             List.map (fun (p, ty) -> (Hashtbl.find cf_slots p, ty)) fn.Ast.params
           in
-          let cf = { cf_params; cf_nslots; cf_slots; cf_body = (fun _c _f -> ()) } in
+          (* definition order is stable across the heavy and light
+             passes, so [cf_index] means the same function in both
+             variants and one per-run [pools] array serves either *)
+          let cf_index = !next_index in
+          incr next_index;
+          let cf =
+            { cf_index; cf_params; cf_nslots; cf_slots; cf_body = (fun _c _f -> ()) }
+          in
           Hashtbl.add funcs fn.Ast.fname cf;
           Some (fn, cf)
         end)
@@ -1394,7 +1442,10 @@ let compile_variant ~heavy (program : Ast.program) : entrycode * int * int =
         fun c ->
           c.hooks.Interp.on_func_enter fname;
           let f = make_frame heavy cf.cf_nslots in
-          (try cf.cf_body c f with Return_exn _ -> () | Exit_exn _ -> ())
+          (try cf.cf_body c f with Exit_exn _ -> ());
+          (* a top-level [return] just ends the run *)
+          c.returning <- false;
+          c.ret <- None
       end
   in
   (entry, List.length uniq, n_slots)
@@ -1438,7 +1489,16 @@ let run t (hooks : Interp.hooks) =
      simulated process, covering suspensions at MPI calls *)
   let tk0 = if Obs.Timeline.on () then Obs.Timeline.tick () else 0 in
   let c =
-    { hooks; steps = 0; func = t.t_program.Ast.entry; sh = None; cs = None }
+    {
+      hooks;
+      steps = 0;
+      func = t.t_program.Ast.entry;
+      sh = None;
+      cs = None;
+      ret = None;
+      returning = false;
+      pools = Array.make (max 1 t.t_funcs) [];
+    }
   in
   let entry =
     match hooks.Interp.mode with

@@ -849,20 +849,25 @@ let to_html ?(stable = false) ?(branch_label = string_of_int) t =
    "merge", an "exec" contains "schedule"). Unknown kinds — a newer
    producer — are skipped and counted, mirroring the event-kind triage. *)
 let span_wait_kind = function
-  | "idle" | "barrier" | "join" | "cache.lock.wait" -> true
+  | "idle" | "barrier" | "join" | "queue.wait" | "cache.lock.wait" -> true
   | _ -> false
 
 let span_busy_kind = function
   | "campaign" | "task" | "exec" | "solve" | "solver.call" | "interp" | "compiled"
   | "compile" | "schedule" | "strategy" | "checkpoint" | "report" | "round"
-  | "dispatch" | "merge" | "cache.probe" | "cache.lock.hold" -> true
+  | "inflight" | "dispatch" | "merge" | "cache.probe" | "cache.lock.hold" -> true
   | _ -> false
 
 (* Structural umbrellas: they tile the main domain so attribution can
    reach ~100%, but counting them as work would make domain 0 look
    always-busy and every round's critical path equal its wall. They
-   contribute to coverage/attribution and the per-kind table only. *)
-let span_struct_kind = function "round" | "campaign" -> true | _ -> false
+   contribute to coverage/attribution and the per-kind table only.
+   ("inflight" is the pipelined engine's per-round streaming window —
+   batch publication through last result consumed — and overlaps the
+   merges and queue waits inside it, so it is structural too.) *)
+let span_struct_kind = function
+  | "round" | "campaign" | "inflight" -> true
+  | _ -> false
 
 (* Integer interval lists [(lo, hi)], hi exclusive. [ivs_norm] sorts,
    drops empties, and merges overlaps into a disjoint ascending list —
@@ -927,6 +932,8 @@ type profile = {
   pf_kinds : (string * (int * int)) list;
   pf_domains : domain_prof list;
   pf_barrier_ns : int;
+  pf_queue_wait_ns : int;
+  pf_queue_waits : int;
   pf_idle_ns : int;
   pf_join_ns : int;
   pf_lock_wait_ns : int;
@@ -956,6 +963,8 @@ let empty_profile =
     pf_kinds = [];
     pf_domains = [];
     pf_barrier_ns = 0;
+    pf_queue_wait_ns = 0;
+    pf_queue_waits = 0;
     pf_idle_ns = 0;
     pf_join_ns = 0;
     pf_lock_wait_ns = 0;
@@ -1071,6 +1080,8 @@ let profile t =
         |> List.sort (fun (ka, (_, na)) (kb, (_, nb)) -> compare (nb, ka) (na, kb));
       pf_domains;
       pf_barrier_ns = kind_total "barrier";
+      pf_queue_wait_ns = kind_total "queue.wait";
+      pf_queue_waits = kind_count "queue.wait";
       pf_idle_ns = kind_total "idle";
       pf_join_ns = kind_total "join";
       pf_lock_wait_ns = kind_total "cache.lock.wait";
@@ -1146,6 +1157,10 @@ let profile_text ?(stable = false) t =
     pf "  merge-barrier stall (main waiting on workers): %s (%s of wall)\n"
       (dur ~stable p.pf_barrier_ns)
       (share ~stable p.pf_barrier_ns p.pf_wall_ns);
+    pf "  pipeline queue wait (main waiting on the next in-order result): %s (%s of wall) across %d wait(s)\n"
+      (dur ~stable p.pf_queue_wait_ns)
+      (share ~stable p.pf_queue_wait_ns p.pf_wall_ns)
+      p.pf_queue_waits;
     pf "  worker idle (no task claimable): %s\n" (dur ~stable p.pf_idle_ns);
     pf "  pool join: %s\n" (dur ~stable p.pf_join_ns);
     pf "  cache-lock wait: %s across %d acquisition(s); hold %s; probe %s over %d probe(s)\n"
@@ -1248,6 +1263,7 @@ let profile_html ?(stable = false) t =
           (dur ~stable ns) (share ~stable ns p.pf_wall_ns))
       [
         ("merge-barrier stall", p.pf_barrier_ns);
+        ("pipeline queue wait", p.pf_queue_wait_ns);
         ("worker idle", p.pf_idle_ns);
         ("pool join", p.pf_join_ns);
         ("cache-lock wait", p.pf_lock_wait_ns);

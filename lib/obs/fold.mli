@@ -138,8 +138,10 @@ val to_html : ?stable:bool -> ?branch_label:(int -> string) -> t -> string
     campaign's nanoseconds went, per domain and per round. *)
 
 val span_wait_kind : string -> bool
-(** Time a domain provably spent not working: ["idle"], ["barrier"],
-    ["join"], ["cache.lock.wait"]. *)
+(** Time a domain provably spent not working: ["idle"], ["queue.wait"]
+    (the pipelined engine's main domain parked on the next in-order
+    result), ["join"], and — from traces of older builds — ["barrier"]
+    and ["cache.lock.wait"]. *)
 
 val span_busy_kind : string -> bool
 (** Work kinds this build understands (["task"], ["exec"], ["solve"],
@@ -151,7 +153,8 @@ type domain_prof = {
   dp_spans : int;  (** spans recorded on this domain *)
   dp_busy_ns : int;
       (** exclusive busy: union(busy) minus union(wait); structural
-          umbrella spans ([round], [campaign]) are excluded *)
+          umbrella spans ([round], [campaign], [inflight]) are
+          excluded *)
   dp_wait_ns : int;  (** union of wait intervals *)
   dp_util : float;  (** busy / global wall; always in [0, 1] *)
 }
@@ -171,10 +174,17 @@ type profile = {
   pf_kinds : (string * (int * int)) list;
       (** kind → (count, total ns), descending by total *)
   pf_domains : domain_prof list;  (** ascending domain id *)
-  pf_barrier_ns : int;  (** main waiting on the merge barrier *)
+  pf_barrier_ns : int;
+      (** main waiting on a whole-batch merge barrier — only present in
+          traces of pre-pipeline builds; 0 for current campaigns *)
+  pf_queue_wait_ns : int;
+      (** main parked on the next in-order pipeline result *)
+  pf_queue_waits : int;  (** number of such waits *)
   pf_idle_ns : int;  (** workers parked with nothing claimable *)
   pf_join_ns : int;
-  pf_lock_wait_ns : int;  (** solver-cache lock acquisition wait *)
+  pf_lock_wait_ns : int;
+      (** solver-cache lock acquisition wait — legacy traces only; the
+          sharded cache takes no lock *)
   pf_lock_hold_ns : int;
   pf_lock_acqs : int;
   pf_probe_ns : int;
@@ -194,7 +204,8 @@ val profile : t -> profile
 
 val profile_text : ?stable:bool -> t -> string
 (** Text breakdown: per-kind totals, per-worker utilization bars,
-    merge-barrier stall, cache-lock wait histogram, per-round critical
+    pipeline queue wait, merge-barrier stall (legacy traces),
+    cache-lock wait histogram, per-round critical
     path. Under [stable], absolute durations collapse to power-of-two
     buckets and percentages to whole points, so reruns over the same
     trace are byte-identical and shapes are comparable across hosts. *)

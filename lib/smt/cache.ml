@@ -20,18 +20,26 @@
    attempt under the same budget is equally cheap to re-refuse, and a
    raised budget should get its chance.
 
-   Ownership: [find]/[add] are serialized under one process-wide mutex.
-   The parallel campaign engine still probes/updates only from the main
-   domain at deterministic points (candidate dispatch and ordered
-   merge) — that scheduling discipline, not the lock, is what makes
-   campaigns reproducible regardless of worker count — but the lock
-   makes the structure safe for any caller and lets the timeline
-   account acquisition wait against hold time (the contention numbers
-   [compi-cli profile] reports). The mutex lives at module level, not
-   in [t]: campaign snapshots marshal the whole cache record
-   (Checkpoint.save), and Marshal rejects the custom block a Mutex.t
-   is. One global lock is exact for the single shared cache a campaign
-   owns, and merely coarser when tests build several. *)
+   Ownership: the table is split into [khash]-indexed shards and holds
+   no lock at all. The pipelined campaign engine is the single writer
+   and only mutates from the main domain at deterministic points —
+   probes at candidate dispatch, verdict publication at the ordered
+   merge — so every cache state transition happens at a work-list
+   position that is identical at any [--jobs], which is what makes
+   campaigns reproducible regardless of worker count. (The earlier
+   design kept a module-level mutex "just in case"; profile data showed
+   it as pure overhead — cache.lock.wait/hold spans — protecting a
+   structure that was already single-domain by protocol. Concurrent
+   multi-domain mutation was never supported and still is not.)
+   Sharding keeps per-shard FIFO queues short so eviction scans stay
+   O(shard) instead of O(table), and gives the checkpoint a layout that
+   still marshals directly (no mutex custom block to strip).
+
+   The shard count is derived from capacity — one shard per 256 slots,
+   clamped to [1, 16] and rounded down to a power of two — so small
+   caches (tests use capacity 2) keep the exact global-FIFO eviction
+   order of the unsharded design, while the default 4096-slot cache
+   gets 16 × 256-slot shards. *)
 
 type outcome = Sat of Model.t | Unsat
 
@@ -41,10 +49,18 @@ type key = {
   kdoms : (Varid.t * int * int) list;  (* domains of the vars, in var order *)
 }
 
-let key ~domains cs =
+let key ?vars ~domains cs =
   let kconstrs = List.sort_uniq Constr.compare cs in
+  (* [vars] lets a caller that just walked the dependency closure (and
+     so already holds its variable set) skip re-unioning it here — the
+     set folds are a measurable share of key construction. *)
   let vars =
-    List.fold_left (fun acc c -> Varid.Set.union acc (Constr.vars c)) Varid.Set.empty cs
+    match vars with
+    | Some vs -> vs
+    | None ->
+      List.fold_left
+        (fun acc c -> Varid.Set.union acc (Constr.vars c))
+        Varid.Set.empty cs
   in
   let kdoms =
     Varid.Set.fold
@@ -67,6 +83,7 @@ let key ~domains cs =
   { khash; kconstrs; kdoms }
 
 let key_size k = List.length k.kconstrs
+let key_constrs k = k.kconstrs
 
 module Tbl = Hashtbl.Make (struct
   type t = key
@@ -80,10 +97,16 @@ module Tbl = Hashtbl.Make (struct
     && a.kdoms = b.kdoms
 end)
 
+type shard = {
+  table : outcome Tbl.t;
+  order : key Queue.t;  (* insertion order, for per-shard FIFO eviction *)
+}
+
 type t = {
   capacity : int;
-  table : outcome Tbl.t;
-  order : key Queue.t;  (* insertion order, for FIFO eviction *)
+  shard_capacity : int;
+  mask : int;  (* nshards - 1; nshards is a power of two *)
+  shards : shard array;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -95,44 +118,48 @@ let m_hits = Obs.Metrics.counter "cache.hits"
 let m_misses = Obs.Metrics.counter "cache.misses"
 let m_evictions = Obs.Metrics.counter "cache.evictions"
 let g_entries = Obs.Metrics.gauge "cache.entries"
+let g_shards = Obs.Metrics.gauge "cache.shards"
+let g_shard_max = Obs.Metrics.gauge "cache.shard_entries.max"
 
 let default_capacity = 4096
 
+(* largest power of two <= n, for n >= 1 *)
+let pow2_floor n =
+  let p = ref 1 in
+  while !p * 2 <= n do
+    p := !p * 2
+  done;
+  !p
+
 let create ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  let nshards = pow2_floor (max 1 (min 16 (capacity / 256))) in
+  Obs.Metrics.set g_shards (float_of_int nshards);
   {
-    capacity = max 1 capacity;
-    table = Tbl.create 256;
-    order = Queue.create ();
+    capacity;
+    shard_capacity = max 1 (capacity / nshards);
+    mask = nshards - 1;
+    shards =
+      Array.init nshards (fun _ ->
+          { table = Tbl.create 256; order = Queue.create () });
     hits = 0;
     misses = 0;
     evictions = 0;
   }
 
-let entries t = Tbl.length t.table
+let nshards t = Array.length t.shards
 
-let lock = Mutex.create ()
+let shard_of t k = t.shards.(k.khash land t.mask)
 
-let locked f =
-  if Obs.Timeline.on () then begin
-    let t0 = Obs.Timeline.tick () in
-    Mutex.lock lock;
-    let t1 = Obs.Timeline.tick () in
-    Obs.Timeline.record ~kind:"cache.lock.wait" ~t0 ~t1;
-    Fun.protect
-      ~finally:(fun () ->
-        Obs.Timeline.record ~kind:"cache.lock.hold" ~t0:t1
-          ~t1:(Obs.Timeline.tick ());
-        Mutex.unlock lock)
-      f
-  end
-  else begin
-    Mutex.lock lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
-  end
+let entries t =
+  Array.fold_left (fun acc s -> acc + Tbl.length s.table) 0 t.shards
+
+let shard_entries_max t =
+  Array.fold_left (fun acc s -> max acc (Tbl.length s.table)) 0 t.shards
 
 let find t k =
-  locked @@ fun () ->
-  let r = Obs.Timeline.span "cache.probe" (fun () -> Tbl.find_opt t.table k) in
+  let s = shard_of t k in
+  let r = Obs.Timeline.span "cache.probe" (fun () -> Tbl.find_opt s.table k) in
   (match r with
   | Some _ ->
     t.hits <- t.hits + 1;
@@ -147,13 +174,13 @@ let find t k =
   r
 
 let add t k outcome =
-  locked @@ fun () ->
-  if not (Tbl.mem t.table k) then begin
+  let s = shard_of t k in
+  if not (Tbl.mem s.table k) then begin
     let dropped = ref 0 in
-    while Tbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
-      let oldest = Queue.pop t.order in
-      if Tbl.mem t.table oldest then begin
-        Tbl.remove t.table oldest;
+    while Tbl.length s.table >= t.shard_capacity && not (Queue.is_empty s.order) do
+      let oldest = Queue.pop s.order in
+      if Tbl.mem s.table oldest then begin
+        Tbl.remove s.table oldest;
         incr dropped
       end
     done;
@@ -163,9 +190,10 @@ let add t k outcome =
       if Obs.Sink.active () then
         Obs.Sink.emit (Obs.Event.Cache_evict { dropped = !dropped; entries = entries t })
     end;
-    Tbl.replace t.table k outcome;
-    Queue.push k t.order;
-    Obs.Metrics.set g_entries (float_of_int (entries t))
+    Tbl.replace s.table k outcome;
+    Queue.push k s.order;
+    Obs.Metrics.set g_entries (float_of_int (entries t));
+    Obs.Metrics.set g_shard_max (float_of_int (shard_entries_max t))
   end
 
 let stats (t : t) =

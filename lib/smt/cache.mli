@@ -10,30 +10,43 @@
     re-explored after a restart hit.
 
     Probes and insertions feed the [cache.hits]/[cache.misses]/
-    [cache.evictions] counters, the [cache.entries] gauge, and — when a
-    sink is active — the [cache_lookup]/[cache_evict] events.
+    [cache.evictions] counters, the [cache.entries]/[cache.shards]/
+    [cache.shard_entries.max] gauges, and — when a sink is active — the
+    [cache_lookup]/[cache_evict] events.
 
-    [find]/[add] are serialized under a process-wide mutex (module
-    level, so snapshots of the cache record stay marshallable). The
-    parallel campaign engine still touches the cache only from the main
-    domain at deterministic points (dispatch and ordered merge) — that
-    discipline, not the lock, keeps campaign results independent of the
-    worker count. When the {!Obs.Timeline} is enabled, each acquisition
-    records [cache.lock.wait]/[cache.lock.hold] spans and each probe a
-    [cache.probe] span — the contention numbers [compi-cli profile]
-    reports. *)
+    The table is split into hash-indexed shards and is lock-free:
+    [find]/[add] take no mutex at all. The pipelined campaign engine is
+    the single writer — it probes at candidate dispatch and publishes
+    verdicts at the ordered merge, both on the main domain — so every
+    cache state transition happens at a work-list position that is
+    identical at any [--jobs]. That protocol, not a lock, is what keeps
+    campaign results independent of the worker count; concurrent
+    multi-domain mutation is not supported. Each probe records a
+    [cache.probe] span when the {!Obs.Timeline} is enabled. The shard
+    count is derived from capacity (one shard per 256 slots, clamped to
+    [1, 16], power of two), so small caches behave exactly like the old
+    single-table design, including its global FIFO eviction order. *)
 
 type outcome = Sat of Model.t | Unsat
 
 type key
 
-val key : domains:Domain.t Varid.Map.t -> Constr.t list -> key
+val key :
+  ?vars:Varid.Set.t -> domains:Domain.t Varid.Map.t -> Constr.t list -> key
 (** Canonicalize a constraint set: sort and deduplicate, then attach the
     domain interval of every variable mentioned. Constraint order and
-    duplicates do not affect the key. *)
+    duplicates do not affect the key. [vars], when given, must be the
+    set of variables the constraints mention (e.g. from
+    [Constr.dependency_closure]) and saves recomputing it. *)
 
 val key_size : key -> int
 (** Number of distinct constraints under the key. *)
+
+val key_constrs : key -> Constr.t list
+(** The canonical (sorted, deduplicated) constraint set under the key —
+    exactly the closure a canonical solve of this key's problem runs
+    on, so a miss can feed it straight to
+    [Solver.solve_prepared] without recomputing or re-sorting it. *)
 
 type t
 
@@ -42,13 +55,16 @@ val default_capacity : int
 
 val create : ?capacity:int -> unit -> t
 
+val nshards : t -> int
+(** Number of shards the capacity was split into. *)
+
 val find : t -> key -> outcome option
 (** Counts a hit or a miss, and emits a [cache_lookup] event when a sink
     is active. *)
 
 val add : t -> key -> outcome -> unit
-(** First verdict wins: re-adding an existing key is a no-op. At
-    capacity, the oldest entries are evicted FIFO. *)
+(** First verdict wins: re-adding an existing key is a no-op. At shard
+    capacity, the oldest entries of that shard are evicted FIFO. *)
 
 val entries : t -> int
 

@@ -270,19 +270,8 @@ type incremental_result = {
   changed : Varid.Set.t;
 }
 
-let solve_incremental ?(budget = default_budget) ?(domains = Varid.Map.empty)
-    ?(canonical = false) ~prev ~target cs =
-  let closure, vars = Constr.dependency_closure ~seed:(Constr.vars target) cs in
-  (* In canonical mode the solve must be a pure function of the closure
-     as a set plus [domains] — the identity a solver cache keys on — so
-     the closure is sorted/deduplicated and [prev] is not offered to the
-     value search (it still anchors the merge and the [changed] diff). *)
-  let closure = if canonical then List.sort_uniq Constr.compare closure else closure in
-  let prefer = if canonical then Model.empty else prev in
-  match
-    instrumented ~incremental:true closure (fun nodes ->
-        solve_raw ~budget ~domains ~prefer ~nodes closure)
-  with
+let finish_incremental ~prev ~vars outcome =
+  match outcome with
   | Unsat -> Error `Unsat
   | Unknown -> Error `Unknown
   | Sat m ->
@@ -303,3 +292,26 @@ let solve_incremental ?(budget = default_budget) ?(domains = Varid.Map.empty)
         resolved;
         changed;
       }
+
+let solve_incremental ?(budget = default_budget) ?(domains = Varid.Map.empty)
+    ?(canonical = false) ~prev ~target cs =
+  let closure, vars = Constr.dependency_closure ~seed:(Constr.vars target) cs in
+  (* In canonical mode the solve must be a pure function of the closure
+     as a set plus [domains] — the identity a solver cache keys on — so
+     the closure is sorted/deduplicated and [prev] is not offered to the
+     value search (it still anchors the merge and the [changed] diff). *)
+  let closure = if canonical then List.sort_uniq Constr.compare closure else closure in
+  let prefer = if canonical then Model.empty else prev in
+  instrumented ~incremental:true closure (fun nodes ->
+      solve_raw ~budget ~domains ~prefer ~nodes closure)
+  |> finish_incremental ~prev ~vars
+
+let solve_prepared ?(budget = default_budget) ?(domains = Varid.Map.empty) ~prev
+    ~closure ~vars () =
+  (* The canonical-mode tail of [solve_incremental] for a caller that
+     already holds the sorted, deduplicated dependency closure and its
+     variable set (e.g. from building a cache key): same verdict, no
+     second closure computation or sort. *)
+  instrumented ~incremental:true closure (fun nodes ->
+      solve_raw ~budget ~domains ~prefer:Model.empty ~nodes closure)
+  |> finish_incremental ~prev ~vars

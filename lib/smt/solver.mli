@@ -66,6 +66,24 @@ val solve_incremental :
     on. [prev] still supplies the values of out-of-closure variables in
     [model] and the baseline for [changed]. *)
 
+val solve_prepared :
+  ?budget:int ->
+  ?domains:Domain.t Varid.Map.t ->
+  prev:Model.t ->
+  closure:Constr.t list ->
+  vars:Varid.Set.t ->
+  unit ->
+  (incremental_result, [ `Unsat | `Unknown ]) Stdlib.result
+(** Exactly [solve_incremental ~canonical:true], for a caller that has
+    already computed the canonical closure and its variable set — e.g.
+    while building the {!Cache} key for the same solve. [closure] must
+    be the sorted, deduplicated dependency closure of the negated
+    constraint ({!Cache.key_constrs} of its key) and [vars] the
+    variables that closure mentions; given those, the verdict is
+    identical to the canonical entry point's, with no second closure
+    traversal or sort. The cache-on campaign path uses this so a miss
+    costs one canonicalization, not two. *)
+
 val holds_all : Model.t -> Constr.t list -> bool
 (** [holds_all m cs] checks every constraint under [m] (unbound variables
     read as 0). Used by tests as the soundness oracle. *)

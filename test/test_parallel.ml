@@ -147,6 +147,34 @@ let test_taskpool_order_and_errors () =
     "pool survives a failing batch" [ 2; 4 ]
     (Compi.Taskpool.map pool (fun x -> 2 * x) [ 1; 2 ])
 
+(* The pipelined engine's determinism rests on one property: however the
+   pool interleaves task completions, [next] hands results back in
+   submission order — i.e. exactly the order the old round-barrier
+   [map] merged in. Randomized per-task delays exercise arbitrary
+   completion permutations (a slow early task forces later results to
+   queue; a slow late task forces the consumer to wait). *)
+let test_stream_merge_order_qcheck =
+  QCheck.Test.make ~count:25 ~name:"pipelined delivery order = round-barrier order"
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_bound 200))
+    (fun delays ->
+      let pool = Compi.Taskpool.create ~jobs:4 in
+      Fun.protect ~finally:(fun () -> Compi.Taskpool.shutdown pool) @@ fun () ->
+      let items = List.mapi (fun i d -> (i, d)) delays in
+      let work (i, d) =
+        if d > 0 then Unix.sleepf (float_of_int d /. 1e6);
+        i
+      in
+      let barrier_order = Compi.Taskpool.map pool work items in
+      let st = Compi.Taskpool.stream pool (List.map (fun it () -> work it) items) in
+      let rec drain acc =
+        match Compi.Taskpool.next st with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      let pipelined_order = drain [] in
+      pipelined_order = barrier_order
+      && pipelined_order = List.mapi (fun i _ -> i) delays)
+
 let test_taskpool_sequential_degenerate () =
   let pool = Compi.Taskpool.create ~jobs:1 in
   Fun.protect ~finally:(fun () -> Compi.Taskpool.shutdown pool) @@ fun () ->
@@ -174,5 +202,6 @@ let suite =
         Alcotest.test_case "order preserved, errors propagate" `Quick
           test_taskpool_order_and_errors;
         Alcotest.test_case "jobs=1 runs inline" `Quick test_taskpool_sequential_degenerate;
+        QCheck_alcotest.to_alcotest test_stream_merge_order_qcheck;
       ] );
   ]
