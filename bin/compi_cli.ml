@@ -370,6 +370,26 @@ let s_parallelism = "PARALLELISM OPTIONS"
 let s_checkpoint = "CHECKPOINT OPTIONS"
 let s_telemetry = "TELEMETRY OPTIONS"
 
+let schedules_arg =
+  let choice = Arg.enum [ ("on", true); ("off", false) ] in
+  Arg.(
+    value & opt choice false
+    & info [ "schedules" ] ~docs:s_execution ~docv:"on|off"
+        ~doc:
+          "Explore the schedule dimension (default $(b,off)): wildcard receives \
+           are matched lazily under a replayable prescription, and the campaign \
+           enumerates alternative match orders (partial-order reduced) alongside \
+           input negations — each test is an (input, schedule) pair")
+
+let schedule_depth_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "schedule-depth" ] ~docs:s_execution ~docv:"N"
+        ~doc:
+          "Only the first $(docv) wildcard choice points of a run may fork \
+           alternative schedules (default $(b,8)) — the schedule-space analogue \
+           of the DFS depth bound. Only meaningful with $(b,--schedules on)")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -438,12 +458,13 @@ let run_cmd =
       & info [ "target" ] ~docs:s_execution ~docv:"TARGET"
           ~doc:"Target program (see $(b,compi-cli list))")
   in
-  let run t iterations time seed nprocs caps strategy exec_mode jobs batch solver_cache
-      checkpoint checkpoint_every resume coverage_report trace_events metrics =
+  let run t iterations time seed nprocs caps strategy exec_mode schedules schedule_depth
+      jobs batch solver_cache checkpoint checkpoint_every resume coverage_report
+      trace_events metrics =
     let info, base =
       settings_of t iterations time seed nprocs caps false false false strategy
     in
-    let base = { base with Compi.Driver.exec_mode } in
+    let base = { base with Compi.Driver.exec_mode; schedules; schedule_depth } in
     let settings =
       {
         Compi.Campaign.default_settings with
@@ -469,6 +490,8 @@ let run_cmd =
       result.Compi.Campaign.rounds result.Compi.Campaign.executed
       result.Compi.Campaign.solver_calls jobs
       (Compi.Runner.exec_mode_name exec_mode);
+    if schedules then
+      Printf.printf "schedules       on (choice-point depth %d)\n" schedule_depth;
     (match checkpoint with
     | Some dir ->
       Printf.printf "checkpoint      %s (%d write(s))%s\n"
@@ -530,6 +553,7 @@ let run_cmd =
       $ time_arg ~docs:s_execution () $ seed_arg ~docs:s_execution ()
       $ nprocs_arg ~docs:s_execution () $ cap_arg ~docs:s_execution ()
       $ strategy_arg ~docs:s_execution () $ exec_mode_arg ~docs:s_execution ()
+      $ schedules_arg $ schedule_depth_arg
       $ jobs_arg $ batch_arg $ solver_cache_arg $ checkpoint_arg $ checkpoint_every_arg
       $ resume_arg $ coverage_report_arg $ trace_events_arg ~docs:s_telemetry ()
       $ metrics_arg ~docs:s_telemetry ())
@@ -571,6 +595,18 @@ let branch_labeler = function
 
 let replay_trace path =
   let f = load_fold path in
+  (* surface forward-compatibility skips loudly: a trace from a newer
+     build replays, but silently dropping its events would make the
+     report lie by omission *)
+  (match f.Obs.Fold.unknown_kinds with
+  | [] -> ()
+  | skipped ->
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 skipped in
+    Printf.eprintf
+      "warning: %s: skipped %d event(s) of %d unknown kind(s) (%s) — likely a \
+       trace from a newer build; counts below exclude them\n"
+      path total (List.length skipped)
+      (String.concat ", " (List.map fst skipped)));
   Printf.printf "trace %s:\n" path;
   print_string (Obs.Fold.to_text f)
 
@@ -651,6 +687,14 @@ let print_chain (f : Obs.Fold.t) label tid =
             n.Obs.Fold.ln_test n.Obs.Fold.ln_index n.Obs.Fold.ln_parent
             (label n.Obs.Fold.ln_branch)
             (if n.Obs.Fold.ln_cached then " [cached verdict]" else " [solver sat]")
+        | "schedule" ->
+          (* the (input, schedule) pair: same inputs as the parent, one
+             wildcard match decision flipped *)
+          Printf.printf
+            "  test %d <- schedule fork of test %d: same inputs, wildcard choice \
+             point %d delivers from local rank %d instead\n"
+            n.Obs.Fold.ln_test n.Obs.Fold.ln_parent n.Obs.Fold.ln_index
+            n.Obs.Fold.ln_branch
         | origin ->
           Printf.printf "  test %d: %s (fresh random inputs)\n" n.Obs.Fold.ln_test
             origin)
@@ -701,8 +745,9 @@ let explain_summary (f : Obs.Fold.t) label =
     print_newline ());
   let nodes = f.Obs.Fold.lineage in
   let count o = List.length (List.filter (fun n -> n.Obs.Fold.ln_origin = o) nodes) in
-  Printf.printf "lineage: %d test(s) — %d seed, %d negated, %d restart\n"
-    (List.length nodes) (count "seed") (count "negated") (count "restart");
+  Printf.printf "lineage: %d test(s) — %d seed, %d negated, %d schedule, %d restart\n"
+    (List.length nodes) (count "seed") (count "negated") (count "schedule")
+    (count "restart");
   let covered =
     List.filter (fun s -> s.Obs.Fold.br_first_test >= 0) f.Obs.Fold.branches
   in

@@ -8,6 +8,7 @@ type t = {
   focus : int;
   mapping : (int * int array) list;
   mutable exec_id : int;
+  mutable exec_schedule : int list;
 }
 
 let length t = Array.length t.constraints

@@ -21,6 +21,11 @@ type t = {
       (** campaign-wide test-case id of this run, assigned at merge
           time (the iteration number); -1 until observed. Candidates
           derived from this run inherit it as their lineage parent. *)
+  mutable exec_schedule : int list;
+      (** schedule prescription this run executed under ([[]] in eager
+          mode). Input-negation candidates derived from this run replay
+          the same prescription, so the (input, schedule) pair stays a
+          coherent test identity. *)
 }
 
 val length : t -> int

@@ -159,6 +159,10 @@ let derive (s : Driver.settings) ~cached (cand : Strategy.candidate)
           index = cand.Strategy.index;
           cached;
         };
+    (* the child replays its parent's wildcard-match prescription, so
+       the negation varies only the input coordinate of the
+       (input, schedule) pair *)
+    p_schedule = record.Execution.exec_schedule;
   }
 
 let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
@@ -307,6 +311,9 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
      items accumulated since the last schedule *)
   let forced = ref (snap_field (fun sn -> sn.Checkpoint.ck_forced) []) in
   let stagnated_round = ref (snap_field (fun sn -> sn.Checkpoint.ck_stagnated_round) false) in
+  (* schedule forks enumerated during merges; consumed (and cleared) by
+     the scheduling step, mirroring [forced] *)
+  let schedules_q = ref (snap_field (fun sn -> sn.Checkpoint.ck_schedules) []) in
   let checkpoints_written = ref 0 in
   (* peak pipeline depth across rounds, for the result record *)
   let max_depth = ref 0 in
@@ -324,6 +331,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
       p_focus = focus;
       p_depth = 0;
       p_origin = origin;
+      p_schedule = [];
     }
   in
   let exec (p : Driver.pending) =
@@ -334,6 +342,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         Runner.inputs = p.Driver.p_inputs;
         nprocs;
         focus = min p.Driver.p_focus (nprocs - 1);
+        schedule = (if s.Driver.schedules then Some p.Driver.p_schedule else None);
       }
   in
   (* Merge one completed execution: assigns the next iteration id and
@@ -356,6 +365,51 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
          the execution, so every candidate carries a valid parent *)
       r.Runner.execution.Execution.exec_id <- !iter;
       Driver.emit_lineage_test ~test:!iter p.Driver.p_origin;
+      (* schedule enumeration: fork this run's recorded wildcard
+         decisions into alternative prescriptions (POR-pruned — only
+         non-prescribed choice points with >1 eligible source fork).
+         Runs at the merge position, so the fork set and its order are
+         a pure function of the merged trajectory: identical at any
+         worker count. *)
+      if s.Driver.schedules then begin
+        let prefix_len = List.length p.Driver.p_schedule in
+        let choices = r.Runner.choices in
+        let alts =
+          Mpisim.Schedule.alternatives ~depth:s.Driver.schedule_depth ~prefix_len
+            choices
+        in
+        List.iter
+          (fun (a : Mpisim.Schedule.alt) ->
+            schedules_q :=
+              {
+                Driver.p_inputs = p.Driver.p_inputs;
+                p_nprocs = p.Driver.p_nprocs;
+                p_focus = p.Driver.p_focus;
+                p_depth = p.Driver.p_depth;
+                p_origin =
+                  Driver.O_schedule
+                    {
+                      parent = !iter;
+                      point = a.Mpisim.Schedule.alt_point;
+                      source = a.Mpisim.Schedule.alt_source;
+                    };
+                p_schedule = a.Mpisim.Schedule.alt_prescription;
+              }
+              :: !schedules_q)
+          alts;
+        let st =
+          Mpisim.Schedule.stats ~depth:s.Driver.schedule_depth ~prefix_len choices
+        in
+        if st.Mpisim.Schedule.st_points > 0 && Obs.Sink.active () then
+          Obs.Sink.emit
+            (Obs.Event.Schedule_enum
+               {
+                 parent = !iter;
+                 points = st.Mpisim.Schedule.st_points;
+                 emitted = st.Mpisim.Schedule.st_emitted;
+                 pruned = st.Mpisim.Schedule.st_pruned;
+               })
+      end;
       Coverage.absorb ~into:coverage r.Runner.coverage;
       max_cs := max !max_cs r.Runner.constraint_set_size;
       Obs.Metrics.observe_int m_cs_size r.Runner.constraint_set_size;
@@ -484,27 +538,36 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
      fallback), so the main loop exits only on budget or stop. *)
   let schedule () =
     let forced_items = List.rev_map (fun p -> W_fresh p) !forced in
+    (* enumerated schedule forks, in enumeration order: they interleave
+       with the input-negation candidates of the same round *)
+    let sched_items = List.rev_map (fun p -> W_fresh p) !schedules_q in
     let restart_test () =
       let nprocs, focus = !last_np in
       W_fresh (fresh_pending ~origin:Driver.O_restart ~nprocs ~focus ())
     in
     work :=
       (if !stagnated_round then
-         (* fresh search tree: redo the testing from random inputs *)
-         forced_items @ [ restart_test () ]
+         (* fresh search tree: redo the testing from random inputs
+            (queued schedule forks stay valid — they re-run concrete
+            tests and need no search tree) *)
+         forced_items @ sched_items @ [ restart_test () ]
        else if !barren >= s.Driver.max_solve_attempts then begin
          emit_restart ~iteration:!iter "exhausted";
          barren := 0;
-         forced_items @ [ restart_test () ]
+         forced_items @ sched_items @ [ restart_test () ]
        end
        else
-         match Strategy.next_batch !strategy ~coverage ~max:settings.batch with
-         | [] ->
+         match
+           (sched_items, Strategy.next_batch !strategy ~coverage ~max:settings.batch)
+         with
+         | [], [] ->
            emit_restart ~iteration:!iter "exhausted";
            barren := 0;
            forced_items @ [ restart_test () ]
-         | cands -> forced_items @ List.map (fun c -> W_negate c) cands);
+         | sched, cands ->
+           forced_items @ sched @ List.map (fun c -> W_negate c) cands);
     forced := [];
+    schedules_q := [];
     stagnated_round := false;
     work_remaining := !work
   in
@@ -536,6 +599,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         ck_bugs = !bugs;
         ck_forced = !forced;
         ck_stagnated_round = !stagnated_round;
+        ck_schedules = !schedules_q;
         ck_work = !work_remaining;
       }
     in

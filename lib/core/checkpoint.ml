@@ -45,6 +45,7 @@ type snapshot = {
   ck_bugs : Driver.bug list;
   ck_forced : Driver.pending list;
   ck_stagnated_round : bool;
+  ck_schedules : Driver.pending list;
   ck_work : work list;
 }
 
@@ -52,8 +53,11 @@ type snapshot = {
    gained [exec_id] — v1 snapshots marshal a different layout.
    version 3: [Smt.Cache.t] became a sharded table (array of shard
    records instead of one table/queue pair), so [ck_cache] marshals a
-   different layout than v2 *)
-let version = 3
+   different layout than v2.
+   version 4: schedule-space exploration — [Driver.pending] gained
+   [p_schedule], [Execution.t] gained [exec_schedule], and the snapshot
+   gained [ck_schedules] (enumerated-but-unexecuted schedule forks) *)
+let version = 4
 let magic = "COMPI-CKPT"
 let file ~dir = Filename.concat dir "campaign.ckpt"
 let corpus_file ~dir = Filename.concat dir "corpus.txt"
@@ -124,6 +128,8 @@ let fingerprint ~label ~batch ~solver_cache ~cache_capacity (s : Driver.settings
     ("batch", i batch);
     ("solver_cache", b solver_cache);
     ("cache_capacity", i cache_capacity);
+    ("schedules", b s.Driver.schedules);
+    ("schedule_depth", i s.Driver.schedule_depth);
   ]
 
 let mismatches ~stored ~current =

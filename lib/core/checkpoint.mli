@@ -59,6 +59,9 @@ type snapshot = {
   ck_bugs : Driver.bug list;  (** reverse chronological *)
   ck_forced : Driver.pending list;  (** restart tests queued mid-round *)
   ck_stagnated_round : bool;
+  ck_schedules : Driver.pending list;
+      (** schedule forks enumerated but not yet dispatched (reverse
+          accumulation order; the scheduler re-sorts deterministically) *)
   ck_work : work list;
       (** items of the current round not yet merged; re-executed
           deterministically on resume, then scheduling continues *)

@@ -37,6 +37,15 @@ type settings = {
   exec_mode : Runner.exec_mode;
       (* compiled (default) or interpreted execution; the interpreter
          stays available as the differential oracle *)
+  schedules : bool;
+      (* explore the schedule dimension: runs execute in schedule mode
+         and the campaign enumerates alternative wildcard-match orders
+         (POR-pruned) alongside input negations. Campaign-only; the
+         sequential driver ignores it. *)
+  schedule_depth : int;
+      (* only the first [schedule_depth] wildcard choice points of a run
+         are eligible for forking — the schedule-space analogue of the
+         DFS depth bound *)
 }
 
 let default_settings =
@@ -63,6 +72,8 @@ let default_settings =
     stagnation_restart = Some 250;
     resolve_conflicts = true;
     exec_mode = Runner.Exec_compiled;
+    schedules = false;
+    schedule_depth = 8;
   }
 
 type bug = {
@@ -153,6 +164,9 @@ type origin =
   | O_seed
   | O_restart
   | O_negated of { parent : int; branch : int; index : int; cached : bool }
+  | O_schedule of { parent : int; point : int; source : int }
+      (* schedule fork: same inputs as [parent], but choice point
+         [point] delivers from local source [source] instead *)
 
 (* What the next test should run with. *)
 type pending = {
@@ -161,12 +175,17 @@ type pending = {
   p_focus : int;
   p_depth : int;  (* depth to report to the strategy after the run *)
   p_origin : origin;
+  p_schedule : int list;  (* wildcard-match prescription ([] = default order) *)
 }
 
 let origin_fields = function
   | O_seed -> ("seed", -1, -1, -1, false)
   | O_restart -> ("restart", -1, -1, -1, false)
   | O_negated { parent; branch; index; cached } -> ("negated", parent, branch, index, cached)
+  | O_schedule { parent; point; source } ->
+    (* reuse the lineage slots: index = flipped choice point, branch =
+       alternative source delivered *)
+    ("schedule", parent, source, point, false)
 
 let emit_lineage_test ~test origin =
   if Obs.Sink.active () then begin
@@ -252,6 +271,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         p_focus = settings.initial_focus;
         p_depth = 0;
         p_origin = O_seed;
+        p_schedule = [];
       }
   in
   let iter = ref 0 in
@@ -295,6 +315,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
           p_focus = settings.initial_focus;
           p_depth = 0;
           p_origin = O_restart;
+          p_schedule = [];
         };
       incr iter
     | Ok res ->
@@ -442,6 +463,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
                         index = cand.Strategy.index;
                         cached = false;
                       };
+                  p_schedule = record.Execution.exec_schedule;
                 })
       done);
       let solve_time = Unix.gettimeofday () -. t_solve in
@@ -458,6 +480,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
              p_focus = p.p_focus;
              p_depth = 0;
              p_origin = O_restart;
+             p_schedule = [];
            });
       let reachable =
         Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)

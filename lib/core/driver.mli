@@ -52,6 +52,16 @@ type settings = {
       (** [Exec_compiled] (default): compile the target to closures once
           per campaign; [Exec_interp] keeps the tree-walking interpreter
           as the differential oracle *)
+  schedules : bool;
+      (** explore the schedule dimension: runs execute in schedule mode
+          (wildcard receives served at quiescence under a prescription)
+          and the campaign enumerates POR-pruned alternative match
+          orders alongside input negations. Campaign-only; the
+          sequential driver ignores it. *)
+  schedule_depth : int;
+      (** only the first [schedule_depth] wildcard choice points of a
+          run may fork alternative schedules — the schedule-space
+          analogue of the DFS depth bound *)
 }
 
 val default_settings : settings
@@ -113,6 +123,10 @@ type origin =
       (** derived by negating [parent]'s path constraint at [index],
           targeting [branch]; [cached] when the verdict was a solver-cache
           replay *)
+  | O_schedule of { parent : int; point : int; source : int }
+      (** schedule fork: same inputs as test [parent], but wildcard
+          choice point [point] delivers from local source [source]
+          instead — the (input, schedule) pair's second coordinate *)
 (** Provenance of a pending test — threaded from the negation that
     produced it to the merge point that runs it, then emitted as a
     [lineage_test] event. *)
@@ -123,6 +137,9 @@ type pending = {
   p_focus : int;
   p_depth : int;  (** depth to report to the strategy after the run *)
   p_origin : origin;
+  p_schedule : int list;
+      (** wildcard-match prescription to run under ([[]]: default
+          arrival order at every choice point) *)
 }
 (** What the next test should run with — the unit of work the parallel
     campaign engine ({!Campaign}) queues and executes. *)

@@ -33,6 +33,10 @@ type config = {
       (* closure-compiled program shared read-only across runs (and
          worker domains); None runs the interpreter. Built once per
          campaign by [prepare]. *)
+  schedule : Mpisim.Schedule.prescription option;
+      (* Some p: run in schedule mode — wildcard receives are served at
+         quiescence under prescription [p] and every decision is
+         recorded. None: legacy eager matching. *)
   on_event : Mpisim.Trace.event -> unit;
 }
 
@@ -52,6 +56,7 @@ let default_config ~info =
     max_procs = Mpisim.Scheduler.default_max_procs;
     symbolic = true;
     compiled = None;
+    schedule = None;
     on_event = (fun _ -> ());
   }
 
@@ -91,6 +96,7 @@ type result = {
   mapping : (int * int array) list;
   constraint_set_size : int;
   wall_time : float;
+  choices : Mpisim.Schedule.choice list;
 }
 
 let faults r =
@@ -191,7 +197,7 @@ let run_raw config =
   let t0 = Unix.gettimeofday () in
   match
     Mpisim.Scheduler.run ~max_procs:config.max_procs ~on_event:config.on_event
-      ~nprocs:config.nprocs (fun ~rank ~mpi ->
+      ?schedule:config.schedule ~nprocs:config.nprocs (fun ~rank ~mpi ->
         let hooks =
           if not config.symbolic then light_hooks config ~mpi ~cover:covers.(rank)
           else if rank = focus then
@@ -242,6 +248,7 @@ let run_raw config =
         focus;
         mapping;
         exec_id = -1;
+        exec_schedule = Option.value config.schedule ~default:[];
       }
     in
     let nonfocus_log_bytes =
@@ -277,6 +284,7 @@ let run_raw config =
         mapping;
         constraint_set_size = Pathlog.constraint_count focus_log;
         wall_time;
+        choices = sched.Mpisim.Scheduler.choices;
       }
 
 let run config =

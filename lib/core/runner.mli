@@ -40,6 +40,11 @@ type config = {
       (** closure-compiled program, shared read-only across runs and
           worker domains; [None] executes through the interpreter.
           Build it once per campaign with {!prepare}. *)
+  schedule : Mpisim.Schedule.prescription option;
+      (** [Some p]: run in schedule mode — wildcard receives are served
+          at quiescence under prescription [p] and every match decision
+          is recorded in {!result.choices}. [None] (default): legacy
+          eager matching, byte-identical to previous releases. *)
   on_event : Mpisim.Trace.event -> unit;
       (** communication-trace sink (default: ignore) *)
 }
@@ -68,6 +73,9 @@ type result = {
   mapping : (int * int array) list;  (** focus's Table II *)
   constraint_set_size : int;
   wall_time : float;
+  choices : Mpisim.Schedule.choice list;
+      (** wildcard match decisions in service order; empty unless the
+          run executed in schedule mode *)
 }
 
 val faults : result -> (int * Minic.Fault.t) list

@@ -41,6 +41,9 @@ type run_result = {
       (* messages still sitting in mailboxes after every process
          finished: sends that no receive ever consumed — the message-leak
          diagnostic of MPI correctness checkers (UMPIRE/MARMOT family) *)
+  choices : Schedule.choice list;
+      (* wildcard match decisions taken, in service order; empty unless
+         the run executed in schedule mode *)
 }
 
 (* A message sitting in a mailbox. [src_global] is remembered so the
@@ -129,6 +132,12 @@ type sched = {
   on_event : Trace.event -> unit;
   mutable deadlocked : int list;
   mutable msg_count : int;
+  lazy_wildcards : bool;
+      (* schedule mode: wildcard-source receives never match eagerly;
+         they are served one per quiescent round by [serve_choice] *)
+  mutable presc : Schedule.prescription;  (* unconsumed prescription tail *)
+  mutable choices_rev : Schedule.choice list;
+  mutable choice_points : int;
 }
 
 (* Every observable scheduler occurrence goes through here: the caller's
@@ -376,7 +385,8 @@ let handle_request s rank req k =
            ambiguous code, so the simpler rule is acceptable here.) *)
         (match Hashtbl.find_opt s.pending_recvs (comm, dest) with
         | Some pr
-          when matches ~src_filter:pr.src_filter ~tag_filter:pr.tag_filter msg ->
+          when matches ~src_filter:pr.src_filter ~tag_filter:pr.tag_filter msg
+               && not (s.lazy_wildcards && pr.src_filter = None) ->
           Hashtbl.remove s.pending_recvs (comm, dest);
           notify s
             (Trace.Recv_matched { rank = pr.recv_rank; src_local = my_local; tag; comm });
@@ -441,7 +451,13 @@ let handle_request s rank req k =
         if sl < 0 || sl >= size then
           crash s rank k (Printf.sprintf "recv from invalid rank %d (size %d)" sl size)
       | None -> ());
-      match take_matching (mailbox s (comm, my_local)) ~src_filter:src ~tag_filter:tag with
+      let eager =
+        (* schedule mode defers every wildcard-source match to the
+           quiescence server, even when the mailbox could satisfy it now *)
+        if s.lazy_wildcards && src = None then None
+        else take_matching (mailbox s (comm, my_local)) ~src_filter:src ~tag_filter:tag
+      in
+      match eager with
       | Some m ->
         notify s (Trace.Recv_matched { rank; src_local = m.src_local; tag = m.tag; comm });
         notify s (Trace.Matched { src = m.src_global; dst = rank; comm; tag = m.tag });
@@ -500,6 +516,84 @@ let drain s =
       s.results.(rank) <- Some r
     | Paused (req, k) -> handle_request s rank req k
   done
+
+(* Schedule mode: serve one wildcard match decision at quiescence.
+
+   Among all blocked wildcard-source receives whose mailbox holds at
+   least one eligible message, the one on the lowest global rank is
+   served; the prescription picks the source (falling back to the first
+   eligible message in arrival order when exhausted or infeasible), and
+   the decision is recorded and emitted. Serving exactly one choice per
+   quiescent round gives a canonical service order, so interleavings of
+   independent deliveries collapse to a single representative and only
+   the per-point source pick forks the schedule space. Returns false
+   when no wildcard receive is serviceable — the caller then falls
+   through to deadlock detection exactly as in eager mode. *)
+let serve_choice s =
+  s.lazy_wildcards
+  &&
+  let best = ref None in
+  Hashtbl.iter
+    (fun (comm, local) pr ->
+      if pr.src_filter = None then begin
+        let sources =
+          Queue.fold
+            (fun acc (m : message) ->
+              if
+                matches ~src_filter:None ~tag_filter:pr.tag_filter m
+                && not (List.mem m.src_local acc)
+              then m.src_local :: acc
+              else acc)
+            []
+            (mailbox s (comm, local))
+        in
+        if sources <> [] then
+          match !best with
+          | Some (r, _, _, _, _) when r <= pr.recv_rank -> ()
+          | Some _ | None ->
+            best := Some (pr.recv_rank, comm, local, pr, List.sort Int.compare sources)
+      end)
+    s.pending_recvs;
+  match !best with
+  | None -> false
+  | Some (rank, comm, local, pr, alts) ->
+    let q = mailbox s (comm, local) in
+    let default () =
+      let found = ref None in
+      Queue.iter
+        (fun (m : message) ->
+          if !found = None && matches ~src_filter:None ~tag_filter:pr.tag_filter m then
+            found := Some m.src_local)
+        q;
+      Option.get !found
+    in
+    let chosen =
+      match s.presc with
+      | [] -> default ()
+      | p :: rest ->
+        s.presc <- rest;
+        if List.mem p alts then p else default ()
+    in
+    let m =
+      Option.get (take_matching q ~src_filter:(Some chosen) ~tag_filter:pr.tag_filter)
+    in
+    Hashtbl.remove s.pending_recvs (comm, local);
+    let point = s.choice_points in
+    s.choice_points <- point + 1;
+    s.choices_rev <-
+      {
+        Schedule.ch_rank = rank;
+        ch_comm = comm;
+        ch_tag = m.tag;
+        ch_chosen = chosen;
+        ch_alts = alts;
+      }
+      :: s.choices_rev;
+    notify s (Trace.Schedule_choice { rank; comm; tag = m.tag; chosen; alts; point });
+    notify s (Trace.Recv_matched { rank; src_local = m.src_local; tag = m.tag; comm });
+    notify s (Trace.Matched { src = m.src_global; dst = rank; comm; tag = m.tag });
+    resume s rank pr.recv_k (Mpi_iface.Rvalue m.data);
+    true
 
 (* Terminate every blocked fiber with a deadlock fault and record it,
    first emitting one wait-for witness edge per blocked dependency so
@@ -564,7 +658,7 @@ let break_deadlock s =
     !blocked
 
 let run ?(max_procs = default_max_procs) ?(on_event = fun (_ : Trace.event) -> ())
-    ~nprocs body =
+    ?schedule ~nprocs body =
   if nprocs < 1 || nprocs > max_procs then raise (Platform_limit nprocs);
   let s =
     {
@@ -581,6 +675,10 @@ let run ?(max_procs = default_max_procs) ?(on_event = fun (_ : Trace.event) -> (
       pending_waits = Hashtbl.create 8;
       deadlocked = [];
       msg_count = 0;
+      lazy_wildcards = schedule <> None;
+      presc = Option.value schedule ~default:[];
+      choices_rev = [];
+      choice_points = 0;
     }
   in
   Obs.Metrics.incr m_runs;
@@ -589,14 +687,16 @@ let run ?(max_procs = default_max_procs) ?(on_event = fun (_ : Trace.event) -> (
   done;
   let rec settle () =
     drain s;
-    if Array.exists Option.is_none s.results then begin
-      break_deadlock s;
-      if Queue.is_empty s.runq then
-        (* blocked set was empty yet fibers unfinished: impossible unless
-           a fiber was lost; fail loudly rather than spin *)
-        invalid_arg "Scheduler.run: stuck with no blocked fibers"
-      else settle ()
-    end
+    if Array.exists Option.is_none s.results then
+      if serve_choice s then settle ()
+      else begin
+        break_deadlock s;
+        if Queue.is_empty s.runq then
+          (* blocked set was empty yet fibers unfinished: impossible unless
+             a fiber was lost; fail loudly rather than spin *)
+          invalid_arg "Scheduler.run: stuck with no blocked fibers"
+        else settle ()
+      end
   in
   Obs.Prof.time "schedule" settle;
   Obs.Metrics.observe_int m_msgs_per_run s.msg_count;
@@ -614,4 +714,5 @@ let run ?(max_procs = default_max_procs) ?(on_event = fun (_ : Trace.event) -> (
     deadlocked = List.sort Int.compare s.deadlocked;
     registry = s.registry;
     leaked;
+    choices = List.rev s.choices_rev;
   }

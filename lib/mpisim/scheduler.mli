@@ -26,6 +26,9 @@ type run_result = {
   leaked : leaked_message list;
       (** sends that no receive consumed — the message-leak diagnostic of
           the UMPIRE/MARMOT family of MPI checkers *)
+  choices : Schedule.choice list;
+      (** wildcard match decisions taken in service order — empty unless
+          the run executed in schedule mode ([?schedule]) *)
 }
 
 val mpi_handler : Minic.Mpi_iface.handler
@@ -35,10 +38,21 @@ val mpi_handler : Minic.Mpi_iface.handler
 val run :
   ?max_procs:int ->
   ?on_event:(Trace.event -> unit) ->
+  ?schedule:Schedule.prescription ->
   nprocs:int ->
   (rank:int -> mpi:Minic.Mpi_iface.handler -> (unit, Minic.Fault.t) result) ->
   run_result
 (** [run ~nprocs body] executes [body ~rank ~mpi] for every rank as a
     fiber and schedules them to completion. [body] must not let
     exceptions escape (return faults as [Error]); an escaped exception
-    aborts the whole run. *)
+    aborts the whole run.
+
+    With [?schedule] the run executes in {e schedule mode}: wildcard
+    ([MPI_ANY_SOURCE]) receives never match eagerly; each is served at
+    quiescence — lowest blocked rank first, one per round — by
+    consulting the prescription (default: first eligible message in
+    arrival order, also used when the prescription is exhausted or
+    names an ineligible source). Every decision is recorded in
+    [choices] and emitted as a [Schedule_choice] trace event. Without
+    [?schedule] the legacy eager matching is byte-identical to previous
+    releases. *)

@@ -7,6 +7,14 @@ type event =
   | Finished of { rank : int; ok : bool }
   | Deadlock of { ranks : int list }
   | Witness of { rank : int; comm : int; kind : string; peer : int }
+  | Schedule_choice of {
+      rank : int;
+      comm : int;
+      tag : int;
+      chosen : int;
+      alts : int list;
+      point : int;
+    }
 
 let pp_event ppf = function
   | Send { from_rank; to_local; comm; tag } ->
@@ -33,6 +41,11 @@ let pp_event ppf = function
     if peer >= 0 then
       Format.fprintf ppf "wait-for rank %d --%s--> rank %d (comm %d)" rank kind peer comm
     else Format.fprintf ppf "wait-for rank %d --%s--> ? (comm %d)" rank kind comm
+  | Schedule_choice { rank; comm; tag; chosen; alts; point } ->
+    Format.fprintf ppf "choice rank %d <- local %d of {%s} (comm %d, tag %d, point %d)"
+      rank chosen
+      (String.concat "," (List.map string_of_int alts))
+      comm tag point
 
 type t = { mutable events_rev : event list; mutable n : int }
 
@@ -54,6 +67,7 @@ let kind_name = function
   | Finished _ -> "finished"
   | Deadlock _ -> "deadlock"
   | Witness _ -> "witness"
+  | Schedule_choice _ -> "choice"
 
 let summary t =
   let table = Hashtbl.create 8 in
@@ -110,6 +124,8 @@ let to_obs_event : event -> Obs.Event.t = function
   | Deadlock { ranks } -> Obs.Event.Sched_deadlock { ranks }
   | Witness { rank; comm; kind; peer } ->
     Obs.Event.Deadlock_witness { rank; comm; kind; peer }
+  | Schedule_choice { rank; comm; tag; chosen; alts; point } ->
+    Obs.Event.Schedule_choice { rank; comm; tag; chosen; alts; point }
 
 (* JSONL rendering through the shared Obs vocabulary, plus a [seq] field
    giving the emission index within this trace. Consumers parse each

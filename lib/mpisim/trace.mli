@@ -23,6 +23,18 @@ type event =
   | Witness of { rank : int; comm : int; kind : string; peer : int }
       (** one wait-for edge recorded when the scheduler proves a
           deadlock — the set of witness edges names the cycle *)
+  | Schedule_choice of {
+      rank : int;
+      comm : int;
+      tag : int;
+      chosen : int;
+      alts : int list;
+      point : int;
+    }
+      (** schedule mode only: the [point]-th wildcard choice point of
+          the run delivered the message from local source [chosen] (tag
+          [tag]) to global [rank]; [alts] is the sorted set of eligible
+          sources the scheduler could have picked instead *)
 
 val pp_event : Format.formatter -> event -> unit
 

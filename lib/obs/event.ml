@@ -69,6 +69,15 @@ type t =
   | Coll_done of { comm : int; signature : string; ranks : int list }
   | Rank_blocked of { rank : int; comm : int; kind : string; peer : int }
   | Deadlock_witness of { rank : int; comm : int; kind : string; peer : int }
+  | Schedule_choice of {
+      rank : int;
+      comm : int;
+      tag : int;
+      chosen : int;
+      alts : int list;
+      point : int;
+    }
+  | Schedule_enum of { parent : int; points : int; emitted : int; pruned : int }
   | Span of { domain : int; kind : string; t0 : int; t1 : int }
 
 let kind_name = function
@@ -97,6 +106,8 @@ let kind_name = function
   | Coll_done _ -> "coll_done"
   | Rank_blocked _ -> "rank_blocked"
   | Deadlock_witness _ -> "deadlock_witness"
+  | Schedule_choice _ -> "schedule_choice"
+  | Schedule_enum _ -> "schedule_enum"
   | Span _ -> "span"
 
 let fields = function
@@ -244,6 +255,22 @@ let fields = function
       ("comm", Json.Int comm);
       ("kind", Json.Str kind);
       ("peer", Json.Int peer);
+    ]
+  | Schedule_choice { rank; comm; tag; chosen; alts; point } ->
+    [
+      ("rank", Json.Int rank);
+      ("comm", Json.Int comm);
+      ("tag", Json.Int tag);
+      ("chosen", Json.Int chosen);
+      ("alts", Json.List (List.map (fun r -> Json.Int r) alts));
+      ("point", Json.Int point);
+    ]
+  | Schedule_enum { parent; points; emitted; pruned } ->
+    [
+      ("parent", Json.Int parent);
+      ("points", Json.Int points);
+      ("emitted", Json.Int emitted);
+      ("pruned", Json.Int pruned);
     ]
   | Span { domain; kind; t0; t1 } ->
     [
@@ -441,6 +468,25 @@ let of_json j =
     let* kind = str "kind" in
     let* peer = int "peer" in
     Ok (Deadlock_witness { rank; comm; kind; peer })
+  | "schedule_choice" -> (
+    let* rank = int "rank" in
+    let* comm = int "comm" in
+    let* tag = int "tag" in
+    let* chosen = int "chosen" in
+    let* point = int "point" in
+    match Option.bind (Json.member "alts" j) Json.to_list with
+    | None -> Error "missing list field alts"
+    | Some xs ->
+      let alts = List.filter_map Json.to_int xs in
+      if List.length alts = List.length xs then
+        Ok (Schedule_choice { rank; comm; tag; chosen; alts; point })
+      else Error "non-integer source in alts")
+  | "schedule_enum" ->
+    let* parent = int "parent" in
+    let* points = int "points" in
+    let* emitted = int "emitted" in
+    let* pruned = int "pruned" in
+    Ok (Schedule_enum { parent; points; emitted; pruned })
   | "span" ->
     let* domain = int "domain" in
     let* kind = str "kind" in

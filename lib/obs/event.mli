@@ -84,11 +84,14 @@ type t =
       cached : bool;
     }
       (** provenance of test case [test]: [origin] is ["seed"],
-          ["negated"], or ["restart"]; for negated tests [parent] is the
-          test whose path was negated, [branch] the branch id the
-          negation targeted, [index] the constraint-set position, and
-          [cached] whether the producing verdict was a cache replay.
-          Seeds and restarts carry [parent]=[branch]=[index]=-1. *)
+          ["negated"], ["restart"], or ["schedule"]; for negated tests
+          [parent] is the test whose path was negated, [branch] the
+          branch id the negation targeted, [index] the constraint-set
+          position, and [cached] whether the producing verdict was a
+          cache replay. For schedule tests [parent] is the run whose
+          recorded choices were forked, [index] the flipped choice
+          point, and [branch] the alternative source delivered. Seeds
+          and restarts carry [parent]=[branch]=[index]=-1. *)
   | Lineage_negation of {
       parent : int;
       index : int;
@@ -115,6 +118,25 @@ type t =
           on [peer] (a missing collective participant, or the sender it
           receives/waits from; -1 when unknowable). The full set of
           witness edges names the wait-for cycle. *)
+  | Schedule_choice of {
+      rank : int;
+      comm : int;
+      tag : int;
+      chosen : int;
+      alts : int list;
+      point : int;
+    }
+      (** schedule mode: the [point]-th wildcard choice point of a run
+          delivered the message from local source [chosen] (tag [tag])
+          to global receiver [rank]; [alts] is the sorted set of local
+          sources that were eligible — the schedule forked here when
+          [alts] has more than one entry *)
+  | Schedule_enum of { parent : int; points : int; emitted : int; pruned : int }
+      (** the schedule enumerator processed test [parent]'s recorded
+          choices: [points] choice points were examined, [emitted]
+          alternative prescriptions were queued as schedule candidates,
+          and [pruned] alternatives were dropped by partial-order
+          reduction (prescribed-prefix rule) or the depth budget *)
   | Span of { domain : int; kind : string; t0 : int; t1 : int }
       (** one timed interval from the {!Timeline}: work of [kind] ran on
           [domain] (pool worker index; 0 = main) from monotonic tick

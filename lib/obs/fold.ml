@@ -82,6 +82,10 @@ type t = {
   rank_blocked : (int * int) list;
   collectives : ((int * string) * int) list;
   deadlocks : int;
+  schedule_choices : int;
+  schedule_forks : int;
+  schedule_emitted : int;
+  schedule_pruned : int;
   witness : (witness_edge * int) list;
   faults : (int * int * string * string) list;
   restarts : (string * int) list;
@@ -111,6 +115,8 @@ let fold events =
   let colls = Hashtbl.create 16 and blocked = Hashtbl.create 16 in
   let coll_sigs = Hashtbl.create 16 in
   let deadlocks = ref 0 in
+  let sched_choices = ref 0 and sched_forks = ref 0 in
+  let sched_emitted = ref 0 and sched_pruned = ref 0 in
   let witness = Hashtbl.create 16 in
   let faults = ref [] in
   let restarts = Hashtbl.create 8 in
@@ -176,6 +182,12 @@ let fold events =
         List.iter (fun r -> bump colls r 1) ranks
       | Event.Rank_blocked { rank; _ } -> bump blocked rank 1
       | Event.Sched_deadlock _ -> incr deadlocks
+      | Event.Schedule_choice { alts; _ } ->
+        incr sched_choices;
+        if List.length alts > 1 then incr sched_forks
+      | Event.Schedule_enum { emitted; pruned; _ } ->
+        sched_emitted := !sched_emitted + emitted;
+        sched_pruned := !sched_pruned + pruned
       | Event.Deadlock_witness { rank; comm; kind; peer } ->
         bump witness { we_rank = rank; we_kind = kind; we_peer = peer; we_comm = comm } 1
       | Event.Fault { iteration; rank; kind; detail } ->
@@ -249,6 +261,10 @@ let fold events =
     rank_blocked = sorted_assoc blocked;
     collectives = sorted_assoc coll_sigs;
     deadlocks = !deadlocks;
+    schedule_choices = !sched_choices;
+    schedule_forks = !sched_forks;
+    schedule_emitted = !sched_emitted;
+    schedule_pruned = !sched_pruned;
     witness = sorted_assoc witness;
     faults = List.rev !faults;
     restarts = sorted_assoc restarts;
@@ -324,6 +340,18 @@ let lineage_errors t =
         end;
         if n.ln_branch < 0 then add "test %d: negated without a target branch" n.ln_test;
         if n.ln_index < 0 then add "test %d: negated without a constraint index" n.ln_test
+      | "schedule" ->
+        if n.ln_parent < 0 then add "test %d: schedule fork without a parent" n.ln_test
+        else begin
+          if n.ln_parent >= n.ln_test then
+            add "test %d: parent %d does not precede it" n.ln_test n.ln_parent;
+          if not (Hashtbl.mem tbl n.ln_parent) then
+            add "test %d: parent %d absent from the graph" n.ln_test n.ln_parent
+        end;
+        if n.ln_index < 0 then
+          add "test %d: schedule fork without a choice point" n.ln_test;
+        if n.ln_branch < 0 then
+          add "test %d: schedule fork without an alternative source" n.ln_test
       | other -> add "test %d: unknown origin %s" n.ln_test other)
     t.lineage;
   List.rev !errs
@@ -429,15 +457,16 @@ let lineage_depths t =
   depth
 
 let origin_counts t =
-  let seed = ref 0 and negated = ref 0 and restart = ref 0 in
+  let seed = ref 0 and negated = ref 0 and schedule = ref 0 and restart = ref 0 in
   List.iter
     (fun n ->
       match n.ln_origin with
       | "seed" -> incr seed
       | "negated" -> incr negated
+      | "schedule" -> incr schedule
       | _ -> incr restart)
     t.lineage;
-  (!seed, !negated, !restart)
+  (!seed, !negated, !schedule, !restart)
 
 let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
 
@@ -487,13 +516,18 @@ let to_text ?(stable = false) ?(branch_label = string_of_int) t =
   if probes > 0 then
     pf "cache: %d probes, %d hits (%.0f%%), %d evictions\n" probes t.cache_hits
       (pct t.cache_hits probes) t.cache_evictions;
+  if t.schedule_choices > 0 || t.schedule_emitted > 0 then
+    pf
+      "schedules: %d wildcard choice(s) served (%d with alternatives), %d alternative \
+       schedule(s) enumerated, %d pruned\n"
+      t.schedule_choices t.schedule_forks t.schedule_emitted t.schedule_pruned;
   (* lineage *)
   if t.lineage <> [] then begin
-    let seeds, negated, restarts = origin_counts t in
+    let seeds, negated, schedules, restarts = origin_counts t in
     let depths = lineage_depths t in
     let maxd = Hashtbl.fold (fun _ d acc -> max d acc) depths 0 in
-    pf "\nlineage: %d tests (%d seed, %d negated, %d restart), max depth %d\n"
-      (List.length t.lineage) seeds negated restarts maxd;
+    pf "\nlineage: %d tests (%d seed, %d negated, %d schedule, %d restart), max depth %d\n"
+      (List.length t.lineage) seeds negated schedules restarts maxd;
     let plateau = plateau_branches t in
     if plateau <> [] then begin
       pf "plateau branches (attempted, never covered): %d\n" (List.length plateau);
@@ -731,12 +765,19 @@ let to_html ?(stable = false) ?(branch_label = string_of_int) t =
   end;
   (* lineage *)
   if t.lineage <> [] then begin
-    let seeds, negated, restarts = origin_counts t in
+    let seeds, negated, schedules, restarts = origin_counts t in
     let depths = lineage_depths t in
     let maxd = Hashtbl.fold (fun _ d acc -> max d acc) depths 0 in
     pf "<h2>Lineage</h2>\n";
-    pf "<p>%d tests: %d seed, %d negated, %d restart · max derivation depth %d</p>\n"
-      (List.length t.lineage) seeds negated restarts maxd;
+    pf
+      "<p>%d tests: %d seed, %d negated, %d schedule, %d restart · max derivation \
+       depth %d</p>\n"
+      (List.length t.lineage) seeds negated schedules restarts maxd;
+    if t.schedule_choices > 0 || t.schedule_emitted > 0 then
+      pf
+        "<p>schedules: %d wildcard choice(s) served (%d with alternatives), %d \
+         alternative schedule(s) enumerated, %d pruned</p>\n"
+        t.schedule_choices t.schedule_forks t.schedule_emitted t.schedule_pruned;
     let plateau = plateau_branches t in
     if plateau <> [] then begin
       pf "<p>plateau branches (attempted, never covered): %d</p>\n<ul>\n"

@@ -22,9 +22,14 @@ val classify_line : string -> line
 type lineage_node = {
   ln_test : int;  (** test-case id (dense iteration number) *)
   ln_parent : int;  (** parent test id, -1 for roots *)
-  ln_origin : string;  (** ["seed"], ["negated"], or ["restart"] *)
-  ln_branch : int;  (** branch the producing negation targeted, -1 *)
-  ln_index : int;  (** constraint-set index negated, -1 *)
+  ln_origin : string;
+      (** ["seed"], ["negated"], ["restart"], or ["schedule"] *)
+  ln_branch : int;
+      (** branch the producing negation targeted (for ["schedule"]: the
+          alternative source delivered), -1 *)
+  ln_index : int;
+      (** constraint-set index negated (for ["schedule"]: the flipped
+          choice point), -1 *)
   ln_cached : bool;  (** producing verdict replayed from the cache *)
 }
 
@@ -82,6 +87,10 @@ type t = {
   rank_blocked : (int * int) list;  (** rank → blocking episodes *)
   collectives : ((int * string) * int) list;  (** (comm, signature) → count *)
   deadlocks : int;
+  schedule_choices : int;  (** wildcard match decisions served *)
+  schedule_forks : int;  (** choice points with more than one eligible source *)
+  schedule_emitted : int;  (** alternative prescriptions the enumerator queued *)
+  schedule_pruned : int;  (** alternatives dropped by POR or the depth budget *)
   witness : (witness_edge * int) list;  (** deduplicated wait-for edges *)
   faults : (int * int * string * string) list;  (** iter, rank, kind, detail *)
   restarts : (string * int) list;  (** reason → count *)

@@ -1,7 +1,7 @@
 let all () =
   [
     Toy.fig1; Toy.fig2; Susy_hmc.target; Hpl.target; Imb_mpi1.target; Heat2d.target;
-    Npb_cg.target;
+    Npb_cg.target; Wildcard.target;
   ]
 (* Short names accepted anywhere a target is named on the CLI. *)
 let aliases = [ ("toy", "toy-fig2") ]

@@ -1,0 +1,79 @@
+(* A wildcard-receive race with a schedule-dependent deadlock.
+
+   Ranks 1 and 2 each send one message to rank 0; rank 0 first receives
+   with MPI_ANY_SOURCE, then — only when the marked input [x] is 7 AND
+   the wildcard happened to deliver rank 2's message first — posts a
+   second receive pinned to source 2. Rank 2 has already spent its only
+   send, so that receive can never complete: deadlock.
+
+   The bug is a genuine (input, schedule) pair:
+
+   - input: the guard [x == 7] must hold, which concolic negation
+     derives from the path constraint;
+   - schedule: the wildcard must match rank 2 before rank 1. Under the
+     simulator's deterministic eager matching rank 1's send always
+     arrives (and matches) first, so with [--schedules off] the deadlock
+     is unreachable at ANY input — only the schedule enumerator's
+     alternative prescription exposes it.
+
+   The protocol is guarded on [size >= 3] so framework-derived process
+   counts below 3 run (and terminate) cleanly. *)
+
+open Minic
+open Builder
+
+let target =
+  Registry.make ~name:"wc-race"
+    ~description:"wildcard-receive race: deadlock only under an alternative schedule"
+    ~tuning:
+      {
+        Registry.dfs_phase = 4;
+        depth_bound = 50;
+        key_input = "x";
+        default_cap = 16;
+        initial_nprocs = 3;
+        step_limit = 100_000;
+      }
+    (program
+       [
+         func "main" []
+           [
+             input "x" ~lo:0 ~cap:16 ~default:0;
+             decl "rank" (i 0);
+             decl "size" (i 0);
+             comm_rank Ast.World "rank";
+             comm_size Ast.World "size";
+             if_
+               (v "size" >=: i 3)
+               [
+                 if_
+                   (v "rank" =: i 0)
+                   [
+                     decl "m1" (i 0);
+                     decl "m2" (i 0);
+                     (* wildcard: either sender can match here *)
+                     recv ~into:(Ast.Lvar "m1") ();
+                     if_
+                       (v "x" =: i 7)
+                       [
+                         if_
+                           (v "m1" =: i 2)
+                           [
+                             (* rank 2 already consumed by the wildcard:
+                                this receive never completes *)
+                             recv ~src:(i 2) ~into:(Ast.Lvar "m2") ();
+                           ]
+                           [ recv ~into:(Ast.Lvar "m2") () ];
+                       ]
+                       [ recv ~into:(Ast.Lvar "m2") () ];
+                   ]
+                   [
+                     if_
+                       (v "rank" <=: i 2)
+                       [ send ~dest:(i 0) ~tag:(v "rank") (v "rank") ]
+                       [];
+                   ];
+               ]
+               [];
+           ];
+       ])

@@ -55,7 +55,7 @@ BUILTIN_FLAGS = {"--help", "--version"}
 # and the observatory surface the explain/report smoke job drives.
 REQUIRED_FLAGS = {
     "run": {"--checkpoint", "--checkpoint-every", "--resume", "--trace-events",
-            "--exec-mode"},
+            "--exec-mode", "--schedules", "--schedule-depth"},
     "explain": {"--branch", "--testcase", "--target"},
     "report": {"--out", "--stable", "--target"},
     "profile": {"--out", "--stable"},

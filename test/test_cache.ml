@@ -108,6 +108,7 @@ let exec_record ?(cx = 3) ?(cy = 4) () =
     focus = 0;
     mapping = [];
     exec_id = -1;
+    exec_schedule = [];
   }
 
 let test_apply_cached_matches_solver () =
@@ -205,6 +206,7 @@ let test_unsat_negation_cached () =
       focus = 0;
       mapping = [];
       exec_id = -1;
+      exec_schedule = [];
     }
   in
   (match Concolic.Execution.solve_negation t 0 with

@@ -188,6 +188,7 @@ let mk_record ?(extra = []) constrs model =
     focus = 0;
     mapping = [];
     exec_id = -1;
+    exec_schedule = [];
   }
 
 let test_execution_prefix () =

@@ -9,6 +9,7 @@ let () =
          Test_minic.suite;
          Test_compile.suite;
          Test_mpisim.suite;
+         Test_schedule.suite;
          Test_concolic.suite;
          Test_compi.suite;
          Test_cache.suite;

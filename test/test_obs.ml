@@ -138,6 +138,8 @@ let sample_events : Obs.Event.t list =
     Coll_done { comm = 3; signature = "allreduce:max"; ranks = [ 0; 1; 2; 3 ] };
     Rank_blocked { rank = 2; comm = 0; kind = "recv"; peer = -1 };
     Deadlock_witness { rank = 1; comm = 0; kind = "collective:barrier"; peer = 3 };
+    Schedule_choice { rank = 0; comm = 0; tag = 3; chosen = 2; alts = [ 1; 2 ]; point = 0 };
+    Schedule_enum { parent = 12; points = 2; emitted = 1; pruned = 1 };
     Span { domain = 1; kind = "cache.lock.wait"; t0 = 1_000; t1 = 2_500 };
   ]
 
@@ -146,7 +148,7 @@ let test_event_roundtrip () =
   let kinds =
     List.sort_uniq String.compare (List.map Obs.Event.kind_name sample_events)
   in
-  Alcotest.(check int) "all 25 event kinds sampled" 25 (List.length kinds);
+  Alcotest.(check int) "all 27 event kinds sampled" 27 (List.length kinds);
   List.iter
     (fun ev ->
       let wire = Obs.Json.to_string (Obs.Event.to_json ~t:1.25 ev) in

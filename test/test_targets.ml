@@ -34,7 +34,7 @@ let set key value inputs = (key, value) :: List.remove_assoc key inputs
 
 let test_catalog_complete () =
   Alcotest.(check (list string)) "names"
-    [ "toy-fig1"; "toy-fig2"; "susy-hmc"; "hpl"; "imb-mpi1"; "heat2d"; "npb-cg" ]
+    [ "toy-fig1"; "toy-fig2"; "susy-hmc"; "hpl"; "imb-mpi1"; "heat2d"; "npb-cg"; "wc-race" ]
     (Targets.Catalog.names ())
 
 let test_all_targets_validate () =
