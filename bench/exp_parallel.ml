@@ -121,6 +121,10 @@ let run_target ~cores ~reps ~target ~iterations =
           ("target", Obs.Json.Str target);
           ("jobs", Obs.Json.Int jobs);
           ("pool_size", Obs.Json.Int pool);
+          (* per-row so a gate reading a single row (or a merge of
+             several hosts' rows) can judge oversubscription without
+             the document header *)
+          ("cores", Obs.Json.Int cores);
           ("oversubscribed", Obs.Json.Bool oversubscribed);
           ("solver_cache", Obs.Json.Bool (r.Compi.Campaign.cache <> None));
           ("wall_s", Obs.Json.Float wall);

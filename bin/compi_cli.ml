@@ -238,6 +238,11 @@ let with_telemetry ~trace_events ~metrics f =
   (match oc with
   | Some oc ->
     Obs.Sink.install (Obs.Sink.Channel_sink oc);
+    (* live traces should be tailable: flush the channel every ~half
+       second (or 512 events) so [compi-cli watch --trace] sees events
+       while the campaign runs, not just at exit. Autoflush is off by
+       default (tests install bare sinks); only the CLI arms it. *)
+    Obs.Sink.set_autoflush ~events:512 ~seconds:0.5 ();
     (* tracing implies spans: arm the per-domain timeline so the trace
        carries the material [compi-cli profile] folds *)
     Obs.Timeline.enable ()
@@ -450,6 +455,26 @@ let resume_arg =
            continue toward the (possibly larger) budget; the finished campaign is \
            byte-identical to an uninterrupted run")
 
+let status_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "status-file" ] ~docs:s_telemetry ~docv:"FILE.json"
+        ~doc:
+          "Publish a live status snapshot (one flat JSON object, written \
+           atomically via temp file + rename) to $(docv) at every merge point; \
+           read it with $(b,compi-cli status) or $(b,compi-cli watch)")
+
+let run_ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docs:s_telemetry ~docv:"LEDGER.jsonl"
+        ~doc:
+          "Append a versioned run-summary record to the $(docv) JSONL store when \
+           the campaign ends; inspect trends with $(b,compi-cli history) and diff \
+           runs with $(b,compi-cli compare)")
+
 let run_cmd =
   let target_opt_arg =
     Arg.(
@@ -460,7 +485,7 @@ let run_cmd =
   in
   let run t iterations time seed nprocs caps strategy exec_mode schedules schedule_depth
       jobs batch solver_cache checkpoint checkpoint_every resume coverage_report
-      trace_events metrics =
+      status_file ledger trace_events metrics =
     let info, base =
       settings_of t iterations time seed nprocs caps false false false strategy
     in
@@ -475,6 +500,8 @@ let run_cmd =
         checkpoint;
         checkpoint_every;
         resume;
+        status_file;
+        ledger;
       }
     in
     let result =
@@ -515,6 +542,12 @@ let run_cmd =
         (if cs.Smt.Cache.entries = 1 then "y" else "ies")
         cs.Smt.Cache.evictions
     | None -> Printf.printf "solver cache    off\n");
+    (match status_file with
+    | Some path -> Printf.printf "final status snapshot at %s\n" path
+    | None -> ());
+    (match ledger with
+    | Some path -> Printf.printf "run recorded in ledger %s\n" path
+    | None -> ());
     match coverage_report with
     | Some path ->
       Out_channel.with_open_text path (fun oc ->
@@ -555,8 +588,8 @@ let run_cmd =
       $ strategy_arg ~docs:s_execution () $ exec_mode_arg ~docs:s_execution ()
       $ schedules_arg $ schedule_depth_arg
       $ jobs_arg $ batch_arg $ solver_cache_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg $ coverage_report_arg $ trace_events_arg ~docs:s_telemetry ()
-      $ metrics_arg ~docs:s_telemetry ())
+      $ resume_arg $ coverage_report_arg $ status_file_arg $ run_ledger_arg
+      $ trace_events_arg ~docs:s_telemetry () $ metrics_arg ~docs:s_telemetry ())
 
 (* ------------------------------------------------------------------ *)
 (* replay: saved test cases, or a JSONL telemetry trace                *)
@@ -883,6 +916,340 @@ let profile_cmd =
           HTML with a Gantt timeline via $(b,--out), ASCII otherwise")
     Term.(const run $ trace_pos_arg $ report_out_arg $ stable_arg)
 
+(* ------------------------------------------------------------------ *)
+(* status / watch: the live campaign monitor                           *)
+(* ------------------------------------------------------------------ *)
+
+let status_pos_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STATUS.json")
+
+let render_status (st : Obs.Status.t) =
+  let b = Buffer.create 512 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  add "target          %s" (if st.target = "" then "(unnamed)" else st.target);
+  add "progress        %d / %d iteration(s)%s, round %d%s" st.executed st.budget
+    (if st.budget > 0 && st.budget < max_int then
+       Printf.sprintf " (%.1f%%)"
+         (100.0 *. float_of_int st.executed /. float_of_int st.budget)
+     else "")
+    st.rounds
+    (if st.finished then " — finished" else "");
+  add "coverage        %d / %d reachable%s" st.covered st.reachable
+    (if st.reachable > 0 then
+       Printf.sprintf " (%.1f%%)"
+         (100.0 *. float_of_int st.covered /. float_of_int st.reachable)
+     else "");
+  add "bugs            %d" st.bugs;
+  add "queue depth     %d" st.queue_depth;
+  add "utilization     %.0f%%" (100.0 *. st.utilization);
+  add "cache hit rate  %.0f%%" (100.0 *. st.cache_hit_rate);
+  add "schedule forks  %d" st.schedule_forks;
+  (match (st.plateau, st.eta_iterations) with
+  | true, _ -> add "trend           plateau — no coverage gain over the trailing window"
+  | false, 0 -> add "trend           fully covered"
+  | false, n when n > 0 ->
+    add "trend           ~%d iteration(s) to full reachable coverage at the current rate" n
+  | false, _ -> add "trend           (not enough history for an estimate)");
+  Buffer.contents b
+
+(* One compact line per poll for pipes and logs: `watch` uses it when
+   stdout is not a tty, so output appends cleanly. *)
+let status_line (st : Obs.Status.t) =
+  Printf.sprintf
+    "iter %d/%d round %d cov %d/%d bugs %d queue %d util %.0f%% cache %.0f%%%s%s"
+    st.executed st.budget st.rounds st.covered st.reachable st.bugs st.queue_depth
+    (100.0 *. st.utilization)
+    (100.0 *. st.cache_hit_rate)
+    (if st.plateau then " plateau"
+     else if st.eta_iterations > 0 then Printf.sprintf " eta ~%d" st.eta_iterations
+     else "")
+    (if st.finished then " finished" else "")
+
+let status_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the raw snapshot as one JSON object (machine-readable)")
+  in
+  let run path json =
+    match Obs.Status.read path with
+    | Error e ->
+      Printf.eprintf "cannot read status %s: %s\n" path e;
+      exit 1
+    | Ok st ->
+      if json then print_endline (Obs.Json.to_string (Obs.Status.to_json st))
+      else print_string (render_status st)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "One-shot view of a running campaign's $(b,--status-file) snapshot; \
+          $(b,--json) emits the raw object for scripts")
+    Term.(const run $ status_pos_arg $ json_arg)
+
+let watch_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Poll interval (default 1s)")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Render a single frame and exit")
+  in
+  let watch_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"TRACE.jsonl"
+          ~doc:
+            "Also tail the campaign's $(b,--trace-events) file through the \
+             incremental observatory fold: each poll absorbs only the newly \
+             appended lines and re-renders the live coverage curve")
+  in
+  let run path interval once trace =
+    let interval = if interval < 0.05 then 0.05 else interval in
+    let tty = Unix.isatty Unix.stdout in
+    (* incremental fold over the growing trace: the state persists
+       across polls, each poll steps only the bytes appended since the
+       last one (complete lines only — a torn tail waits for the next
+       poll) *)
+    let fstate = Obs.Fold.init () in
+    let offset = ref 0 in
+    let tail_trace () =
+      match trace with
+      | None -> None
+      | Some tp -> (
+        (match open_in_bin tp with
+        | exception Sys_error _ -> ()
+        | ic ->
+          let len = in_channel_length ic in
+          if len > !offset then begin
+            seek_in ic !offset;
+            let chunk = really_input_string ic (len - !offset) in
+            match String.rindex_opt chunk '\n' with
+            | None -> ()
+            | Some k ->
+              offset := !offset + k + 1;
+              List.iter
+                (fun l -> ignore (Obs.Fold.step_line fstate l))
+                (String.split_on_char '\n' (String.sub chunk 0 k))
+          end;
+          close_in ic);
+        Some (Obs.Fold.finish fstate))
+    in
+    let render_frame st fopt =
+      let b = Buffer.create 1024 in
+      Buffer.add_string b (render_status st);
+      (match fopt with
+      | None -> ()
+      | Some (f : Obs.Fold.t) ->
+        Buffer.add_string b
+          (Printf.sprintf "trace           %d event(s), %d iteration(s), %d fault(s)\n"
+             f.Obs.Fold.events f.Obs.Fold.iterations
+             (List.length f.Obs.Fold.faults));
+        if f.Obs.Fold.curve <> [] then begin
+          Buffer.add_char b '\n';
+          Buffer.add_string b (Obs.Fold.ascii_curve f.Obs.Fold.curve)
+        end);
+      Buffer.contents b
+    in
+    let rec loop announced =
+      match Obs.Status.read path with
+      | Error e ->
+        if once then begin
+          Printf.eprintf "cannot read status %s: %s\n" path e;
+          exit 1
+        end;
+        (* the campaign may not have published its first snapshot yet *)
+        if not announced then Printf.eprintf "waiting for %s\n%!" path;
+        Unix.sleepf interval;
+        loop true
+      | Ok st ->
+        let fopt = tail_trace () in
+        if tty && not once then
+          (* full-screen dashboard: home + clear, then redraw *)
+          print_string ("\027[H\027[2J" ^ render_frame st fopt)
+        else if tty || once then print_string (render_frame st fopt)
+        else print_endline (status_line st);
+        flush stdout;
+        if not (once || st.Obs.Status.finished) then begin
+          Unix.sleepf interval;
+          loop announced
+        end
+    in
+    loop false
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Live dashboard for a campaign started with $(b,--status-file): polls \
+          the snapshot (and, with $(b,--trace), tails the event stream through \
+          the incremental fold) until the campaign finishes. Full-screen on a \
+          tty; one compact line per poll otherwise")
+    Term.(const run $ status_pos_arg $ interval_arg $ once_arg $ watch_trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* history / compare: the run ledger                                   *)
+(* ------------------------------------------------------------------ *)
+
+let load_ledger path =
+  match Obs.Ledger.load path with
+  | Error e ->
+    Printf.eprintf "cannot read ledger %s: %s\n" path e;
+    exit 1
+  | Ok store ->
+    if store.Obs.Ledger.skipped > 0 then
+      Printf.eprintf
+        "warning: %s: skipped %d record(s) of a newer ledger version\n" path
+        store.Obs.Ledger.skipped;
+    if store.Obs.Ledger.malformed > 0 then
+      Printf.eprintf "warning: %s: %d malformed line(s)\n" path
+        store.Obs.Ledger.malformed;
+    store
+
+let history_cmd =
+  let ledger_pos_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEDGER.jsonl")
+  in
+  let target_filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"NAME" ~doc:"Only show runs of target $(docv)")
+  in
+  let run path target =
+    let store = load_ledger path in
+    let records =
+      match target with
+      | None -> store.Obs.Ledger.records
+      | Some t ->
+        List.filter (fun (r : Obs.Ledger.record) -> r.target = t)
+          store.Obs.Ledger.records
+    in
+    if records = [] then begin
+      Printf.eprintf "no records%s in %s\n"
+        (match target with Some t -> " for target " ^ t | None -> "")
+        path;
+      exit 1
+    end;
+    Printf.printf "%-18s %-8s %4s %9s %9s %4s %8s %6s %s\n" "run" "mode" "jobs"
+      "executed" "coverage" "bugs" "wall" "cache" "trend";
+    (* trend column: coverage direction vs the previous run of the same
+       target, in ledger (append) order *)
+    let prev = Hashtbl.create 8 in
+    List.iter
+      (fun (r : Obs.Ledger.record) ->
+        let trend =
+          match Hashtbl.find_opt prev r.target with
+          | None -> ""
+          | Some c when r.covered > c -> "+"
+          | Some c when r.covered < c -> "-"
+          | Some _ -> "="
+        in
+        Hashtbl.replace prev r.target r.covered;
+        Printf.printf "%-18s %-8s %4d %9d %5d/%-3d %4d %7.1fs %5.0f%% %s\n" r.run
+          r.exec_mode r.jobs r.executed r.covered r.reachable
+          (List.length r.bugs) r.wall_s
+          (100.0 *. Obs.Ledger.hit_rate r)
+          trend)
+      records
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "Per-target trend table over a $(b,--ledger) JSONL store: one row per \
+          recorded campaign, with a coverage-direction marker against the \
+          previous run of the same target")
+    Term.(const run $ ledger_pos_arg $ target_filter_arg)
+
+let compare_cmd =
+  let sel_arg n docv =
+    Arg.(
+      required
+      & pos n (some string) None
+      & info [] ~docv
+          ~doc:
+            "Run selector: a run id like $(b,heat2d#3), or an index into the \
+             ledger ($(b,-1) = latest, negative counts from the end)")
+  in
+  let ledger_opt_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"LEDGER.jsonl" ~doc:"The run-ledger JSONL store")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tolerance" ] ~docv:"N"
+          ~doc:
+            "Allow coverage to drop by up to $(docv) branch(es) before the exit \
+             status reports a regression (default $(b,0))")
+  in
+  let run sel_a sel_b path tolerance =
+    let store = load_ledger path in
+    let resolve sel =
+      match Obs.Ledger.find store sel with
+      | Some r -> r
+      | None ->
+        Printf.eprintf "no run %s in %s (%d record(s))\n" sel path
+          (List.length store.Obs.Ledger.records);
+        exit 1
+    in
+    let a = resolve sel_a in
+    let b = resolve sel_b in
+    let d = Obs.Ledger.diff ~tolerance a b in
+    let describe (r : Obs.Ledger.record) =
+      Printf.sprintf "%s (%s, %d job(s), seed %d): covered %d/%d, %d bug(s)" r.run
+        r.exec_mode r.jobs r.seed r.covered r.reachable (List.length r.bugs)
+    in
+    Printf.printf "A  %s\n" (describe a);
+    Printf.printf "B  %s\n" (describe b);
+    Printf.printf "settings   %s\n"
+      (if d.Obs.Ledger.same_settings then
+         "identical (fingerprint " ^ a.Obs.Ledger.fingerprint ^ ")"
+       else "differ — deltas compare different campaigns");
+    let pm n = if n >= 0 then "+" ^ string_of_int n else string_of_int n in
+    Printf.printf "coverage   %s branch(es)  (%d -> %d)\n" (pm d.Obs.Ledger.d_covered)
+      a.Obs.Ledger.covered b.Obs.Ledger.covered;
+    Printf.printf "reachable  %s  (%d -> %d)\n" (pm d.Obs.Ledger.d_reachable)
+      a.Obs.Ledger.reachable b.Obs.Ledger.reachable;
+    Printf.printf "bugs       %s  (%d -> %d)\n" (pm d.Obs.Ledger.d_bugs)
+      (List.length a.Obs.Ledger.bugs)
+      (List.length b.Obs.Ledger.bugs);
+    Printf.printf "executed   %s  (%d -> %d)\n" (pm d.Obs.Ledger.d_executed)
+      a.Obs.Ledger.executed b.Obs.Ledger.executed;
+    Printf.printf "wall       %+.2fs  (%.2fs -> %.2fs)  [informational]\n"
+      d.Obs.Ledger.d_wall_s a.Obs.Ledger.wall_s b.Obs.Ledger.wall_s;
+    Printf.printf "solver     %s call(s)  [informational]\n"
+      (pm d.Obs.Ledger.d_solver_calls);
+    Printf.printf "cache      %+.1f hit-rate point(s)  [informational]\n"
+      (100.0 *. d.Obs.Ledger.d_hit_rate);
+    if d.Obs.Ledger.regression then begin
+      Printf.printf "verdict    COVERAGE REGRESSION: dropped %d branch(es), tolerance %d\n"
+        (-d.Obs.Ledger.d_covered) tolerance;
+      exit 1
+    end
+    else Printf.printf "verdict    ok\n"
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two ledger runs: coverage, bug and perf deltas of B relative to \
+          A. Exits non-zero when coverage regressed by more than \
+          $(b,--tolerance) branches — wall time and solver work stay \
+          informational, so identical-settings runs always compare clean")
+    Term.(
+      const run $ sel_arg 0 "RUN_A" $ sel_arg 1 "RUN_B" $ ledger_opt_arg
+      $ tolerance_arg)
+
 let random_cmd =
   let run t iterations time seed nprocs caps =
     let info, settings =
@@ -1019,5 +1386,6 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; show_cmd; test_cmd; run_cmd; random_cmd; exec_cmd; replay_cmd;
-            explain_cmd; report_cmd; profile_cmd; test_file_cmd;
+            explain_cmd; report_cmd; profile_cmd; status_cmd; watch_cmd;
+            history_cmd; compare_cmd; test_file_cmd;
           ]))

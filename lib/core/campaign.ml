@@ -61,6 +61,8 @@ type settings = {
   checkpoint : string option;  (* snapshot directory; None = no checkpointing *)
   checkpoint_every : int;  (* periodic snapshot cadence in iterations *)
   resume : bool;  (* load the snapshot under [checkpoint] before running *)
+  status_file : string option;  (* live status snapshot path; None = off *)
+  ledger : string option;  (* run-ledger JSONL store; None = off *)
 }
 
 let default_settings =
@@ -73,6 +75,8 @@ let default_settings =
     checkpoint = None;
     checkpoint_every = 50;
     resume = false;
+    status_file = None;
+    ledger = None;
   }
 
 type result = {
@@ -317,6 +321,13 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
   let checkpoints_written = ref 0 in
   (* peak pipeline depth across rounds, for the result record *)
   let max_depth = ref 0 in
+  (* live-status accumulators: last reachable count seen at a merge (a
+     resumed run re-seeds it from the newest checkpointed stat), and
+     total alternative schedules enumerated *)
+  let last_reachable =
+    ref (match !stats with s :: _ -> s.Driver.reachable_after | [] -> 0)
+  in
+  let sched_total = ref 0 in
   let fresh_strategy () =
     match (s.Driver.strategy, !derived_bound) with
     | Driver.Two_phase_dfs, Some bound ->
@@ -400,6 +411,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
         let st =
           Mpisim.Schedule.stats ~depth:s.Driver.schedule_depth ~prefix_len choices
         in
+        sched_total := !sched_total + st.Mpisim.Schedule.st_emitted;
         if st.Mpisim.Schedule.st_points > 0 && Obs.Sink.active () then
           Obs.Sink.emit
             (Obs.Event.Schedule_enum
@@ -483,6 +495,7 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
       let reachable =
         Branchinfo.reachable_branches info ~encountered:(Coverage.encountered coverage)
       in
+      last_reachable := reachable;
       Obs.Metrics.incr m_iterations;
       Obs.Metrics.set g_covered (float_of_int covered_now);
       Obs.Metrics.set g_reachable (float_of_int reachable);
@@ -620,6 +633,77 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
       write_checkpoint dir;
       next_due := ((!iter / every) + 1) * every
     | Some _ | None -> ()
+  in
+  (* Live status: an atomic snapshot published at every merge position
+     (and once more, finished, at campaign end). Everything quoted is
+     main-domain merge state, so the snapshot sequence — like the
+     trajectory itself — is invariant across [jobs]. *)
+  let publish_status ~finished () =
+    match settings.status_file with
+    | None -> ()
+    | Some path ->
+      let bug_count = List.length !bugs in
+      let curve =
+        (* trailing slice of the coverage curve, oldest first, feeding
+           the plateau/ETA estimate *)
+        let rec take n = function
+          | [] -> []
+          | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+        in
+        List.rev_map
+          (fun st -> (st.Driver.iteration, st.Driver.covered_after))
+          (take 64 !stats)
+      in
+      let plateau, eta =
+        Obs.Status.estimate ~reachable:!last_reachable curve
+      in
+      let hits, misses =
+        match cache with
+        | None -> (0, 0)
+        | Some c ->
+          let cs = Smt.Cache.stats c in
+          (cs.Smt.Cache.hits, cs.Smt.Cache.misses)
+      in
+      let probes = hits + misses in
+      let wall = elapsed () in
+      let utilization =
+        if wall <= 0.0 then 0.0
+        else
+          Float.min 1.0
+            (Taskpool.busy_seconds pool
+            /. (wall *. float_of_int (max 1 settings.jobs)))
+      in
+      Obs.Status.publish path
+        {
+          Obs.Status.target = label;
+          budget = s.Driver.iterations;
+          rounds = !rounds;
+          executed = !iter;
+          covered = !best_covered;
+          reachable = !last_reachable;
+          bugs = bug_count;
+          queue_depth = !max_depth;
+          utilization;
+          cache_hit_rate =
+            (if probes = 0 then 0.0
+             else float_of_int hits /. float_of_int probes);
+          schedule_forks = !sched_total;
+          plateau;
+          eta_iterations = eta;
+          finished;
+        };
+      if Obs.Sink.active () then
+        Obs.Sink.emit
+          (Obs.Event.Status_snapshot
+             {
+               rounds = !rounds;
+               executed = !iter;
+               covered = !best_covered;
+               reachable = !last_reachable;
+               bugs = bug_count;
+               queue = !max_depth;
+               path;
+             })
   in
   while !work <> [] && continue_ok () do
     incr rounds;
@@ -788,6 +872,9 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
             Obs.Timeline.span "merge" (fun () -> merge_one w item);
             work_remaining := rest;
             maybe_checkpoint ();
+            if Taskpool.max_inflight st > !max_depth then
+              max_depth := Taskpool.max_inflight st;
+            publish_status ~finished:false ();
             merge_stream rest
           end)
     in
@@ -826,6 +913,63 @@ let run ?(settings = default_settings) ?(label = "") (info : Branchinfo.t) =
          bugs = List.length !bugs;
          wall_s = elapsed ();
        });
+  last_reachable := reachable;
+  publish_status ~finished:true ();
+  (match settings.ledger with
+  | None -> ()
+  | Some path ->
+    let hits, misses =
+      match cache with
+      | None -> (0, 0)
+      | Some c ->
+        let cs = Smt.Cache.stats c in
+        (cs.Smt.Cache.hits, cs.Smt.Cache.misses)
+    in
+    let record =
+      {
+        Obs.Ledger.run = "";
+        (* assigned by append *)
+        target = label;
+        fingerprint = Obs.Ledger.digest fp;
+        exec_mode = Runner.exec_mode_name s.Driver.exec_mode;
+        jobs = settings.jobs;
+        seed = s.Driver.seed;
+        budget = s.Driver.iterations;
+        executed = !iter;
+        rounds = !rounds;
+        covered;
+        reachable;
+        bugs =
+          List.rev_map
+            (fun b ->
+              {
+                Obs.Ledger.bug_test = b.Driver.bug_iteration;
+                bug_rank = b.Driver.bug_rank;
+                bug_kind = Fault.kind_name b.Driver.bug_fault;
+              })
+            !bugs;
+        curve =
+          List.rev_map
+            (fun st -> (st.Driver.iteration, st.Driver.covered_after))
+            !stats;
+        wall_s = elapsed ();
+        solver_calls = !solver_calls;
+        cache_hits = hits;
+        cache_misses = misses;
+        schedule_forks = !sched_total;
+      }
+    in
+    let written = Obs.Ledger.append path record in
+    if Obs.Sink.active () then
+      Obs.Sink.emit
+        (Obs.Event.Ledger_append
+           {
+             path;
+             run = written.Obs.Ledger.run;
+             covered;
+             reachable;
+             bugs = List.length !bugs;
+           }));
   {
     summary =
       {

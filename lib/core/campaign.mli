@@ -58,12 +58,22 @@ type settings = {
       (** load the snapshot under [checkpoint] before running; raises
           {!Checkpoint.Load_error} if it is missing, damaged, from
           another format version, or fingerprint-incompatible *)
+  status_file : string option;
+      (** publish an {!Obs.Status} snapshot (atomic temp-file + rename)
+          to this path at every merge position and once more, with
+          [finished = true], when the campaign ends; [None] (the
+          default) disables live status entirely *)
+  ledger : string option;
+      (** append an {!Obs.Ledger} summary record to this JSONL store
+          when the campaign ends; [None] (the default) keeps no
+          longitudinal record *)
 }
 
 val default_settings : settings
 (** [Driver.default_settings], 1 job, batch 4, cache on at
     {!Smt.Cache.default_capacity}, checkpointing off
-    ([checkpoint_every = 50] once a directory is supplied). *)
+    ([checkpoint_every = 50] once a directory is supplied), no status
+    file, no ledger. *)
 
 type result = {
   summary : Driver.result;  (** same shape the sequential driver reports *)

@@ -79,6 +79,16 @@ type t =
     }
   | Schedule_enum of { parent : int; points : int; emitted : int; pruned : int }
   | Span of { domain : int; kind : string; t0 : int; t1 : int }
+  | Status_snapshot of {
+      rounds : int;
+      executed : int;
+      covered : int;
+      reachable : int;
+      bugs : int;
+      queue : int;
+      path : string;
+    }
+  | Ledger_append of { path : string; run : string; covered : int; reachable : int; bugs : int }
 
 let kind_name = function
   | Campaign_start _ -> "campaign_start"
@@ -109,6 +119,8 @@ let kind_name = function
   | Schedule_choice _ -> "schedule_choice"
   | Schedule_enum _ -> "schedule_enum"
   | Span _ -> "span"
+  | Status_snapshot _ -> "status_snapshot"
+  | Ledger_append _ -> "ledger_append"
 
 let fields = function
   | Campaign_start { target; iterations; seed; nprocs } ->
@@ -278,6 +290,24 @@ let fields = function
       ("kind", Json.Str kind);
       ("t0", Json.Int t0);
       ("t1", Json.Int t1);
+    ]
+  | Status_snapshot { rounds; executed; covered; reachable; bugs; queue; path } ->
+    [
+      ("rounds", Json.Int rounds);
+      ("executed", Json.Int executed);
+      ("covered", Json.Int covered);
+      ("reachable", Json.Int reachable);
+      ("bugs", Json.Int bugs);
+      ("queue", Json.Int queue);
+      ("path", Json.Str path);
+    ]
+  | Ledger_append { path; run; covered; reachable; bugs } ->
+    [
+      ("path", Json.Str path);
+      ("run", Json.Str run);
+      ("covered", Json.Int covered);
+      ("reachable", Json.Int reachable);
+      ("bugs", Json.Int bugs);
     ]
 
 let to_json ?t ev =
@@ -493,4 +523,20 @@ let of_json j =
     let* t0 = int "t0" in
     let* t1 = int "t1" in
     Ok (Span { domain; kind; t0; t1 })
+  | "status_snapshot" ->
+    let* rounds = int "rounds" in
+    let* executed = int "executed" in
+    let* covered = int "covered" in
+    let* reachable = int "reachable" in
+    let* bugs = int "bugs" in
+    let* queue = int "queue" in
+    let* path = str "path" in
+    Ok (Status_snapshot { rounds; executed; covered; reachable; bugs; queue; path })
+  | "ledger_append" ->
+    let* path = str "path" in
+    let* run = str "run" in
+    let* covered = int "covered" in
+    let* reachable = int "reachable" in
+    let* bugs = int "bugs" in
+    Ok (Ledger_append { path; run; covered; reachable; bugs })
   | other -> Error (Printf.sprintf "unknown event kind %s" other)

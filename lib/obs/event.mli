@@ -143,6 +143,24 @@ type t =
           [t0] to [t1], in nanoseconds since the timeline was enabled.
           The profile fold ([compi-cli profile]) is built entirely from
           these. *)
+  | Status_snapshot of {
+      rounds : int;
+      executed : int;
+      covered : int;
+      reachable : int;
+      bugs : int;
+      queue : int;
+      path : string;
+    }
+      (** the campaign published a live status snapshot to [path]
+          (see {!Status}): [rounds] merge rounds completed, [executed]
+          tests run, [queue] the work-queue depth at the publish point.
+          Emitted at most once per publish, so the trace records when
+          (and how often) the dashboard data refreshed. *)
+  | Ledger_append of { path : string; run : string; covered : int; reachable : int; bugs : int }
+      (** the campaign appended run [run]'s summary record to the
+          ledger store at [path] (see {!Ledger}) — the longitudinal
+          cross-campaign record behind [compi-cli history]/[compare] *)
 
 val kind_name : t -> string
 (** The wire name, i.e. the ["ev"] field of the JSON encoding. *)

@@ -97,109 +97,193 @@ let bump tbl key n =
 
 let sorted_assoc tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
-let fold events =
-  let census = Hashtbl.create 32 in
-  let target = ref None and budget = ref None and seed = ref None and nprocs0 = ref None in
-  let curve = Hashtbl.create 64 in
-  let final_covered = ref None and final_reachable = ref None in
-  let bugs = ref 0 and wall_s = ref None in
-  let exec_s = ref 0.0 and solve_s = ref 0.0 in
-  let s_calls = ref 0 and s_sat = ref 0 and s_unsat = ref 0 and s_unknown = ref 0 in
-  let s_time = ref 0.0 and s_nodes = ref 0 in
-  let c_hits = ref 0 and c_misses = ref 0 and c_evict = ref 0 in
-  let lineage = ref [] in
-  let negs = Hashtbl.create 64 in
+(* Incremental fold state: the batch fold's accumulators hoisted into a
+   record so a consumer (the live `watch` dashboard) can [step] events as
+   they appear and [finish] at any prefix. [finish] only reads the state,
+   so stepping more events after a [finish] and finishing again is
+   legal — that is exactly what tailing a growing trace does. *)
+type state = {
+  mutable s_events : int;
+  s_census : (string, int) Hashtbl.t;
+  s_unknown : (string, int) Hashtbl.t;
+  mutable s_malformed : int;
+  mutable s_target : string option;
+  mutable s_budget : int option;
+  mutable s_seed : int option;
+  mutable s_nprocs0 : int option;
+  s_curve : (int, int) Hashtbl.t;
+  mutable s_final_covered : int option;
+  mutable s_final_reachable : int option;
+  mutable s_bugs : int;
+  mutable s_wall : float option;
+  mutable s_exec : float;
+  mutable s_solve : float;
+  mutable s_calls : int;
+  mutable s_sat : int;
+  mutable s_unsat : int;
+  mutable s_unknown_o : int;
+  mutable s_time : float;
+  mutable s_nodes : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evict : int;
+  mutable s_lineage : lineage_node list; (* newest first *)
+  s_negs : (int, int * int * int * int * int) Hashtbl.t;
   (* branch -> attempts, sat, unsat, unknown, cached *)
-  let matrix = Hashtbl.create 64 in
-  let sends = Hashtbl.create 16 and recvs = Hashtbl.create 16 in
-  let colls = Hashtbl.create 16 and blocked = Hashtbl.create 16 in
-  let coll_sigs = Hashtbl.create 16 in
-  let deadlocks = ref 0 in
-  let sched_choices = ref 0 and sched_forks = ref 0 in
-  let sched_emitted = ref 0 and sched_pruned = ref 0 in
-  let witness = Hashtbl.create 16 in
-  let faults = ref [] in
-  let restarts = Hashtbl.create 8 in
-  let spans = ref [] in
-  List.iter
-    (fun ev ->
-      bump census (Event.kind_name ev) 1;
-      match ev with
-      | Event.Campaign_start { target = tg; iterations; seed = sd; nprocs } ->
-        if !target = None then begin
-          target := Some tg;
-          budget := Some iterations;
-          seed := Some sd;
-          nprocs0 := Some nprocs
-        end
-      | Event.Campaign_end { covered; reachable; bugs = b; wall_s = w; _ } ->
-        final_covered := Some covered;
-        final_reachable := Some reachable;
-        bugs := b;
-        wall_s := Some w
-      | Event.Iter_end { iteration; covered; exec_s = e; solve_s = s; _ } ->
-        Hashtbl.replace curve iteration covered;
-        exec_s := !exec_s +. e;
-        solve_s := !solve_s +. s
-      | Event.Solver_call { outcome; nodes; time_s; _ } ->
-        incr s_calls;
-        (match outcome with
-        | Event.Sat -> incr s_sat
-        | Event.Unsat -> incr s_unsat
-        | Event.Unknown -> incr s_unknown);
-        s_time := !s_time +. time_s;
-        s_nodes := !s_nodes + nodes
-      | Event.Cache_lookup { hit; _ } -> if hit then incr c_hits else incr c_misses
-      | Event.Cache_evict { dropped; _ } -> c_evict := !c_evict + dropped
-      | Event.Lineage_test { test; parent; origin; branch; index; cached } ->
-        lineage :=
-          {
-            ln_test = test;
-            ln_parent = parent;
-            ln_origin = origin;
-            ln_branch = branch;
-            ln_index = index;
-            ln_cached = cached;
-          }
-          :: !lineage
-      | Event.Lineage_negation { branch; outcome; cached; _ } ->
-        let a, st, us, uk, ca =
-          Option.value (Hashtbl.find_opt negs branch) ~default:(0, 0, 0, 0, 0)
-        in
-        let st, us, uk =
-          match outcome with
-          | Event.Sat -> (st + 1, us, uk)
-          | Event.Unsat -> (st, us + 1, uk)
-          | Event.Unknown -> (st, us, uk + 1)
-        in
-        Hashtbl.replace negs branch (a + 1, st, us, uk, (if cached then ca + 1 else ca))
-      | Event.Msg_matched { src; dst; comm = _; tag = _ } -> bump matrix (src, dst) 1
-      | Event.Sched_step { kind = "send"; rank; _ } -> bump sends rank 1
-      | Event.Sched_step { kind = "recv"; rank; _ } -> bump recvs rank 1
-      | Event.Sched_step _ -> ()
-      | Event.Coll_done { comm; signature; ranks } ->
-        bump coll_sigs (comm, signature) 1;
-        List.iter (fun r -> bump colls r 1) ranks
-      | Event.Rank_blocked { rank; _ } -> bump blocked rank 1
-      | Event.Sched_deadlock _ -> incr deadlocks
-      | Event.Schedule_choice { alts; _ } ->
-        incr sched_choices;
-        if List.length alts > 1 then incr sched_forks
-      | Event.Schedule_enum { emitted; pruned; _ } ->
-        sched_emitted := !sched_emitted + emitted;
-        sched_pruned := !sched_pruned + pruned
-      | Event.Deadlock_witness { rank; comm; kind; peer } ->
-        bump witness { we_rank = rank; we_kind = kind; we_peer = peer; we_comm = comm } 1
-      | Event.Fault { iteration; rank; kind; detail } ->
-        faults := (iteration, rank, kind, detail) :: !faults
-      | Event.Restart { reason; _ } -> bump restarts reason 1
-      | Event.Span { domain; kind; t0; t1 } ->
-        spans := { sp_domain = domain; sp_kind = kind; sp_t0 = t0; sp_t1 = t1 } :: !spans
-      | Event.Iter_start _ | Event.Negation _ | Event.Coverage_delta _
-      | Event.Worker_spawn _ | Event.Worker_task _ | Event.Worker_exit _
-      | Event.Checkpoint_write _ | Event.Checkpoint_load _ | Event.Compile _ -> ())
-    events;
-  let lineage = List.sort (fun a b -> compare a.ln_test b.ln_test) !lineage in
+  s_matrix : (int * int, int) Hashtbl.t;
+  s_sends : (int, int) Hashtbl.t;
+  s_recvs : (int, int) Hashtbl.t;
+  s_colls : (int, int) Hashtbl.t;
+  s_blocked : (int, int) Hashtbl.t;
+  s_coll_sigs : (int * string, int) Hashtbl.t;
+  mutable s_deadlocks : int;
+  mutable s_sched_choices : int;
+  mutable s_sched_forks : int;
+  mutable s_sched_emitted : int;
+  mutable s_sched_pruned : int;
+  s_witness : (witness_edge, int) Hashtbl.t;
+  mutable s_faults : (int * int * string * string) list; (* newest first *)
+  s_restarts : (string, int) Hashtbl.t;
+  mutable s_spans : span list; (* newest first *)
+}
+
+let init () =
+  {
+    s_events = 0;
+    s_census = Hashtbl.create 32;
+    s_unknown = Hashtbl.create 4;
+    s_malformed = 0;
+    s_target = None;
+    s_budget = None;
+    s_seed = None;
+    s_nprocs0 = None;
+    s_curve = Hashtbl.create 64;
+    s_final_covered = None;
+    s_final_reachable = None;
+    s_bugs = 0;
+    s_wall = None;
+    s_exec = 0.0;
+    s_solve = 0.0;
+    s_calls = 0;
+    s_sat = 0;
+    s_unsat = 0;
+    s_unknown_o = 0;
+    s_time = 0.0;
+    s_nodes = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_evict = 0;
+    s_lineage = [];
+    s_negs = Hashtbl.create 64;
+    s_matrix = Hashtbl.create 64;
+    s_sends = Hashtbl.create 16;
+    s_recvs = Hashtbl.create 16;
+    s_colls = Hashtbl.create 16;
+    s_blocked = Hashtbl.create 16;
+    s_coll_sigs = Hashtbl.create 16;
+    s_deadlocks = 0;
+    s_sched_choices = 0;
+    s_sched_forks = 0;
+    s_sched_emitted = 0;
+    s_sched_pruned = 0;
+    s_witness = Hashtbl.create 16;
+    s_faults = [];
+    s_restarts = Hashtbl.create 8;
+    s_spans = [];
+  }
+
+let step st ev =
+  st.s_events <- st.s_events + 1;
+  bump st.s_census (Event.kind_name ev) 1;
+  (match ev with
+  | Event.Campaign_start { target = tg; iterations; seed = sd; nprocs } ->
+    if st.s_target = None then begin
+      st.s_target <- Some tg;
+      st.s_budget <- Some iterations;
+      st.s_seed <- Some sd;
+      st.s_nprocs0 <- Some nprocs
+    end
+  | Event.Campaign_end { covered; reachable; bugs = b; wall_s = w; _ } ->
+    st.s_final_covered <- Some covered;
+    st.s_final_reachable <- Some reachable;
+    st.s_bugs <- b;
+    st.s_wall <- Some w
+  | Event.Iter_end { iteration; covered; exec_s = e; solve_s = s; _ } ->
+    Hashtbl.replace st.s_curve iteration covered;
+    st.s_exec <- st.s_exec +. e;
+    st.s_solve <- st.s_solve +. s
+  | Event.Solver_call { outcome; nodes; time_s; _ } ->
+    st.s_calls <- st.s_calls + 1;
+    (match outcome with
+    | Event.Sat -> st.s_sat <- st.s_sat + 1
+    | Event.Unsat -> st.s_unsat <- st.s_unsat + 1
+    | Event.Unknown -> st.s_unknown_o <- st.s_unknown_o + 1);
+    st.s_time <- st.s_time +. time_s;
+    st.s_nodes <- st.s_nodes + nodes
+  | Event.Cache_lookup { hit; _ } ->
+    if hit then st.s_hits <- st.s_hits + 1 else st.s_misses <- st.s_misses + 1
+  | Event.Cache_evict { dropped; _ } -> st.s_evict <- st.s_evict + dropped
+  | Event.Lineage_test { test; parent; origin; branch; index; cached } ->
+    st.s_lineage <-
+      {
+        ln_test = test;
+        ln_parent = parent;
+        ln_origin = origin;
+        ln_branch = branch;
+        ln_index = index;
+        ln_cached = cached;
+      }
+      :: st.s_lineage
+  | Event.Lineage_negation { branch; outcome; cached; _ } ->
+    let a, sa, us, uk, ca =
+      Option.value (Hashtbl.find_opt st.s_negs branch) ~default:(0, 0, 0, 0, 0)
+    in
+    let sa, us, uk =
+      match outcome with
+      | Event.Sat -> (sa + 1, us, uk)
+      | Event.Unsat -> (sa, us + 1, uk)
+      | Event.Unknown -> (sa, us, uk + 1)
+    in
+    Hashtbl.replace st.s_negs branch (a + 1, sa, us, uk, (if cached then ca + 1 else ca))
+  | Event.Msg_matched { src; dst; comm = _; tag = _ } -> bump st.s_matrix (src, dst) 1
+  | Event.Sched_step { kind = "send"; rank; _ } -> bump st.s_sends rank 1
+  | Event.Sched_step { kind = "recv"; rank; _ } -> bump st.s_recvs rank 1
+  | Event.Sched_step _ -> ()
+  | Event.Coll_done { comm; signature; ranks } ->
+    bump st.s_coll_sigs (comm, signature) 1;
+    List.iter (fun r -> bump st.s_colls r 1) ranks
+  | Event.Rank_blocked { rank; _ } -> bump st.s_blocked rank 1
+  | Event.Sched_deadlock _ -> st.s_deadlocks <- st.s_deadlocks + 1
+  | Event.Schedule_choice { alts; _ } ->
+    st.s_sched_choices <- st.s_sched_choices + 1;
+    if List.length alts > 1 then st.s_sched_forks <- st.s_sched_forks + 1
+  | Event.Schedule_enum { emitted; pruned; _ } ->
+    st.s_sched_emitted <- st.s_sched_emitted + emitted;
+    st.s_sched_pruned <- st.s_sched_pruned + pruned
+  | Event.Deadlock_witness { rank; comm; kind; peer } ->
+    bump st.s_witness { we_rank = rank; we_kind = kind; we_peer = peer; we_comm = comm } 1
+  | Event.Fault { iteration; rank; kind; detail } ->
+    st.s_faults <- (iteration, rank, kind, detail) :: st.s_faults
+  | Event.Restart { reason; _ } -> bump st.s_restarts reason 1
+  | Event.Span { domain; kind; t0; t1 } ->
+    st.s_spans <-
+      { sp_domain = domain; sp_kind = kind; sp_t0 = t0; sp_t1 = t1 } :: st.s_spans
+  | Event.Iter_start _ | Event.Negation _ | Event.Coverage_delta _
+  | Event.Worker_spawn _ | Event.Worker_task _ | Event.Worker_exit _
+  | Event.Checkpoint_write _ | Event.Checkpoint_load _ | Event.Compile _
+  | Event.Status_snapshot _ | Event.Ledger_append _ -> ());
+  st
+
+let step_line st raw =
+  (match classify_line raw with
+  | `Blank -> ()
+  | `Event ev -> ignore (step st ev)
+  | `Unknown kind -> bump st.s_unknown kind 1
+  | `Malformed _ -> st.s_malformed <- st.s_malformed + 1);
+  st
+
+let finish st =
+  let lineage = List.sort (fun a b -> compare a.ln_test b.ln_test) st.s_lineage in
   let first_for_branch = Hashtbl.create 64 in
   List.iter
     (fun n ->
@@ -207,87 +291,83 @@ let fold events =
         Hashtbl.add first_for_branch n.ln_branch n.ln_test)
     lineage;
   (* branches seen only through a producing test (old traces without
-     lineage_negation lines) still get a row *)
-  Hashtbl.iter
-    (fun branch _ -> if not (Hashtbl.mem negs branch) then Hashtbl.replace negs branch (0, 0, 0, 0, 0))
-    first_for_branch;
+     lineage_negation lines) still get a row; the zero rows are grafted
+     here rather than written back so [finish] stays read-only *)
+  let negs = sorted_assoc st.s_negs in
+  let extra =
+    Hashtbl.fold
+      (fun branch _ acc ->
+        if Hashtbl.mem st.s_negs branch then acc else (branch, (0, 0, 0, 0, 0)) :: acc)
+      first_for_branch []
+  in
   let branches =
-    sorted_assoc negs
-    |> List.map (fun (branch, (a, st, us, uk, ca)) ->
+    List.sort compare (extra @ negs)
+    |> List.map (fun (branch, (a, sa, us, uk, ca)) ->
            {
              br_branch = branch;
              br_first_test =
                Option.value (Hashtbl.find_opt first_for_branch branch) ~default:(-1);
              br_attempts = a;
-             br_sat = st;
+             br_sat = sa;
              br_unsat = us;
              br_unknown = uk;
              br_cached = ca;
            })
   in
-  let curve = sorted_assoc curve in
+  let curve = sorted_assoc st.s_curve in
   {
-    events = List.length events;
-    census = sorted_assoc census;
-    unknown_kinds = [];
-    malformed = 0;
-    target = !target;
-    budget = !budget;
-    seed = !seed;
-    nprocs0 = !nprocs0;
+    events = st.s_events;
+    census = sorted_assoc st.s_census;
+    unknown_kinds = sorted_assoc st.s_unknown;
+    malformed = st.s_malformed;
+    target = st.s_target;
+    budget = st.s_budget;
+    seed = st.s_seed;
+    nprocs0 = st.s_nprocs0;
     curve;
     iterations = List.length curve;
-    final_covered = !final_covered;
-    final_reachable = !final_reachable;
-    bugs = !bugs;
-    wall_s = !wall_s;
-    exec_s = !exec_s;
-    solve_s = !solve_s;
-    solver_calls = !s_calls;
-    solver_sat = !s_sat;
-    solver_unsat = !s_unsat;
-    solver_unknown = !s_unknown;
-    solver_time_s = !s_time;
-    solver_nodes = !s_nodes;
-    cache_hits = !c_hits;
-    cache_misses = !c_misses;
-    cache_evictions = !c_evict;
+    final_covered = st.s_final_covered;
+    final_reachable = st.s_final_reachable;
+    bugs = st.s_bugs;
+    wall_s = st.s_wall;
+    exec_s = st.s_exec;
+    solve_s = st.s_solve;
+    solver_calls = st.s_calls;
+    solver_sat = st.s_sat;
+    solver_unsat = st.s_unsat;
+    solver_unknown = st.s_unknown_o;
+    solver_time_s = st.s_time;
+    solver_nodes = st.s_nodes;
+    cache_hits = st.s_hits;
+    cache_misses = st.s_misses;
+    cache_evictions = st.s_evict;
     lineage;
     branches;
-    matrix = sorted_assoc matrix;
-    rank_sends = sorted_assoc sends;
-    rank_recvs = sorted_assoc recvs;
-    rank_colls = sorted_assoc colls;
-    rank_blocked = sorted_assoc blocked;
-    collectives = sorted_assoc coll_sigs;
-    deadlocks = !deadlocks;
-    schedule_choices = !sched_choices;
-    schedule_forks = !sched_forks;
-    schedule_emitted = !sched_emitted;
-    schedule_pruned = !sched_pruned;
-    witness = sorted_assoc witness;
-    faults = List.rev !faults;
-    restarts = sorted_assoc restarts;
+    matrix = sorted_assoc st.s_matrix;
+    rank_sends = sorted_assoc st.s_sends;
+    rank_recvs = sorted_assoc st.s_recvs;
+    rank_colls = sorted_assoc st.s_colls;
+    rank_blocked = sorted_assoc st.s_blocked;
+    collectives = sorted_assoc st.s_coll_sigs;
+    deadlocks = st.s_deadlocks;
+    schedule_choices = st.s_sched_choices;
+    schedule_forks = st.s_sched_forks;
+    schedule_emitted = st.s_sched_emitted;
+    schedule_pruned = st.s_sched_pruned;
+    witness = sorted_assoc st.s_witness;
+    faults = List.rev st.s_faults;
+    restarts = sorted_assoc st.s_restarts;
     spans =
       List.sort
         (fun a b ->
           compare (a.sp_t0, a.sp_domain, a.sp_t1, a.sp_kind)
             (b.sp_t0, b.sp_domain, b.sp_t1, b.sp_kind))
-        !spans;
+        st.s_spans;
   }
 
-let of_lines lines =
-  let events = ref [] and unknown = Hashtbl.create 4 and malformed = ref 0 in
-  List.iter
-    (fun l ->
-      match classify_line l with
-      | `Blank -> ()
-      | `Event ev -> events := ev :: !events
-      | `Unknown kind -> bump unknown kind 1
-      | `Malformed _ -> incr malformed)
-    lines;
-  let t = fold (List.rev !events) in
-  { t with unknown_kinds = sorted_assoc unknown; malformed = !malformed }
+let fold events = finish (List.fold_left step (init ()) events)
+
+let of_lines lines = finish (List.fold_left step_line (init ()) lines)
 
 (* ------------------------------------------------------------------ *)
 (* Lineage queries                                                     *)
@@ -423,7 +503,7 @@ let ascii_curve ?(width = 60) ?(height = 12) points =
 let unstable_kind k =
   match k with
   | "worker_spawn" | "worker_task" | "worker_exit" | "checkpoint_write"
-  | "checkpoint_load" | "span" -> true
+  | "checkpoint_load" | "span" | "status_snapshot" | "ledger_append" -> true
   | _ -> false
 
 let stable_census t = List.filter (fun (k, _) -> not (unstable_kind k)) t.census

@@ -97,9 +97,35 @@ type t = {
   spans : span list;  (** timeline spans, sorted by (t0, domain, t1, kind) *)
 }
 
+(** {2 Incremental fold}
+
+    The fold is a state machine: [init] an empty state, [step] each
+    event (or [step_line] each raw trace line) as it arrives, [finish]
+    whenever a report is wanted. [finish] only reads the state, so a
+    live consumer — [compi-cli watch] tailing a growing trace — can
+    finish, render, step more lines, and finish again; each [finish] is
+    byte-identical to a batch [fold] of the same prefix. *)
+
+type state
+
+val init : unit -> state
+
+val step : state -> Event.t -> state
+(** Absorb one event (mutates and returns the same state, so it slots
+    into [List.fold_left]). *)
+
+val step_line : state -> string -> state
+(** [classify_line] one raw line and absorb it: events are [step]ped,
+    unknown kinds and malformed lines are counted. *)
+
+val finish : state -> t
+(** Snapshot the aggregate for the events absorbed so far. Read-only:
+    the state remains valid for further [step]s. *)
+
 val fold : Event.t list -> t
-(** Aggregate an already-parsed stream ([unknown_kinds] and [malformed]
-    are empty/0). *)
+(** [finish (List.fold_left step (init ()) events)] — aggregate an
+    already-parsed stream ([unknown_kinds] and [malformed] are
+    empty/0). *)
 
 val of_lines : string list -> t
 (** [classify_line] each line, fold the events, and count the skips. *)

@@ -31,6 +31,24 @@ let flush_channel () =
 
 let at_exit_registered = ref false
 
+(* Autoflush policy: off by default (tests and the microbench span gate
+   see zero extra flushes); a live consumer turns it on so the trace
+   tail reaches the filesystem while the campaign runs, not only at
+   exit. Both thresholds are checked under the emit mutex, so the
+   decision never races the write it accounts for. *)
+let af_events : int option ref = ref None
+let af_seconds : float option ref = ref None
+let af_pending = ref 0
+let af_last = ref 0.0
+
+let set_autoflush ?events ?seconds () =
+  Mutex.lock mu;
+  af_events := events;
+  af_seconds := seconds;
+  af_pending := 0;
+  af_last := Unix.gettimeofday ();
+  Mutex.unlock mu
+
 let install target =
   (match !current with
   | Some { target = Channel_sink oc; _ } -> flush oc
@@ -39,6 +57,8 @@ let install target =
     at_exit_registered := true;
     at_exit flush_channel
   end;
+  af_pending := 0;
+  af_last := Unix.gettimeofday ();
   current := Some { target; t0 = Unix.gettimeofday () };
   is_active := (match target with Null_sink -> false | Buffer_sink _ | Channel_sink _ -> true)
 
@@ -72,7 +92,23 @@ let emit ev =
             Buffer.add_char buf '\n'
           | Channel_sink oc ->
             output_string oc line;
-            output_char oc '\n'))
+            output_char oc '\n';
+            if !af_events <> None || !af_seconds <> None then begin
+              af_pending := !af_pending + 1;
+              let due_count =
+                match !af_events with Some n -> !af_pending >= n | None -> false
+              in
+              let due_time =
+                match !af_seconds with
+                | Some s -> Unix.gettimeofday () -. !af_last >= s
+                | None -> false
+              in
+              if due_count || due_time then begin
+                (try flush oc with Sys_error _ -> ());
+                af_pending := 0;
+                af_last := Unix.gettimeofday ()
+              end
+            end))
 
 let with_sink target f =
   let saved = !current in

@@ -23,6 +23,15 @@ val uninstall : unit -> unit
 (** Flushes a channel sink. Does not close the channel — the opener
     owns it. *)
 
+val set_autoflush : ?events:int -> ?seconds:float -> unit -> unit
+(** Periodic flush policy for channel sinks, so a live consumer tailing
+    the trace file sees events before the process exits. Flush after
+    every [events] emissions and/or whenever [seconds] have elapsed
+    since the last flush — whichever fires first. Omitting both (the
+    default) disables autoflush: tests and the span-overhead microbench
+    see no extra flushes. The existing [flush_now]/[at_exit]/SIGINT
+    semantics are unchanged. *)
+
 val flush_now : unit -> unit
 (** Push a channel sink's buffered bytes to the OS without uninstalling
     it. No-op for other targets. Serialized against concurrent [emit]s,

@@ -27,7 +27,11 @@ understood, sniffed from the document itself:
     item 1 exit criterion, blocking rather than informational since the
     bench is regenerated on the multi-core CI runner; on hosts with
     fewer cores the row is flagged oversubscribed and the floor does
-    not apply, because its wall measures the clamp, not the engine);
+    not apply, because its wall measures the clamp, not the engine —
+    but if EVERY jobs>=4 row is oversubscribed the gate fails outright
+    instead of passing vacuously, since "ok" must mean the floor was
+    actually checked; rows carry a per-row "cores" field so this can
+    be judged without the document header);
     and a jobs-1 cache-on row slower than its target's cache-off row by
     more than the noise allowance means the solver cache costs more
     than it saves. All hard-fail.
@@ -66,6 +70,9 @@ CACHE_ON_ALLOWANCE = 1.10
 # leaving headroom for merge serialization and shared-runner noise.
 MULTICORE_GATE_MIN_JOBS = 4
 MULTICORE_SPEEDUP_FRACTION = 0.5
+# Set by --allow-vacuous-floor: downgrade the "every jobs>=4 row is
+# oversubscribed, so the floor was never checked" refusal to a warning.
+ALLOW_VACUOUS_FLOOR = False
 
 
 def load(path):
@@ -148,17 +155,25 @@ def diff_parallel(old, new, tol, out):
 def gate_parallel_new(new, out):
     """Blocking gates evaluated on NEW alone (no baseline required)."""
     failures = []
+    floor_candidates = 0
+    floor_evaluated = 0
+    row_cores = set()
     for c in new["configs"]:
         key = parallel_row_key(c)
         jobs = c.get("jobs") or 0
         speedup = c.get("speedup_vs_jobs1")
+        if isinstance(c.get("cores"), int):
+            row_cores.add(c["cores"])
         if (jobs >= 2 and not c.get("oversubscribed", False)
                 and isinstance(speedup, (int, float)) and speedup < 1.0):
             failures.append(
                 f"{parallel_label(key)}: speedup_vs_jobs1 {speedup:.2f} < 1.0 "
                 f"on a non-oversubscribed row — extra workers made it slower")
+        if jobs >= MULTICORE_GATE_MIN_JOBS:
+            floor_candidates += 1
         if (jobs >= MULTICORE_GATE_MIN_JOBS and not c.get("oversubscribed", False)
                 and isinstance(speedup, (int, float))):
+            floor_evaluated += 1
             floor = MULTICORE_SPEEDUP_FRACTION * jobs
             if speedup < floor:
                 failures.append(
@@ -169,6 +184,25 @@ def gate_parallel_new(new, out):
                 out.append(
                     f"multi-core gate: {parallel_label(key)} speedup "
                     f"{speedup:.2f} >= floor {floor:.1f}: ok")
+    # The floor gate must never pass vacuously: if the document has
+    # jobs>=4 rows but every one of them was oversubscribed (the bench
+    # ran on a small host), nothing above was checked — refusing here
+    # beats reporting "ok" for a gate that never ran. A caller that
+    # knows a dedicated multi-core job carries the live floor can
+    # downgrade the refusal to a warning with --allow-vacuous-floor.
+    if floor_candidates and not floor_evaluated:
+        cores_note = (
+            f" (host reported {sorted(row_cores)[0]} core(s))"
+            if len(row_cores) == 1 else "")
+        msg = (
+            f"multi-core floor gate is vacuous: all {floor_candidates} "
+            f"jobs>={MULTICORE_GATE_MIN_JOBS} row(s) are oversubscribed"
+            f"{cores_note} — regenerate the bench on a host with at least "
+            f"{MULTICORE_GATE_MIN_JOBS} cores")
+        if ALLOW_VACUOUS_FLOOR:
+            out.append(f"warn: {msg} (waived by --allow-vacuous-floor)")
+        else:
+            failures.append(msg)
     jobs1 = {}
     for c in new["configs"]:
         if c.get("jobs") == 1:
@@ -243,7 +277,14 @@ def main():
         "--tolerance", type=float, default=0.25, metavar="FRAC",
         help="allowed fractional slowdown before a timing counts as a "
              "regression (default 0.25 = +25%%)")
+    parser.add_argument(
+        "--allow-vacuous-floor", action="store_true",
+        help="warn instead of failing when every jobs>=4 row is "
+             "oversubscribed (for small hosts whose multi-core floor is "
+             "gated by a dedicated job elsewhere)")
     args = parser.parse_args()
+    global ALLOW_VACUOUS_FLOOR
+    ALLOW_VACUOUS_FLOOR = args.allow_vacuous_floor
 
     old, new = load(args.old), load(args.new)
     os_, ns_ = shape(old), shape(new)

@@ -16,11 +16,11 @@ that don't exist:
 
 With `--exe PATH` (a built compi_cli executable) it additionally runs
 `PATH <cmd> --help` for each audited subcommand (run, explain, report,
-profile)
-and cross-checks the live help text: the checkpoint/resume and
-observatory flags must exist in the binary AND be documented, and every
-flag the help mentions must also be found by the source-level regex
-(so the regex cannot silently rot).
+profile, status, watch, history, compare)
+and cross-checks the live help text: the checkpoint/resume,
+observatory and live-monitor/ledger flags must exist in the binary AND
+be documented, and every flag the help mentions must also be found by
+the source-level regex (so the regex cannot silently rot).
 
 Run from the repository root: python3 scripts/check_docs.py
 """
@@ -55,10 +55,15 @@ BUILTIN_FLAGS = {"--help", "--version"}
 # and the observatory surface the explain/report smoke job drives.
 REQUIRED_FLAGS = {
     "run": {"--checkpoint", "--checkpoint-every", "--resume", "--trace-events",
-            "--exec-mode", "--schedules", "--schedule-depth"},
+            "--exec-mode", "--schedules", "--schedule-depth",
+            "--status-file", "--ledger"},
     "explain": {"--branch", "--testcase", "--target"},
     "report": {"--out", "--stable", "--target"},
     "profile": {"--out", "--stable"},
+    "status": {"--json"},
+    "watch": {"--interval", "--once", "--trace"},
+    "history": {"--target"},
+    "compare": {"--ledger", "--tolerance"},
 }
 
 

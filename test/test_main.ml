@@ -4,6 +4,7 @@ let () =
        [
          Test_obs.suite;
          Test_observatory.suite;
+         Test_live.suite;
          Test_timeline.suite;
          Test_smt.suite;
          Test_minic.suite;

@@ -141,6 +141,11 @@ let sample_events : Obs.Event.t list =
     Schedule_choice { rank = 0; comm = 0; tag = 3; chosen = 2; alts = [ 1; 2 ]; point = 0 };
     Schedule_enum { parent = 12; points = 2; emitted = 1; pruned = 1 };
     Span { domain = 1; kind = "cache.lock.wait"; t0 = 1_000; t1 = 2_500 };
+    Status_snapshot
+      { rounds = 40; executed = 120; covered = 30; reachable = 38; bugs = 1;
+        queue = 6; path = "/tmp/status.json" };
+    Ledger_append
+      { path = "/tmp/ledger.jsonl"; run = "toy#3"; covered = 30; reachable = 38; bugs = 1 };
   ]
 
 let test_event_roundtrip () =
@@ -148,7 +153,7 @@ let test_event_roundtrip () =
   let kinds =
     List.sort_uniq String.compare (List.map Obs.Event.kind_name sample_events)
   in
-  Alcotest.(check int) "all 27 event kinds sampled" 27 (List.length kinds);
+  Alcotest.(check int) "all 29 event kinds sampled" 29 (List.length kinds);
   List.iter
     (fun ev ->
       let wire = Obs.Json.to_string (Obs.Event.to_json ~t:1.25 ev) in

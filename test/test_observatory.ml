@@ -110,6 +110,11 @@ let all_kind_samples : Obs.Event.t list =
     Rank_blocked { rank = 2; comm = 0; kind = "recv"; peer = 0 };
     Deadlock_witness { rank = 1; comm = 0; kind = "recv"; peer = 2 };
     Span { domain = 1; kind = "exec"; t0 = 1_000; t1 = 2_000 };
+    Status_snapshot
+      { rounds = 3; executed = 10; covered = 5; reachable = 8; bugs = 1;
+        queue = 2; path = "/tmp/status.json" };
+    Ledger_append
+      { path = "/tmp/ledger.jsonl"; run = "toy#0"; covered = 5; reachable = 8; bugs = 1 };
   ]
 
 let test_roundtrip_fold_every_kind () =
@@ -120,8 +125,8 @@ let test_roundtrip_fold_every_kind () =
   Alcotest.(check int) "no skips" 0 (List.length f.Obs.Fold.unknown_kinds);
   Alcotest.(check int) "no malformed" 0 f.Obs.Fold.malformed;
   Alcotest.(check int) "all lines folded" (List.length lines) f.Obs.Fold.events;
-  (* every one of the 25 kinds appears in the census *)
-  Alcotest.(check int) "25 kinds in census" 25 (List.length f.Obs.Fold.census);
+  (* every one of the 27 kinds appears in the census *)
+  Alcotest.(check int) "27 kinds in census" 27 (List.length f.Obs.Fold.census);
   (* spot-check the aggregation paths fed by the new kinds *)
   Alcotest.(check int) "matrix has the matched pair" 1
     (List.length f.Obs.Fold.matrix);
